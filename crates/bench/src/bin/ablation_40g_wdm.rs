@@ -1,0 +1,75 @@
+//! **Extension: the §6 path to 40 Gbps+** — multi-wavelength links and why
+//! they need custom collimators.
+//!
+//! "For higher-bandwidth (40Gbps+) links, our designed TP mechanism remains
+//! unchanged; however, the link would likely need customized collimators
+//! that can efficiently capture a range of wavelengths." This harness
+//! quantifies both halves of that sentence:
+//!
+//! 1. per-CWDM-lane link margins with a commodity vs a custom achromatic
+//!    receive collimator;
+//! 2. the TP mechanism running **unchanged** on the 100G geometry (the
+//!    pointing math never sees a wavelength).
+
+use cyclops::optics::wavelength::{ChromaticCollimator, WdmLink};
+use cyclops::prelude::*;
+use cyclops_bench::{row, section};
+
+fn main() {
+    section("Extension §6: 100G CWDM4 over the Cyclops geometry (1.5 m, 24 mm beam)");
+
+    let widths = [12, 22, 20];
+    row(
+        &[
+            "lane (nm)".into(),
+            "commodity collimator".into(),
+            "custom achromat".into(),
+        ],
+        &widths,
+    );
+    let commodity = WdmLink::hundred_g_cwdm4(12e-3, 1.5, ChromaticCollimator::commodity(1311.0));
+    let custom = WdmLink::hundred_g_cwdm4(12e-3, 1.5, ChromaticCollimator::custom_achromat(1311.0));
+    for ((nm, mc), (_, mu)) in commodity
+        .lane_margins_db()
+        .into_iter()
+        .zip(custom.lane_margins_db())
+    {
+        row(
+            &[
+                format!("{nm:.0}"),
+                format!("{mc:+.1} dB{}", if mc < 0.0 { "  (DEAD)" } else { "" }),
+                format!("{mu:+.1} dB"),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nlink closes: commodity = {}, custom achromat = {}",
+        commodity.link_closes(),
+        custom.link_closes()
+    );
+    println!("a multi-lane module is only up when every lane is: the chromatic focal");
+    println!("shift of a commodity lens kills the outer CWDM lanes first — the §6 case");
+    println!("for custom range-of-wavelength collimators.");
+
+    section("Extension §6: the TP mechanism is wavelength-agnostic");
+    // Commission the standard 10G system and re-point the *100G* geometry
+    // with it: the pointing function only speaks voltages and geometry.
+    let mut sys = CyclopsSystem::commission(&SystemConfig::fast_10g(106));
+    let mut ok = 0;
+    for k in 0..5 {
+        let pose = Pose::translation(Vec3::new(
+            -0.1 + 0.05 * k as f64,
+            0.04,
+            1.7 + 0.04 * k as f64,
+        ));
+        sys.move_headset(pose);
+        let rep = sys.track();
+        sys.point(&rep);
+        if sys.link_up() {
+            ok += 1;
+        }
+    }
+    println!("{ok}/5 pointing realignments succeeded — no TP change needed for WDM;");
+    println!("only the optics (collimators, amplifier band) change with the bitrate.");
+}

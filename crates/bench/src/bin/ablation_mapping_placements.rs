@@ -1,0 +1,100 @@
+//! **Ablation: mapping-placement budget** — why §4.2 uses ~30 exhaustive
+//! placements.
+//!
+//! Stage 2 fits 12 parameters (two 6-DoF poses) from one 4-voltage/1-pose
+//! tuple per placement. The paper settles on "approximately 30 data points";
+//! this ablation sweeps the placement budget and measures (a) the held-out
+//! combined Lemma-1 error (the Table-2 metric) and (b) the TP power gap to
+//! the exhaustive optimum — showing where more alignment time stops paying.
+
+use cyclops::core::deployment::{cheat_align, Deployment, DeploymentConfig};
+use cyclops::core::kspace::{train_both, BoardConfig};
+use cyclops::core::mapping;
+use cyclops::core::tp::{TpConfig, TpController};
+use cyclops::prelude::*;
+use cyclops_bench::{row, section};
+
+/// Mean TP power gap to the exhaustive optimum (dB) over `n` random
+/// placements, for a controller built from the given mapping.
+fn tp_gap(dep: &Deployment, ctl_src: &TpController, tracker: &TrackerConfig, n: usize) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..n {
+        let mut d = dep.clone();
+        let mut ctl = ctl_src.clone();
+        // Decorrelate placements across trials but keep them deterministic.
+        for _ in 0..=k {
+            let _ = mapping::random_placement(d.rng(), 1.75);
+        }
+        let pose = mapping::random_placement(d.rng(), 1.75);
+        d.set_headset_pose(pose);
+        let rep = mapping::noisy_report(&mut d, tracker);
+        let cmd = ctl.on_report(&rep);
+        d.set_voltages(
+            cmd.voltages[0],
+            cmd.voltages[1],
+            cmd.voltages[2],
+            cmd.voltages[3],
+        );
+        let tp = d.received_power_dbm();
+        cheat_align(&mut d);
+        acc += d.received_power_dbm() - tp;
+    }
+    acc / n as f64
+}
+
+fn main() {
+    let seed = 42u64;
+    section("Ablation: mapping-placement budget vs accuracy (10G)");
+    println!("running stage 1 (two 266-point boards, shared across all rows) ...\n");
+    let base = Deployment::new(&DeploymentConfig::paper_10g(seed));
+    let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&base, &BoardConfig::default(), seed);
+    let tracker = TrackerConfig::default();
+
+    // Held-out evaluation set, shared across all budgets.
+    let mut held_dep = base.clone();
+    let held_out = mapping::collect_samples_with(&mut held_dep, 12, seed + 500, &tracker);
+
+    let widths = [12, 18, 18, 20];
+    row(
+        &[
+            "placements".into(),
+            "held-out TX avg".into(),
+            "held-out RX avg".into(),
+            "TP gap to optimum".into(),
+        ],
+        &widths,
+    );
+    for n in [5usize, 8, 12, 20, 30, 45] {
+        let mut dep = base.clone();
+        let (init_tx, init_rx) =
+            mapping::rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
+        let mt = mapping::train_with(
+            &mut dep,
+            &tx_tr.fitted,
+            &rx_tr.fitted,
+            init_tx,
+            init_rx,
+            n,
+            seed + 9 + n as u64,
+            &tracker,
+        );
+        let (tx_e, rx_e) = mt.trained.combined_errors(&held_out);
+        let v0 = dep.voltages();
+        let ctl = TpController::new(mt.trained, TpConfig::default(), [v0.0, v0.1, v0.2, v0.3]);
+        let gap = tp_gap(&dep, &ctl, &tracker, 6);
+        row(
+            &[
+                format!("{n}"),
+                format!("{:.2} mm", tx_e.mean * 1e3),
+                format!("{:.2} mm", rx_e.mean * 1e3),
+                format!("{gap:.1} dB"),
+            ],
+            &widths,
+        );
+    }
+    println!("\n12 parameters from 4+6 numbers per placement: a handful of placements");
+    println!("already constrains the fit, but tracker noise and the spatial-distortion");
+    println!("warp make the error average down with more samples; past ~30 the curve");
+    println!("is flat and extra alignment time (each placement costs an exhaustive");
+    println!("power scan) buys nothing. See cyclops-core::mapping.");
+}

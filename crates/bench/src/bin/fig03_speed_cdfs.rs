@@ -1,0 +1,66 @@
+//! **Fig 3** — CDFs of VRH linear and angular speeds for VR applications.
+//!
+//! Paper: "during normal use, the angular and linear speeds of a VRH were at
+//! most 19 deg/s and 14 cm/s respectively." We regenerate the two CDFs from
+//! the normal-use trace profile (the dataset substitution is documented in
+//! DESIGN.md).
+
+use cyclops::prelude::*;
+use cyclops::vrh::speeds::{angular_speeds, linear_speeds};
+use cyclops_bench::{row, section};
+
+fn main() {
+    section("Fig 3: CDFs of VRH linear and angular speeds (normal use)");
+    let n_traces = 100;
+    let mut lin_all: Vec<f64> = Vec::new();
+    let mut ang_all: Vec<f64> = Vec::new();
+    for i in 0..n_traces {
+        let tr = HeadTrace::generate(&TraceGenConfig::normal_use(), 300 + i);
+        lin_all.extend(linear_speeds(&tr));
+        ang_all.extend(angular_speeds(&tr));
+    }
+    println!(
+        "{} traces x 60 s at 10 ms sampling ({} speed samples)\n",
+        n_traces,
+        lin_all.len()
+    );
+
+    // Sort once; `quantile` would re-sort the 600k-sample vectors per call.
+    lin_all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ang_all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |sorted: &[f64], q: f64| -> f64 {
+        let pos = q * (sorted.len() - 1) as f64;
+        let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+        if lo == hi {
+            sorted[lo]
+        } else {
+            sorted[lo] * (1.0 - (pos - lo as f64)) + sorted[hi] * (pos - lo as f64)
+        }
+    };
+    let widths = [8, 16, 18];
+    row(
+        &[
+            "CDF".into(),
+            "linear (cm/s)".into(),
+            "angular (deg/s)".into(),
+        ],
+        &widths,
+    );
+    for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0] {
+        let lin = pick(&lin_all, q) * 100.0;
+        let ang = pick(&ang_all, q).to_degrees();
+        row(
+            &[
+                format!("{:.1}%", q * 100.0),
+                format!("{lin:.2}"),
+                format!("{ang:.2}"),
+            ],
+            &widths,
+        );
+    }
+
+    let lin_max = lin_all.iter().cloned().fold(0.0, f64::max) * 100.0;
+    let ang_max = ang_all.iter().cloned().fold(0.0, f64::max).to_degrees();
+    println!("\nobserved maxima: linear {lin_max:.1} cm/s, angular {ang_max:.1} deg/s");
+    println!("paper (Fig 3):   linear <= ~14 cm/s, angular <= ~19 deg/s during normal use");
+}

@@ -1,0 +1,52 @@
+//! **Fig 11** — TX and RX angular tolerance vs beam diameter at the RX.
+//!
+//! Paper: "RX angular tolerance peaks at 5.77 mrad at the 16 mm beam
+//! diameter; we thus choose this." The sweep below regenerates both curves
+//! (plus peak power, the underlying mechanism).
+
+use cyclops::optics::coupling::{LinkDesign, ReceiverGeometry};
+use cyclops::prelude::*;
+use cyclops_bench::{row, section};
+
+fn main() {
+    section("Fig 11: angular tolerance vs beam diameter at RX (10G diverging, 1.75 m)");
+    let r = 1.75;
+    let widths = [10, 14, 14, 12];
+    row(
+        &[
+            "dia (mm)".into(),
+            "TX tol (mrad)".into(),
+            "RX tol (mrad)".into(),
+            "peak (dBm)".into(),
+        ],
+        &widths,
+    );
+    let mut best = (0.0f64, 0.0f64);
+    for d_mm in [
+        4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0, 28.0, 32.0, 40.0,
+    ] {
+        let d = LinkDesign::ten_g_diverging(d_mm * 1e-3, r);
+        let tx = tx_angular_tolerance(&d, r) * 1e3;
+        let rx = rx_angular_tolerance(&d, r) * 1e3;
+        let chief = Ray::new(Vec3::ZERO, Vec3::Z);
+        let rx_geom = ReceiverGeometry::new(Vec3::Z * r, -Vec3::Z);
+        let peak = d.received_power_dbm(chief, &rx_geom);
+        if rx > best.1 {
+            best = (d_mm, rx);
+        }
+        row(
+            &[
+                format!("{d_mm:.0}"),
+                format!("{tx:.2}"),
+                format!("{rx:.2}"),
+                format!("{peak:.1}"),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nRX tolerance peaks at {:.2} mrad @ {:.0} mm   (paper: 5.77 mrad @ 16 mm)",
+        best.1, best.0
+    );
+    println!("mechanism: wider beams widen the angular acceptance of the blurred focal\nspot but drain the link margin; the product peaks mid-range.");
+}

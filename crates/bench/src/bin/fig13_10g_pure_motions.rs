@@ -1,0 +1,78 @@
+//! **Fig 13** — 10G throughput and received power under purely linear and
+//! purely angular motions (§5.3).
+//!
+//! Paper: "the link throughput remains optimal at 9.4 Gbps for linear speeds
+//! below 33 cm/sec ... \[and] for angular speeds below 16–18 deg/sec"; power
+//! stays above −25…−30 dBm inside those bounds and degrades gracefully
+//! beyond (−32 dBm at 70 cm/s, −38 dBm at 100 deg/s).
+
+use cyclops::prelude::*;
+use cyclops_bench::{angular_ladder, linear_ladder, row, section, tolerated_speed};
+
+fn main() {
+    let seed = 13u64;
+    println!("commissioning 10G system (paper-scale), seed {seed} ...");
+    let sys = CyclopsSystem::commission(&SystemConfig::paper_10g(seed));
+
+    section("Fig 13 (top): purely linear motion — throughput & power vs speed");
+    let speeds: Vec<f64> = (1..=16).map(|k| k as f64 * 0.05).collect(); // 5..80 cm/s
+    let pts = linear_ladder(&sys, &speeds, 6.0);
+    let widths = [12, 16, 16, 16];
+    row(
+        &[
+            "cm/s".into(),
+            "optimal wins".into(),
+            "goodput Gbps".into(),
+            "min power dBm".into(),
+        ],
+        &widths,
+    );
+    for p in &pts {
+        row(
+            &[
+                format!("{:.0}", p.speed * 100.0),
+                format!("{:.0}%", p.optimal_frac * 100.0),
+                format!("{:.2}", p.mean_goodput),
+                format!("{:.1}", p.min_power),
+            ],
+            &widths,
+        );
+    }
+    let tol_lin = tolerated_speed(&pts) * 100.0;
+    println!("\ntolerated linear speed: {tol_lin:.0} cm/s (paper: 33 cm/s; requirement 14 cm/s)");
+
+    section("Fig 13 (bottom): purely angular motion — throughput & power vs speed");
+    let speeds_deg: Vec<f64> = (1..=13).map(|k| k as f64 * 2.0).collect(); // 2..26 deg/s
+    let pts_a = angular_ladder(
+        &sys,
+        &speeds_deg
+            .iter()
+            .map(|d| d.to_radians())
+            .collect::<Vec<_>>(),
+        6.0,
+    );
+    row(
+        &[
+            "deg/s".into(),
+            "optimal wins".into(),
+            "goodput Gbps".into(),
+            "min power dBm".into(),
+        ],
+        &widths,
+    );
+    for p in &pts_a {
+        row(
+            &[
+                format!("{:.0}", p.speed.to_degrees()),
+                format!("{:.0}%", p.optimal_frac * 100.0),
+                format!("{:.2}", p.mean_goodput),
+                format!("{:.1}", p.min_power),
+            ],
+            &widths,
+        );
+    }
+    let tol_ang = tolerated_speed(&pts_a).to_degrees();
+    println!(
+        "\ntolerated angular speed: {tol_ang:.0} deg/s (paper: 16-18 deg/s; requirement 19 deg/s)"
+    );
+}

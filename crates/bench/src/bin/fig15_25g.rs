@@ -1,0 +1,106 @@
+//! **Fig 15** — 25G prototype throughput under purely linear, purely
+//! angular, and arbitrary motions (§5.3.1).
+//!
+//! Paper: optimal ~23.5 Gbps below 25 cm/s or 25 deg/s for pure motions;
+//! for mixed motion, below ~15 cm/s with 15–20 deg/s (sometimes up to
+//! 15 cm/s and 25 deg/s).
+
+use cyclops::prelude::*;
+use cyclops_bench::{
+    angular_ladder, arbitrary_run, linear_ladder, print_speed_bins, row, section, tolerated_speed,
+};
+
+fn main() {
+    let seed = 15u64;
+    println!("commissioning 25G system (paper-scale), seed {seed} ...");
+    let sys = CyclopsSystem::commission(&SystemConfig::paper_25g(seed));
+
+    section("Fig 15 (left top): 25G purely linear motion");
+    let speeds: Vec<f64> = (1..=12).map(|k| k as f64 * 0.05).collect();
+    let pts = linear_ladder(&sys, &speeds, 6.0);
+    let widths = [12, 16, 16, 16];
+    row(
+        &[
+            "cm/s".into(),
+            "optimal wins".into(),
+            "goodput Gbps".into(),
+            "min power dBm".into(),
+        ],
+        &widths,
+    );
+    for p in &pts {
+        row(
+            &[
+                format!("{:.0}", p.speed * 100.0),
+                format!("{:.0}%", p.optimal_frac * 100.0),
+                format!("{:.2}", p.mean_goodput),
+                format!("{:.1}", p.min_power),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\ntolerated linear speed: {:.0} cm/s (paper: 25 cm/s)",
+        tolerated_speed(&pts) * 100.0
+    );
+
+    section("Fig 15 (left bottom): 25G purely angular motion");
+    let speeds_deg: Vec<f64> = (1..=15).map(|k| k as f64 * 2.0).collect();
+    let pts_a = angular_ladder(
+        &sys,
+        &speeds_deg
+            .iter()
+            .map(|d| d.to_radians())
+            .collect::<Vec<_>>(),
+        6.0,
+    );
+    row(
+        &[
+            "deg/s".into(),
+            "optimal wins".into(),
+            "goodput Gbps".into(),
+            "min power dBm".into(),
+        ],
+        &widths,
+    );
+    for p in &pts_a {
+        row(
+            &[
+                format!("{:.0}", p.speed.to_degrees()),
+                format!("{:.0}%", p.optimal_frac * 100.0),
+                format!("{:.2}", p.mean_goodput),
+                format!("{:.1}", p.min_power),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\ntolerated angular speed: {:.0} deg/s (paper: 25 deg/s)",
+        tolerated_speed(&pts_a).to_degrees()
+    );
+
+    section("Fig 15 (right): 25G arbitrary motion");
+    let mut windows = Vec::new();
+    for (k, (lin_rms, ang_rms)) in [(0.05, 0.08), (0.10, 0.18), (0.18, 0.30), (0.28, 0.5)]
+        .iter()
+        .enumerate()
+    {
+        windows.extend(arbitrary_run(
+            &sys,
+            *lin_rms,
+            *ang_rms,
+            20.0,
+            seed + k as u64,
+        ));
+    }
+    let optimal = sys.dep.design.sfp.optimal_goodput_gbps;
+    print_speed_bins(
+        &windows,
+        &[0.0, 0.08, 0.15, 0.25, 10.0],
+        &[0.0, 8.0, 15.0, 25.0, 1000.0],
+        optimal,
+        false,
+        8,
+    );
+    println!("\npaper: mixed motion stays optimal below ~15 cm/s with 15-20 deg/s.");
+}

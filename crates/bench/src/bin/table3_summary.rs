@@ -1,0 +1,105 @@
+//! **Table 3** — summary of results: speed requirements (§2) vs the speeds
+//! tolerated by the 10G and 25G links for pure and mixed motions.
+
+use cyclops::prelude::*;
+use cyclops_bench::{angular_ladder, arbitrary_run, linear_ladder, row, section, tolerated_speed};
+
+/// Mixed-motion tolerated speeds: the largest simultaneous (linear, angular)
+/// bin whose windows stay ≥ 95 % optimal.
+fn mixed_tolerated(sys: &CyclopsSystem, seed: u64) -> (f64, f64) {
+    let mut windows = Vec::new();
+    for (k, (lin_rms, ang_rms)) in [(0.06, 0.1), (0.12, 0.2), (0.2, 0.35), (0.3, 0.55)]
+        .iter()
+        .enumerate()
+    {
+        windows.extend(arbitrary_run(
+            sys,
+            *lin_rms,
+            *ang_rms,
+            16.0,
+            seed + k as u64,
+        ));
+    }
+    let optimal = sys.dep.design.sfp.optimal_goodput_gbps;
+    let windows: Vec<_> = windows.iter().filter(|w| w.relink_frac < 0.1).collect();
+    // Scan candidate simultaneous thresholds on a grid; accept the largest
+    // pair such that windows with BOTH speeds just below it are ≥95% optimal.
+    let mut best = (0.0, 0.0);
+    for lin_thr in [0.10, 0.15, 0.20, 0.25, 0.30, 0.35] {
+        for ang_thr_deg in [8.0, 12.0, 16.0, 20.0, 25.0] {
+            let sel: Vec<_> = windows
+                .iter()
+                .filter(|w| {
+                    w.lin >= lin_thr * 0.6
+                        && w.lin < lin_thr
+                        && w.ang.to_degrees() >= ang_thr_deg * 0.6
+                        && w.ang.to_degrees() < ang_thr_deg
+                })
+                .collect();
+            if sel.len() < 10 {
+                continue;
+            }
+            let opt = sel.iter().filter(|w| w.goodput >= 0.95 * optimal).count() as f64
+                / sel.len() as f64;
+            if opt >= 0.95 && lin_thr * ang_thr_deg > best.0 * best.1 {
+                best = (lin_thr, ang_thr_deg);
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    section("Table 3: requirements vs tolerated speeds");
+    println!("commissioning 10G and 25G systems (paper-scale) ...");
+    let sys10 = CyclopsSystem::commission(&SystemConfig::paper_10g(31));
+    let sys25 = CyclopsSystem::commission(&SystemConfig::paper_25g(31));
+
+    let lin_speeds: Vec<f64> = (1..=14).map(|k| k as f64 * 0.05).collect();
+    let ang_speeds: Vec<f64> = (1..=15).map(|k| (k as f64 * 2.0f64).to_radians()).collect();
+
+    let lin10 = tolerated_speed(&linear_ladder(&sys10, &lin_speeds, 6.0)) * 100.0;
+    let ang10 = tolerated_speed(&angular_ladder(&sys10, &ang_speeds, 6.0)).to_degrees();
+    let lin25 = tolerated_speed(&linear_ladder(&sys25, &lin_speeds, 6.0)) * 100.0;
+    let ang25 = tolerated_speed(&angular_ladder(&sys25, &ang_speeds, 6.0)).to_degrees();
+    let (mlin10, mang10) = mixed_tolerated(&sys10, 310);
+    let (mlin25, mang25) = mixed_tolerated(&sys25, 320);
+
+    println!();
+    let widths = [18, 8, 12, 12, 12, 12];
+    row(
+        &[
+            "".into(),
+            "req §2".into(),
+            "10G pure".into(),
+            "10G mixed".into(),
+            "25G pure".into(),
+            "25G mixed".into(),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "Linear (cm/s)".into(),
+            "14".into(),
+            format!("{lin10:.0}"),
+            format!("{:.0}", mlin10 * 100.0),
+            format!("{lin25:.0}"),
+            format!("{:.0}", mlin25 * 100.0),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "Angular (deg/s)".into(),
+            "19".into(),
+            format!("{ang10:.0}"),
+            format!("{mang10:.0}"),
+            format!("{ang25:.0}"),
+            format!("{mang25:.0}"),
+        ],
+        &widths,
+    );
+    println!("\npaper Table 3:      10G pure 33 / 16-18, 10G mixed 30 / 16,");
+    println!("                    25G pure 25 / 25,    25G mixed 15 / 15-20.");
+}

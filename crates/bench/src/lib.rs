@@ -1,0 +1,283 @@
+//! Shared machinery for the Cyclops experiment harness.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the index); this library holds the common pieces:
+//! speed-ladder throughput sweeps (the §5.3 protocol), window filtering,
+//! tolerated-speed extraction and text-table formatting.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use cyclops::link::simulator::Window;
+use cyclops::prelude::*;
+use cyclops::vrh::motion::ArbitraryMotionConfig;
+
+/// Result of one rung of a speed ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct LadderPoint {
+    /// Commanded speed (m/s for linear, rad/s for angular).
+    pub speed: f64,
+    /// Fraction of *moving* 50 ms windows at optimal throughput.
+    pub optimal_frac: f64,
+    /// Mean goodput over moving windows (Gbps).
+    pub mean_goodput: f64,
+    /// Minimum received power over moving windows (dBm).
+    pub min_power: f64,
+}
+
+fn eval_windows(
+    records: &[SlotRecord],
+    speed_of: impl Fn(&Window) -> f64,
+    commanded: f64,
+    optimal_gbps: f64,
+    sensitivity_dbm: f64,
+    slot_s: f64,
+) -> LadderPoint {
+    let windows = cyclops::link::simulator::windows_50ms(records, slot_s, sensitivity_dbm);
+    // Only windows genuinely moving near the commanded speed (strokes pause
+    // at the ends; those windows don't probe the speed under test).
+    let moving: Vec<&Window> = windows
+        .iter()
+        .skip(2)
+        .filter(|w| speed_of(w) >= 0.8 * commanded)
+        .collect();
+    if moving.is_empty() {
+        return LadderPoint {
+            speed: commanded,
+            optimal_frac: 0.0,
+            mean_goodput: 0.0,
+            min_power: f64::NEG_INFINITY,
+        };
+    }
+    let n = moving.len() as f64;
+    let optimal = moving
+        .iter()
+        .filter(|w| w.goodput >= 0.95 * optimal_gbps)
+        .count() as f64;
+    LadderPoint {
+        speed: commanded,
+        optimal_frac: optimal / n,
+        mean_goodput: moving.iter().map(|w| w.goodput).sum::<f64>() / n,
+        min_power: moving
+            .iter()
+            .map(|w| w.min_power)
+            .fold(f64::INFINITY, f64::min),
+    }
+}
+
+/// Runs the §5.3 purely-linear protocol at each speed: constant-speed rail
+/// strokes, measuring throughput/power over the paper's 50 ms windows.
+pub fn linear_ladder(sys: &CyclopsSystem, speeds_mps: &[f64], dur_s: f64) -> Vec<LadderPoint> {
+    let optimal = sys.dep.design.sfp.optimal_goodput_gbps;
+    speeds_mps
+        .iter()
+        .map(|&v| {
+            let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+            let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+            rail.v0 = v;
+            rail.dv = 0.0;
+            let mut sim = sys.clone().into_simulator(rail);
+            let slot_s = sim.cfg.slot_s;
+            let recs = sim.run(dur_s);
+            eval_windows(
+                &recs,
+                |w| w.lin,
+                v,
+                optimal,
+                sys.dep.design.sfp.rx_sensitivity_dbm,
+                slot_s,
+            )
+        })
+        .collect()
+}
+
+/// Runs the §5.3 purely-angular protocol at each angular speed (rad/s).
+pub fn angular_ladder(sys: &CyclopsSystem, speeds_rps: &[f64], dur_s: f64) -> Vec<LadderPoint> {
+    let optimal = sys.dep.design.sfp.optimal_goodput_gbps;
+    speeds_rps
+        .iter()
+        .map(|&w| {
+            let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+            let mut stage = RotationStage::paper_protocol(base, Vec3::Y);
+            stage.w0 = w;
+            stage.dw = 0.0;
+            let mut sim = sys.clone().into_simulator(stage);
+            let slot_s = sim.cfg.slot_s;
+            let recs = sim.run(dur_s);
+            eval_windows(
+                &recs,
+                |x| x.ang,
+                w,
+                optimal,
+                sys.dep.design.sfp.rx_sensitivity_dbm,
+                slot_s,
+            )
+        })
+        .collect()
+}
+
+/// One mixed-motion (hand-held) run at a given intensity; returns the 50 ms
+/// windows.
+pub fn arbitrary_run(
+    sys: &CyclopsSystem,
+    lin_rms: f64,
+    ang_rms: f64,
+    dur_s: f64,
+    seed: u64,
+) -> Vec<Window> {
+    let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+    let cfg = ArbitraryMotionConfig {
+        lin_rms,
+        ang_rms,
+        ..Default::default()
+    };
+    let motion = ArbitraryMotion::new(base, cfg, seed);
+    let mut sim = sys.clone().into_simulator(motion);
+    // The paper's §5.3 protocol: after a link loss the operator pauses and
+    // resumes once the link is back.
+    sim.cfg.pause_on_outage = true;
+    let slot_s = sim.cfg.slot_s;
+    let recs = sim.run(dur_s);
+    cyclops::link::simulator::windows_50ms(&recs, slot_s, sys.dep.design.sfp.rx_sensitivity_dbm)
+}
+
+/// The largest ladder speed whose optimal fraction is ≥ 95 % — the paper's
+/// "link throughput remains optimal for speeds below X".
+pub fn tolerated_speed(points: &[LadderPoint]) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.optimal_frac >= 0.95)
+        .map(|p| p.speed)
+        .fold(0.0, f64::max)
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints one aligned table row from string cells.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Quantile of a sample (linear interpolation).
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    cyclops::solver::stats::quantile(values, q)
+}
+
+/// Prints the Fig-14/15-style 2-D speed-bin table: for each (linear,
+/// angular) speed bin with at least `min_windows` members, the fraction of
+/// windows at ≥95 % of `optimal_gbps`, and (optionally) the minimum power.
+/// Windows dominated by SFP re-locking are excluded (the operator pauses
+/// during them; they probe no speed).
+pub fn print_speed_bins(
+    windows: &[Window],
+    lin_edges_mps: &[f64],
+    ang_edges_deg: &[f64],
+    optimal_gbps: f64,
+    show_power: bool,
+    min_windows: usize,
+) {
+    let mut header = vec![
+        "linear bin".to_string(),
+        "angular bin".to_string(),
+        "windows".to_string(),
+        "optimal wins".to_string(),
+    ];
+    let mut widths = vec![16, 16, 10, 14];
+    if show_power {
+        header.push("min power dBm".into());
+        widths.push(14);
+    }
+    row(&header, &widths);
+    let usable: Vec<&Window> = windows.iter().filter(|w| w.relink_frac < 0.1).collect();
+    for li in 0..lin_edges_mps.len() - 1 {
+        for ai in 0..ang_edges_deg.len() - 1 {
+            let sel: Vec<&&Window> = usable
+                .iter()
+                .filter(|w| {
+                    w.lin >= lin_edges_mps[li]
+                        && w.lin < lin_edges_mps[li + 1]
+                        && w.ang.to_degrees() >= ang_edges_deg[ai]
+                        && w.ang.to_degrees() < ang_edges_deg[ai + 1]
+                })
+                .collect();
+            if sel.len() < min_windows {
+                continue;
+            }
+            let opt = sel
+                .iter()
+                .filter(|w| w.goodput >= 0.95 * optimal_gbps)
+                .count() as f64
+                / sel.len() as f64;
+            let mut cells = vec![
+                format!(
+                    "{:.0}-{:.0} cm/s",
+                    lin_edges_mps[li] * 100.0,
+                    lin_edges_mps[li + 1] * 100.0
+                ),
+                format!(
+                    "{:.0}-{:.0} deg/s",
+                    ang_edges_deg[ai],
+                    ang_edges_deg[ai + 1]
+                ),
+                format!("{}", sel.len()),
+                format!("{:.0}%", opt * 100.0),
+            ];
+            if show_power {
+                let pmin = sel
+                    .iter()
+                    .map(|w| w.min_power)
+                    .fold(f64::INFINITY, f64::min);
+                cells.push(format!("{pmin:.1}"));
+            }
+            row(&cells, &widths);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerated_speed_picks_last_optimal() {
+        let pts = vec![
+            LadderPoint {
+                speed: 0.1,
+                optimal_frac: 1.0,
+                mean_goodput: 9.4,
+                min_power: -15.0,
+            },
+            LadderPoint {
+                speed: 0.2,
+                optimal_frac: 0.97,
+                mean_goodput: 9.4,
+                min_power: -20.0,
+            },
+            LadderPoint {
+                speed: 0.3,
+                optimal_frac: 0.4,
+                mean_goodput: 4.0,
+                min_power: -40.0,
+            },
+        ];
+        assert_eq!(tolerated_speed(&pts), 0.2);
+        assert_eq!(tolerated_speed(&pts[2..]), 0.0);
+    }
+
+    #[test]
+    fn ladder_end_to_end_smoke() {
+        // One slow rung on a fast commissioning: must be fully optimal.
+        let sys = CyclopsSystem::commission(&SystemConfig::fast_10g(9001));
+        let pts = linear_ladder(&sys, &[0.05], 4.0);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].optimal_frac > 0.9, "{:?}", pts[0]);
+        assert!((pts[0].mean_goodput - 9.4).abs() < 0.5);
+    }
+}

@@ -1,0 +1,477 @@
+//! The simulated bench: everything the learning pipeline treats as physical
+//! hardware.
+//!
+//! Geometry (world frame): the TX assembly sits near the origin with its
+//! rest beam along +Z; the user zone is around `z ≈ 1.75 m` (the paper's
+//! 1.5–2 m link). The RX assembly is bolted to the headset via a fixed mount
+//! pose; the headset's own tracking system reports poses in its hidden
+//! VR-space (see `cyclops-vrh`).
+//!
+//! The received-power physics follows the reciprocity picture behind the
+//! paper's Lemma 1: trace the TX beam and the RX's *imaginary* beam (the
+//! time-reversed ray launched from the RX collimator through its galvo);
+//! coupling is maximal when the two coincide, and degrades with
+//!
+//! * `δ` — the lateral gap on the RX galvo's second-mirror plane between
+//!   where the TX beam lands and where the imaginary beam originates,
+//! * `φ` — the angle between the arriving ray and the reversed imaginary
+//!   beam,
+//!
+//! evaluated through the calibrated `CouplingModel`. By construction the
+//! power is maximized exactly at the Lemma-1 coincidence — which is the
+//! physical content of the lemma.
+
+use cyclops_geom::pose::Pose;
+use cyclops_geom::ray::Ray;
+use cyclops_geom::rotation::axis_angle;
+use cyclops_geom::vec3::{v3, Vec3};
+use cyclops_optics::beam::BeamState;
+use cyclops_optics::coupling::{LinkDesign, ReceiverGeometry};
+use cyclops_optics::galvo::{GalvoParams, GalvoSim, GalvoSimConfig};
+use cyclops_optics::photodiode::QuadrantMonitor;
+use cyclops_vrh::headset::{Headset, HeadsetConfig};
+use cyclops_vrh::rand_util::gauss;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for building a [`Deployment`].
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Optical link design (10G/25G, collimated/diverging).
+    pub design: LinkDesign,
+    /// Galvo driver non-idealities (shared by both ends).
+    pub galvo_cfg: GalvoSimConfig,
+    /// RMS measurement noise on power readings (dB).
+    pub power_noise_db: f64,
+    /// Assembly tolerance of the galvo hardware relative to the CAD nominal:
+    /// positions (mm), angles (deg), gain (fraction).
+    pub assembly_tol: (f64, f64, f64),
+    /// Where this TX unit is installed (added to the unit's mounting pose).
+    /// Multi-TX experiments build several deployments sharing a seed (same
+    /// headset/RX hardware world) with different installation points.
+    pub tx_position: Vec3,
+    /// Master seed (hardware perturbations + measurement noise).
+    pub seed: u64,
+}
+
+impl DeploymentConfig {
+    /// The paper's 10G diverging-beam prototype at 1.75 m.
+    pub fn paper_10g(seed: u64) -> DeploymentConfig {
+        DeploymentConfig {
+            design: LinkDesign::ten_g_diverging(20.0e-3, 1.75),
+            galvo_cfg: GalvoSimConfig::default(),
+            power_noise_db: 0.2,
+            assembly_tol: (1.0, 1.0, 0.02),
+            tx_position: Vec3::ZERO,
+            seed,
+        }
+    }
+
+    /// The paper's 25G prototype (§5.3.1).
+    pub fn paper_25g(seed: u64) -> DeploymentConfig {
+        DeploymentConfig {
+            design: LinkDesign::twenty_five_g(20.0e-3, 1.75),
+            ..DeploymentConfig::paper_10g(seed)
+        }
+    }
+
+    /// A noiseless variant for white-box tests (ideal galvos, no power
+    /// noise, hardware exactly at nominal).
+    pub fn ideal_10g(seed: u64) -> DeploymentConfig {
+        DeploymentConfig {
+            design: LinkDesign::ten_g_diverging(20.0e-3, 1.75),
+            galvo_cfg: GalvoSimConfig::ideal(),
+            power_noise_db: 0.0,
+            assembly_tol: (0.0, 0.0, 0.0),
+            tx_position: Vec3::ZERO,
+            seed,
+        }
+    }
+}
+
+/// The Lemma-1 point pairs for the current configuration (world frame).
+#[derive(Debug, Clone, Copy)]
+pub struct LemmaPoints {
+    /// TX beam's originating point on the TX second mirror.
+    pub p_t: Vec3,
+    /// Where the TX beam strikes the RX second-mirror plane.
+    pub tau_t: Vec3,
+    /// RX imaginary beam's originating point on the RX second mirror.
+    pub p_r: Vec3,
+    /// Where the RX imaginary beam strikes the TX second-mirror plane.
+    pub tau_r: Vec3,
+}
+
+impl LemmaPoints {
+    /// The Lemma-1 error `d(p_t, τ_r) + d(p_r, τ_t)`.
+    pub fn gap(&self) -> f64 {
+        self.p_t.distance(self.tau_r) + self.p_r.distance(self.tau_t)
+    }
+}
+
+/// The simulated bench.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Link design in effect.
+    pub design: LinkDesign,
+    /// TX galvo hardware (truth parameters in the TX body frame).
+    pub tx: GalvoSim,
+    /// TX body frame → world.
+    pub tx_pose: Pose,
+    /// RX galvo hardware (truth parameters in the RX body frame).
+    pub rx: GalvoSim,
+    /// Headset body frame → RX body frame mount.
+    pub rx_mount: Pose,
+    /// The headset (carries its own hidden tracking frames).
+    pub headset: Headset,
+    /// Photodiode monitor around the RX front.
+    pub monitor: QuadrantMonitor,
+    /// RMS power-measurement noise (dB).
+    pub power_noise_db: f64,
+    rng: StdRng,
+}
+
+impl Deployment {
+    /// Builds the standard bench: TX near the world origin firing along +Z,
+    /// headset near `(0, 0, 1.75)` with the RX assembly mounted beside it
+    /// facing back at the TX. Hardware is drawn as `nominal ± assembly_tol`
+    /// from the config's seed.
+    pub fn new(cfg: &DeploymentConfig) -> Deployment {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let nominal = GalvoParams::nominal();
+        let (pos_mm, ang_deg, gain) = cfg.assembly_tol;
+        let tx_truth = if pos_mm > 0.0 || ang_deg > 0.0 || gain > 0.0 {
+            nominal.perturbed(&mut rng, pos_mm, ang_deg, gain)
+        } else {
+            nominal
+        };
+        let rx_truth = if pos_mm > 0.0 || ang_deg > 0.0 || gain > 0.0 {
+            nominal.perturbed(&mut rng, pos_mm, ang_deg, gain)
+        } else {
+            nominal
+        };
+        // TX mounted almost axis-aligned (a real install is never perfect).
+        let tilt = |rng: &mut StdRng, scale: f64| {
+            let axis = v3(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            )
+            .try_normalized(1e-6)
+            .unwrap_or(Vec3::X);
+            axis_angle(axis, rng.gen_range(-scale..scale))
+        };
+        let tx_pose = Pose::new(
+            tilt(&mut rng, 0.03),
+            cfg.tx_position + v3(rng.gen_range(-0.02..0.02), rng.gen_range(-0.02..0.02), 0.0),
+        );
+        // RX assembly mounted on the headset, rest beam facing back (−Z).
+        let rx_mount = Pose::new(
+            axis_angle(Vec3::Y, std::f64::consts::PI) * tilt(&mut rng, 0.03),
+            v3(0.06, -0.02, 0.05),
+        );
+        let headset_cfg = HeadsetConfig::random(&mut rng);
+        let mut headset = Headset::new(headset_cfg);
+        headset.world_pose = Pose::translation(v3(0.0, 0.0, cfg.design.nominal_range));
+        Deployment {
+            design: cfg.design,
+            tx: GalvoSim::new(tx_truth, cfg.galvo_cfg),
+            tx_pose,
+            rx: GalvoSim::new(rx_truth, cfg.galvo_cfg),
+            rx_mount,
+            headset,
+            monitor: QuadrantMonitor::default(),
+            power_noise_db: cfg.power_noise_db,
+            rng,
+        }
+    }
+
+    /// World pose of the RX assembly body frame (follows the headset).
+    pub fn rx_world_pose(&self) -> Pose {
+        self.headset.world_pose.compose(&self.rx_mount)
+    }
+
+    /// True TX galvo parameters expressed in world frame.
+    pub fn tx_world_params(&self) -> GalvoParams {
+        self.tx.truth.transformed(&self.tx_pose)
+    }
+
+    /// True RX galvo parameters expressed in world frame.
+    pub fn rx_world_params(&self) -> GalvoParams {
+        self.rx.truth.transformed(&self.rx_world_pose())
+    }
+
+    /// Commands all four galvo voltages; returns the worst settle time (s).
+    pub fn set_voltages(&mut self, vt1: f64, vt2: f64, vr1: f64, vr2: f64) -> f64 {
+        let a = self.tx.command(vt1, vt2);
+        let b = self.rx.command(vr1, vr2);
+        a.max(b)
+    }
+
+    /// Worst-of-both-galvos settle time for a prospective four-voltage
+    /// command, without applying it.
+    pub fn settle_estimate(&self, vt1: f64, vt2: f64, vr1: f64, vr2: f64) -> f64 {
+        self.tx
+            .settle_estimate(vt1, vt2)
+            .max(self.rx.settle_estimate(vr1, vr2))
+    }
+
+    /// Current voltages `(vt1, vt2, vr1, vr2)`.
+    pub fn voltages(&self) -> (f64, f64, f64, f64) {
+        let (a, b) = self.tx.voltages();
+        let (c, d) = self.rx.voltages();
+        (a, b, c, d)
+    }
+
+    /// Moves the headset (and with it the RX assembly).
+    pub fn set_headset_pose(&mut self, pose: Pose) {
+        self.headset.world_pose = pose;
+    }
+
+    /// The launched TX beam in world frame (with galvo noise), or `None` if
+    /// the internal beam path is broken.
+    pub fn tx_beam(&mut self) -> Option<BeamState> {
+        let ray_body = self.tx.output_ray(&mut self.rng)?;
+        let ray_world = self.tx_pose.apply_ray(&ray_body);
+        Some(self.design.make_beam(ray_world))
+    }
+
+    /// The RX imaginary beam (time-reversed collimator launch) in world
+    /// frame, with galvo noise.
+    pub fn rx_imaginary_ray(&mut self) -> Option<Ray> {
+        let ray_body = self.rx.output_ray(&mut self.rng)?;
+        Some(self.rx_world_pose().apply_ray(&ray_body))
+    }
+
+    /// The reading floor of the power meter / SFP RSSI (dBm): anything
+    /// weaker reads as this value, as on the bench.
+    pub const POWER_METER_FLOOR_DBM: f64 = -90.0;
+
+    /// Received power at the RX SFP (dBm), including measurement noise,
+    /// floored at [`Self::POWER_METER_FLOOR_DBM`].
+    pub fn received_power_dbm(&mut self) -> f64 {
+        self.received_power_unfloored_dbm()
+            .max(Self::POWER_METER_FLOOR_DBM)
+    }
+
+    /// Received power without the meter floor (`-inf` when the beam misses
+    /// entirely) — used by the alignment search, which benefits from the
+    /// far-tail gradient an ideal detector would see.
+    pub fn received_power_unfloored_dbm(&mut self) -> f64 {
+        let Some(beam) = self.tx_beam() else {
+            return f64::NEG_INFINITY;
+        };
+        // Compute the RX world placement once and derive both the imaginary
+        // beam and the second-mirror plane from it.
+        let rx_pose = self.rx_world_pose();
+        let Some(imag_body) = self.rx.output_ray(&mut self.rng) else {
+            return f64::NEG_INFINITY;
+        };
+        let imag = rx_pose.apply_ray(&imag_body);
+        let rx_params = self.rx.truth.transformed(&rx_pose);
+        let plane = rx_params.second_mirror_plane(self.rx.voltages().1);
+        let Some((t, hit)) = plane.intersect_ray(&beam.chief) else {
+            return f64::NEG_INFINITY;
+        };
+        let delta = hit.distance(imag.origin);
+        // Arriving ray direction at the RX, vs. the reversed imaginary beam.
+        let arriving = beam.local_ray_dir(imag.origin);
+        let phi = arriving
+            .angle_to(-imag.dir)
+            .min(std::f64::consts::FRAC_PI_2);
+        if phi >= std::f64::consts::FRAC_PI_2 {
+            return f64::NEG_INFINITY;
+        }
+        let w = beam.radius_at(t);
+        let eff = self
+            .design
+            .coupling
+            .efficiency_db(w, delta, phi, self.design.theta_half);
+        let noise = if self.power_noise_db > 0.0 {
+            self.power_noise_db * gauss(&mut self.rng)
+        } else {
+            0.0
+        };
+        beam.power_dbm + eff + noise
+    }
+
+    /// True if the link currently closes (received power ≥ sensitivity).
+    pub fn link_up(&mut self) -> bool {
+        self.received_power_dbm() >= self.design.sfp.rx_sensitivity_dbm
+    }
+
+    /// The photodiode-monitor feedback signal used by the coarse alignment
+    /// search. The monitor ring is fixed to the RX front (centred on the RX
+    /// galvo's second-mirror pivot, facing the TX), so it depends only on
+    /// where the TX beam lands — not on the RX galvo steering.
+    pub fn monitor_signal(&mut self) -> f64 {
+        let Some(beam) = self.tx_beam() else {
+            return 0.0;
+        };
+        let rx_params = self.rx_world_params();
+        let tx_params = self.tx_world_params();
+        let axis = (tx_params.q2 - rx_params.q2)
+            .try_normalized(1e-9)
+            .unwrap_or(Vec3::Z);
+        let rx_geom = ReceiverGeometry::new(rx_params.q2, axis);
+        self.monitor
+            .search_signal(&beam, &rx_geom, self.design.coupling.aperture_radius)
+    }
+
+    /// The Lemma-1 point pairs at the current voltages, computed from the
+    /// *noiseless* truth (analysis/testing aid).
+    pub fn lemma_points(&self) -> Option<LemmaPoints> {
+        let txp = self.tx_world_params();
+        let rxp = self.rx_world_params();
+        let (vt1, vt2) = self.tx.voltages();
+        let (vr1, vr2) = self.rx.voltages();
+        let beam_t = txp.trace(vt1, vt2)?;
+        let beam_r = rxp.trace(vr1, vr2)?;
+        let rx_plane = rxp.second_mirror_plane(vr2);
+        let tx_plane = txp.second_mirror_plane(vt2);
+        let (_, tau_t) = rx_plane.intersect_line(&beam_t)?;
+        let (_, tau_r) = tx_plane.intersect_line(&beam_r)?;
+        Some(LemmaPoints {
+            p_t: beam_t.origin,
+            tau_t,
+            p_r: beam_r.origin,
+            tau_r,
+        })
+    }
+
+    /// Borrow of the internal RNG for experiment code that needs correlated
+    /// randomness (e.g. the tracker sampling).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Steers both galvos to near-perfect alignment using the hidden truth —
+/// a white-box shortcut for tests and experiment setup (the learner must
+/// instead use [`crate::alignment::exhaustive_align`]).
+///
+/// Minimizes the true Lemma-1 gap by coarse-to-fine compass search, which by
+/// Lemma 1 maximizes received power.
+#[doc(hidden)]
+pub fn cheat_align(dep: &mut Deployment) {
+    // Aim the TX beam at the RX second-mirror pivot and vice versa by
+    // local search on the true geometry, minimizing the Lemma-1 gap.
+    let obj = |v: &[f64], dep: &mut Deployment| -> f64 {
+        dep.set_voltages(v[0], v[1], v[2], v[3]);
+        dep.lemma_points().map_or(1e9, |lp| lp.gap())
+    };
+    let mut best = vec![0.0; 4];
+    let mut best_val = obj(&best, dep);
+    // Coarse-to-fine compass search.
+    let mut step = 2.0;
+    while step > 1e-6 {
+        let mut improved = false;
+        for dim in 0..4 {
+            for sign in [1.0, -1.0] {
+                let mut cand = best.clone();
+                cand[dim] += sign * step;
+                let v = obj(&cand, dep);
+                if v < best_val {
+                    best_val = v;
+                    best = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+        }
+    }
+    dep.set_voltages(best[0], best[1], best[2], best[3]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_link_closes_with_expected_power() {
+        let mut dep = Deployment::new(&DeploymentConfig::ideal_10g(1));
+        cheat_align(&mut dep);
+        let p = dep.received_power_dbm();
+        assert!(
+            (p - (-10.0)).abs() < 3.0,
+            "peak aligned power {p} dBm (Table 1: ≈ −10 dBm)"
+        );
+        assert!(dep.link_up());
+    }
+
+    #[test]
+    fn zero_voltages_miss_by_default() {
+        // With assembly/mount perturbations, an untrained link at rest
+        // voltages typically misses the tiny fiber target.
+        let mut dep = Deployment::new(&DeploymentConfig::paper_10g(3));
+        let p = dep.received_power_dbm();
+        assert!(p < dep.design.sfp.rx_sensitivity_dbm + 3.0, "power {p}");
+    }
+
+    #[test]
+    fn lemma_gap_small_at_max_power_and_power_falls_with_gap() {
+        let mut dep = Deployment::new(&DeploymentConfig::ideal_10g(2));
+        cheat_align(&mut dep);
+        let lp = dep.lemma_points().unwrap();
+        assert!(lp.gap() < 1e-4, "gap {} m at alignment", lp.gap());
+        let p0 = dep.received_power_dbm();
+        // Mis-steer the TX slightly: gap grows, power falls.
+        let (a, b, c, d) = dep.voltages();
+        dep.set_voltages(a + 0.2, b, c, d);
+        let lp2 = dep.lemma_points().unwrap();
+        assert!(lp2.gap() > lp.gap());
+        assert!(dep.received_power_dbm() < p0 - 1.0);
+    }
+
+    #[test]
+    fn monitor_signal_guides_towards_alignment() {
+        let mut dep = Deployment::new(&DeploymentConfig::ideal_10g(4));
+        cheat_align(&mut dep);
+        let aligned_sig = dep.monitor_signal();
+        let (a, b, c, d) = dep.voltages();
+        dep.set_voltages(a + 1.0, b, c, d); // ~44 mrad mirror = way off
+        let off_sig = dep.monitor_signal();
+        assert!(aligned_sig > off_sig, "{aligned_sig} vs {off_sig}");
+    }
+
+    #[test]
+    fn moving_the_headset_breaks_alignment() {
+        let mut dep = Deployment::new(&DeploymentConfig::ideal_10g(5));
+        cheat_align(&mut dep);
+        assert!(dep.link_up());
+        let mut pose = dep.headset.world_pose;
+        pose.trans += v3(0.05, 0.0, 0.0); // 5 cm sideways
+        dep.set_headset_pose(pose);
+        assert!(
+            !dep.link_up(),
+            "5 cm without re-pointing must break the link"
+        );
+    }
+
+    #[test]
+    fn deployment_is_deterministic_per_seed() {
+        let mut a = Deployment::new(&DeploymentConfig::paper_10g(9));
+        let mut b = Deployment::new(&DeploymentConfig::paper_10g(9));
+        a.set_voltages(0.1, 0.2, 0.3, 0.4);
+        b.set_voltages(0.1, 0.2, 0.3, 0.4);
+        assert_eq!(a.received_power_dbm(), b.received_power_dbm());
+        let mut c = Deployment::new(&DeploymentConfig::paper_10g(10));
+        c.set_voltages(0.1, 0.2, 0.3, 0.4);
+        // Different seed → different hardware.
+        assert_ne!(a.tx.truth, c.tx.truth);
+    }
+
+    #[test]
+    fn rx_assembly_follows_headset() {
+        let dep0 = Deployment::new(&DeploymentConfig::ideal_10g(6));
+        let q2_before = dep0.rx_world_params().q2;
+        let mut dep = dep0.clone();
+        let mut pose = dep.headset.world_pose;
+        pose.trans += v3(0.0, 0.1, 0.0);
+        dep.set_headset_pose(pose);
+        let q2_after = dep.rx_world_params().q2;
+        assert!(((q2_after - q2_before) - v3(0.0, 0.1, 0.0)).norm() < 1e-12);
+    }
+}

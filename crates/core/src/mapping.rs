@@ -1,0 +1,428 @@
+//! Stage 2: joint learning of the 12 mapping parameters (§4.2).
+//!
+//! The K-space models of the TX and RX assemblies must be expressed in the
+//! common VR-space of the headset tracker. Each mapping is a rigid transform
+//! (6 parameters, [`Pose6`]): for the TX, K-space → VR-space directly; for
+//! the RX — which moves — K-space → the *tracked-point frame*, so that
+//! composing with any VRH-T report places the model correctly (footnote 8 of
+//! the paper).
+//!
+//! Training data: for ~30 headset placements, the exhaustive search aligns
+//! the link, yielding 5-tuples `(v₁, v₂, v₃, v₄, Ψ)` of aligning voltages
+//! plus the reported pose. The fit minimizes the **Lemma-1 error**
+//! `Σ d(p_t, τ_r) + d(p_r, τ_t)` over the 12 parameters: at perfect
+//! alignment the TX beam's origin must coincide with where the RX imaginary
+//! beam lands and vice versa, *if* the mapped models are correct.
+
+use crate::alignment::exhaustive_align;
+use crate::deployment::Deployment;
+use cyclops_geom::pose::{Pose, Pose6};
+use cyclops_geom::quat::Quat;
+use cyclops_geom::vec3::{v3, Vec3};
+use cyclops_optics::galvo::GalvoParams;
+use cyclops_solver::lm::{levenberg_marquardt, LmOptions, LmReport};
+use cyclops_solver::stats::ResidualStats;
+use cyclops_vrh::tracking::TrackerConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One §4.2 training sample: aligning voltages plus the reported pose.
+#[derive(Debug, Clone, Copy)]
+pub struct MappingSample {
+    /// The four aligning voltages `(v_t1, v_t2, v_r1, v_r2)`.
+    pub voltages: [f64; 4],
+    /// The (noisy) VRH-T report Ψ at that placement.
+    pub reported: Pose,
+}
+
+/// The trained stage-2 result: both K-space models plus their mappings.
+#[derive(Debug, Clone)]
+pub struct TrainedMapping {
+    /// Learned TX model in its K-space (stage-1 output).
+    pub tx_model: GalvoParams,
+    /// Learned RX model in its K-space (stage-1 output).
+    pub rx_model: GalvoParams,
+    /// TX K-space → VR-space.
+    pub tx_map: Pose,
+    /// RX K-space → tracked-point frame.
+    pub rx_map: Pose,
+    /// Solver diagnostics of the 12-parameter fit.
+    pub report: LmReport,
+}
+
+impl TrainedMapping {
+    /// The TX model expressed in VR-space.
+    pub fn tx_in_vr(&self) -> GalvoParams {
+        self.tx_model.transformed(&self.tx_map)
+    }
+
+    /// The RX model expressed in VR-space, given a VRH-T report.
+    pub fn rx_in_vr(&self, reported: &Pose) -> GalvoParams {
+        self.rx_model.transformed(&reported.compose(&self.rx_map))
+    }
+
+    /// Per-sample Lemma-1 distances `(d(p_t, τ_r), d(p_r, τ_t))` in metres —
+    /// the "Combined (TX)" / "Combined (RX)" error split of Table 2. `None`
+    /// if a trace degenerates.
+    pub fn lemma_distances(&self, s: &MappingSample) -> Option<(f64, f64)> {
+        let txp = self.tx_in_vr();
+        let rxp = self.rx_in_vr(&s.reported);
+        let beam_t = txp.trace_line(s.voltages[0], s.voltages[1])?;
+        let beam_r = rxp.trace_line(s.voltages[2], s.voltages[3])?;
+        let (_, tau_t) = rxp
+            .second_mirror_plane(s.voltages[3])
+            .intersect_line(&beam_t)?;
+        let (_, tau_r) = txp
+            .second_mirror_plane(s.voltages[1])
+            .intersect_line(&beam_r)?;
+        Some((beam_t.origin.distance(tau_r), beam_r.origin.distance(tau_t)))
+    }
+
+    /// Combined-error statistics over a sample set: `(tx_stats, rx_stats)`
+    /// in metres (Table 2 "Combined" rows).
+    pub fn combined_errors(&self, samples: &[MappingSample]) -> (ResidualStats, ResidualStats) {
+        let mut tx_e = Vec::new();
+        let mut rx_e = Vec::new();
+        for s in samples {
+            if let Some((dt, dr)) = self.lemma_distances(s) {
+                tx_e.push(dt);
+                rx_e.push(dr);
+            }
+        }
+        (
+            ResidualStats::from_slice(&tx_e),
+            ResidualStats::from_slice(&rx_e),
+        )
+    }
+}
+
+/// Collects `n` mapping samples: random headset placements in the coverage
+/// zone, exhaustive alignment, noisy VRH-T report (§4.2 step 2).
+///
+/// The placements span ±25 cm laterally, the 1.5–2 m range band, and ±~10°
+/// of orientation. The orientation envelope is bounded by the K-space
+/// calibration: compensating an RX rotation of θ needs galvo voltages
+/// ≈ θ/(2·θ₁) ≈ 0.4 V/deg, and the paper's 20×15-inch grid board at 1.5 m
+/// exercises ≈ ±3.7 V (±9.6°). The CAD prior in the stage-1 fit keeps the
+/// learned `G` usable slightly beyond the board cone, but placements (and
+/// the rotation-stage sweeps) should stay near it. (A larger calibration
+/// board buys a larger envelope; see the board-size ablation.)
+pub fn collect_samples(dep: &mut Deployment, n: usize, seed: u64) -> Vec<MappingSample> {
+    collect_samples_with(dep, n, seed, &TrackerConfig::default())
+}
+
+/// [`collect_samples`] with an explicit tracker configuration (the reports'
+/// noise should match the tracker actually deployed).
+pub fn collect_samples_with(
+    dep: &mut Deployment,
+    n: usize,
+    seed: u64,
+    tracker_cfg: &TrackerConfig,
+) -> Vec<MappingSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    // The bench operator keeps trying placements until n usable ones are
+    // collected (a placement where the search cannot close the link is
+    // simply re-drawn), within a sanity bound.
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < 3 * n + 10 {
+        attempts += 1;
+        let pose = random_placement(&mut rng, dep.design.nominal_range);
+        dep.set_headset_pose(pose);
+        let res = exhaustive_align(dep);
+        if res.power_dbm < dep.design.sfp.rx_sensitivity_dbm {
+            continue;
+        }
+        let reported = noisy_report_with(dep, tracker_cfg, &mut rng);
+        out.push(MappingSample {
+            voltages: res.voltages,
+            reported,
+        });
+    }
+    out
+}
+
+/// A random headset placement within the rig's working volume.
+pub fn random_placement<R: Rng>(rng: &mut R, range: f64) -> Pose {
+    use cyclops_geom::rotation::axis_angle;
+    let axis = v3(
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0),
+    )
+    .try_normalized(1e-6)
+    .unwrap_or(Vec3::Y);
+    let ang = rng.gen_range(-0.17..0.17);
+    Pose::new(
+        axis_angle(axis, ang),
+        v3(
+            rng.gen_range(-0.25..0.25),
+            rng.gen_range(-0.25..0.25),
+            range + rng.gen_range(-0.25..0.25),
+        ),
+    )
+}
+
+/// One noisy VRH-T pose report of the deployment's headset, drawing noise
+/// from the deployment's own RNG.
+pub fn noisy_report(dep: &mut Deployment, cfg: &TrackerConfig) -> Pose {
+    let clean = dep.headset.true_reported_pose();
+    noisy_report_of(clean, cfg, dep.rng())
+}
+
+/// One noisy VRH-T pose report of the deployment's headset (bypassing the
+/// timing machinery — mapping collection is quasi-static).
+pub fn noisy_report_with<R: Rng>(dep: &Deployment, cfg: &TrackerConfig, rng: &mut R) -> Pose {
+    noisy_report_of(dep.headset.true_reported_pose(), cfg, rng)
+}
+
+/// Applies VRH-T-style jitter to a clean reported pose.
+pub fn noisy_report_of<R: Rng>(clean: Pose, cfg: &TrackerConfig, rng: &mut R) -> Pose {
+    use cyclops_vrh::rand_util::gauss as g;
+    let jt = v3(
+        g(rng) * cfg.pos_noise_sigma,
+        g(rng) * cfg.pos_noise_sigma,
+        g(rng) * cfg.pos_noise_sigma,
+    );
+    let jr = v3(
+        g(rng) * cfg.ang_noise_sigma,
+        g(rng) * cfg.ang_noise_sigma,
+        g(rng) * cfg.ang_noise_sigma,
+    );
+    Pose::from_quat(
+        Quat::from_rotation_vector(jr) * clean.quat(),
+        clean.trans + jt,
+    )
+}
+
+/// The learner's initial guess for the two mappings: the true composites
+/// perturbed by "manual measurement" error (`pos_m` metres, `ang_rad`
+/// radians) — the deployment-time analogue of §4.1's CAD initial guess.
+pub fn rough_initial_guess(
+    dep: &Deployment,
+    tx_rig_pose: &Pose,
+    rx_rig_pose: &Pose,
+    pos_m: f64,
+    ang_rad: f64,
+    seed: u64,
+) -> (Pose6, Pose6) {
+    use cyclops_geom::rotation::axis_angle;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hidden = dep.headset.hidden_config();
+    let tx_true = hidden
+        .vr_from_world
+        .compose(&dep.tx_pose)
+        .compose(&tx_rig_pose.inverse());
+    let rx_true = hidden
+        .x_offset
+        .inverse()
+        .compose(&dep.rx_mount)
+        .compose(&rx_rig_pose.inverse());
+    let perturb = |p: &Pose, rng: &mut StdRng| {
+        let axis = v3(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        )
+        .try_normalized(1e-6)
+        .unwrap_or(Vec3::X);
+        let rot = axis_angle(axis, rng.gen_range(-ang_rad..ang_rad)) * p.rot;
+        let t = p.trans
+            + v3(
+                rng.gen_range(-pos_m..pos_m),
+                rng.gen_range(-pos_m..pos_m),
+                rng.gen_range(-pos_m..pos_m),
+            );
+        Pose::new(rot, t).to_params()
+    };
+    (perturb(&tx_true, &mut rng), perturb(&rx_true, &mut rng))
+}
+
+/// Residuals of the Lemma-1 error for the LM fit: six components per sample
+/// (the vector gaps `p_t − τ_r` and `p_r − τ_t`).
+fn residuals(
+    params12: &[f64],
+    tx_model: &GalvoParams,
+    rx_model: &GalvoParams,
+    samples: &[MappingSample],
+) -> Vec<f64> {
+    let tx_map = Pose6::from_slice(&params12[0..6]).to_pose();
+    let rx_map = Pose6::from_slice(&params12[6..12]).to_pose();
+    let txp = tx_model.transformed(&tx_map);
+    let mut out = Vec::with_capacity(samples.len() * 6);
+    for s in samples {
+        let rxp = rx_model.transformed(&s.reported.compose(&rx_map));
+        let ok = (|| {
+            let beam_t = txp.trace_line(s.voltages[0], s.voltages[1])?;
+            let beam_r = rxp.trace_line(s.voltages[2], s.voltages[3])?;
+            let (_, tau_t) = rxp
+                .second_mirror_plane(s.voltages[3])
+                .intersect_line(&beam_t)?;
+            let (_, tau_r) = txp
+                .second_mirror_plane(s.voltages[1])
+                .intersect_line(&beam_r)?;
+            let g1 = beam_t.origin - tau_r;
+            let g2 = beam_r.origin - tau_t;
+            Some([g1.x, g1.y, g1.z, g2.x, g2.y, g2.z])
+        })();
+        match ok {
+            Some(r) => out.extend_from_slice(&r),
+            None => out.extend_from_slice(&[1.0; 6]),
+        }
+    }
+    out
+}
+
+/// Fits the 12 mapping parameters (§4.2 step 3).
+pub fn fit(
+    tx_model: &GalvoParams,
+    rx_model: &GalvoParams,
+    samples: &[MappingSample],
+    init_tx: Pose6,
+    init_rx: Pose6,
+) -> TrainedMapping {
+    assert!(samples.len() >= 4, "need at least 4 aligned samples");
+    let mut x0 = Vec::with_capacity(12);
+    x0.extend_from_slice(&init_tx.to_array());
+    x0.extend_from_slice(&init_rx.to_array());
+    let (txm, rxm) = (*tx_model, *rx_model);
+    let samples_owned: Vec<MappingSample> = samples.to_vec();
+    let f = move |p: &[f64]| residuals(p, &txm, &rxm, &samples_owned);
+    let opts = LmOptions {
+        max_iters: 150,
+        ..Default::default()
+    };
+    let report = levenberg_marquardt(f, &x0, &opts);
+    TrainedMapping {
+        tx_model: *tx_model,
+        rx_model: *rx_model,
+        tx_map: Pose6::from_slice(&report.params[0..6]).to_pose(),
+        rx_map: Pose6::from_slice(&report.params[6..12]).to_pose(),
+        report,
+    }
+}
+
+/// End-to-end stage-2 helper used by experiments and tests: collect samples
+/// and fit, given the stage-1 outputs. Returns the mapping and the samples
+/// (so callers can evaluate combined errors on them or on held-out sets).
+pub struct MappingTraining {
+    /// The fitted mapping.
+    pub trained: TrainedMapping,
+    /// The samples used for the fit.
+    pub samples: Vec<MappingSample>,
+}
+
+/// Runs collection + fit with the paper's sample budget (~30) and the
+/// default tracker.
+pub fn train(
+    dep: &mut Deployment,
+    tx_model: &GalvoParams,
+    rx_model: &GalvoParams,
+    init_tx: Pose6,
+    init_rx: Pose6,
+    n_samples: usize,
+    seed: u64,
+) -> MappingTraining {
+    train_with(
+        dep,
+        tx_model,
+        rx_model,
+        init_tx,
+        init_rx,
+        n_samples,
+        seed,
+        &TrackerConfig::default(),
+    )
+}
+
+/// [`train`] with an explicit tracker configuration — the training reports'
+/// noise must match the tracker the system will run with.
+#[allow(clippy::too_many_arguments)]
+pub fn train_with(
+    dep: &mut Deployment,
+    tx_model: &GalvoParams,
+    rx_model: &GalvoParams,
+    init_tx: Pose6,
+    init_rx: Pose6,
+    n_samples: usize,
+    seed: u64,
+    tracker: &TrackerConfig,
+) -> MappingTraining {
+    let samples = collect_samples_with(dep, n_samples, seed, tracker);
+    assert!(
+        samples.len() >= 4,
+        "only {} usable placements collected — the link cannot close over \
+         enough of this deployment's working volume (check range vs design)",
+        samples.len()
+    );
+    let trained = fit(tx_model, rx_model, &samples, init_tx, init_rx);
+    MappingTraining { trained, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeploymentConfig;
+    use crate::kspace::{train_both, BoardConfig};
+
+    /// Full pipeline fixture: stage 1 + stage 2 on a fresh deployment.
+    /// Expensive (~seconds), so shared across assertions in one test.
+    fn full_training(seed: u64) -> (Deployment, MappingTraining) {
+        let mut dep = Deployment::new(&DeploymentConfig::paper_10g(seed));
+        let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &BoardConfig::default(), seed);
+        let (init_tx, init_rx) =
+            rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed.wrapping_add(7));
+        let mt = train(
+            &mut dep,
+            &tx_tr.fitted,
+            &rx_tr.fitted,
+            init_tx,
+            init_rx,
+            30,
+            seed.wrapping_add(9),
+        );
+        (dep, mt)
+    }
+
+    #[test]
+    fn mapping_fit_reaches_table2_combined_accuracy() {
+        let (_dep, mt) = full_training(2024);
+        assert!(mt.samples.len() >= 25, "got {} samples", mt.samples.len());
+        let (tx_err, rx_err) = mt.trained.combined_errors(&mt.samples);
+        let (tx_mm, rx_mm) = (tx_err.mean * 1e3, rx_err.mean * 1e3);
+        // Table 2: combined avg 2.18 mm (TX) / 4.54 mm (RX); max ≈ 4–6.5 mm.
+        // Accept the same order (we train a wider orientation envelope).
+        assert!(tx_mm < 12.0, "combined TX avg {tx_mm} mm");
+        assert!(rx_mm < 15.0, "combined RX avg {rx_mm} mm");
+        assert!(
+            tx_err.max * 1e3 < 30.0,
+            "combined TX max {} mm",
+            tx_err.max * 1e3
+        );
+        // The fit must improve dramatically on the initial guess.
+        assert!(
+            mt.trained.report.cost < mt.trained.report.initial_cost / 10.0,
+            "cost {} vs initial {}",
+            mt.trained.report.cost,
+            mt.trained.report.initial_cost
+        );
+    }
+
+    #[test]
+    fn mapping_generalizes_to_held_out_placements() {
+        let (mut dep, mt) = full_training(31);
+        let held_out = collect_samples(&mut dep, 8, 777);
+        assert!(held_out.len() >= 6);
+        let (tx_err, rx_err) = mt.trained.combined_errors(&held_out);
+        assert!(
+            tx_err.mean * 1e3 < 15.0,
+            "held-out TX avg {} mm",
+            tx_err.mean * 1e3
+        );
+        assert!(
+            rx_err.mean * 1e3 < 18.0,
+            "held-out RX avg {} mm",
+            rx_err.mean * 1e3
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! The pointing function `P` (§4.3).
+//!
+//! Given the VR-space models of both GMAs (from a [`crate::mapping`] result
+//! composed with the current VRH-T report), compute the four voltages that
+//! align the beam — with no optical feedback at all. The paper's iteration,
+//! justified by Lemma 1:
+//!
+//! 1. initialize the four voltages (warm-started from the previous solution
+//!    in the online controller);
+//! 2. `(p_t, ·) = G_T(v_t)`, `(p_r, ·) = G_R(v_r)` — the two beams' current
+//!    originating points on their second mirrors;
+//! 3. aim each end at the *other* end's originating point:
+//!    `v_t = G'_T(p_r)`, `v_r = G'_R(p_t)`;
+//! 4. repeat until the voltage change is below the minimum galvo step.
+//!
+//! "In our evaluations, the above converged in 2–5 iterations."
+
+use crate::gprime::{gprime, DEFAULT_EPS_V, DEFAULT_V_TOL};
+use cyclops_optics::galvo::GalvoParams;
+
+/// Result of evaluating the pointing function.
+#[derive(Debug, Clone, Copy)]
+pub struct PointingResult {
+    /// The four aligned voltages `(v_t1, v_t2, v_r1, v_r2)`.
+    pub voltages: [f64; 4],
+    /// Outer iterations used.
+    pub iterations: usize,
+    /// Whether the outer loop converged within budget.
+    pub converged: bool,
+    /// Total inner `G'` iterations across the run (for latency accounting).
+    pub gprime_iterations: usize,
+}
+
+/// Evaluates `P`: the four voltages aligning a TX model and an RX model,
+/// both expressed in the same (VR-)space.
+pub fn pointing(
+    tx_vr: &GalvoParams,
+    rx_vr: &GalvoParams,
+    init: [f64; 4],
+    v_tol: f64,
+    max_iters: usize,
+) -> PointingResult {
+    let mut v = init;
+    let mut gprime_iterations = 0usize;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let Some(beam_t) = tx_vr.trace_line(v[0], v[1]) else {
+            break;
+        };
+        let Some(beam_r) = rx_vr.trace_line(v[2], v[3]) else {
+            break;
+        };
+        let gt = gprime(tx_vr, beam_r.origin, (v[0], v[1]), DEFAULT_EPS_V, v_tol, 10);
+        let gr = gprime(rx_vr, beam_t.origin, (v[2], v[3]), DEFAULT_EPS_V, v_tol, 10);
+        gprime_iterations += gt.iterations + gr.iterations;
+        // Keep the iterate inside the physical drive range: outside it the
+        // model geometry can degenerate, and the hardware clamps anyway.
+        let lim = cyclops_optics::galvo::VOLT_MAX;
+        let new_v = [
+            gt.v1.clamp(-lim, lim),
+            gt.v2.clamp(-lim, lim),
+            gr.v1.clamp(-lim, lim),
+            gr.v2.clamp(-lim, lim),
+        ];
+        let max_change = new_v
+            .iter()
+            .zip(&v)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        v = new_v;
+        // Converged only if the voltages settled AND both inverse solves
+        // actually succeeded — a broken model whose G' cannot make progress
+        // must not masquerade as converged.
+        if max_change < v_tol && gt.converged && gr.converged {
+            converged = true;
+            break;
+        }
+    }
+    PointingResult {
+        voltages: v,
+        iterations,
+        converged,
+        gprime_iterations,
+    }
+}
+
+/// [`pointing`] with the DAC-step tolerance and the paper's iteration budget.
+pub fn pointing_default(
+    tx_vr: &GalvoParams,
+    rx_vr: &GalvoParams,
+    init: [f64; 4],
+) -> PointingResult {
+    pointing(tx_vr, rx_vr, init, DEFAULT_V_TOL, 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::pose::Pose;
+    use cyclops_geom::rotation::axis_angle;
+    use cyclops_geom::vec3::{v3, Vec3};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A TX at the origin firing +Z and an RX 1.75 m away firing back.
+    fn facing_pair(seed: u64) -> (GalvoParams, GalvoParams) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tx = GalvoParams::nominal()
+            .perturbed(&mut rng, 1.0, 1.0, 0.02)
+            .transformed(&Pose::new(
+                axis_angle(Vec3::X, rng.gen_range(-0.05..0.05)),
+                v3(0.0, 0.0, 0.0),
+            ));
+        let flip = axis_angle(Vec3::Y, std::f64::consts::PI);
+        let rx = GalvoParams::nominal()
+            .perturbed(&mut rng, 1.0, 1.0, 0.02)
+            .transformed(&Pose::new(
+                flip * axis_angle(Vec3::X, rng.gen_range(-0.05..0.05)),
+                v3(rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1), 1.75),
+            ));
+        (tx, rx)
+    }
+
+    /// The Lemma-1 gap of a voltage assignment under the given models.
+    fn gap(tx: &GalvoParams, rx: &GalvoParams, v: [f64; 4]) -> f64 {
+        let bt = tx.trace(v[0], v[1]).unwrap();
+        let br = rx.trace(v[2], v[3]).unwrap();
+        let (_, tau_t) = rx.second_mirror_plane(v[3]).intersect_line(&bt).unwrap();
+        let (_, tau_r) = tx.second_mirror_plane(v[1]).intersect_line(&br).unwrap();
+        bt.origin.distance(tau_r) + br.origin.distance(tau_t)
+    }
+
+    #[test]
+    fn pointing_closes_the_lemma_gap() {
+        let (tx, rx) = facing_pair(1);
+        let res = pointing_default(&tx, &rx, [0.0; 4]);
+        assert!(res.converged, "{res:?}");
+        let g = gap(&tx, &rx, res.voltages);
+        assert!(g < 1e-4, "gap {g} m after pointing");
+    }
+
+    #[test]
+    fn converges_in_2_to_5_iterations() {
+        // The paper's claim, over many random geometries.
+        let mut worst = 0usize;
+        for seed in 0..60 {
+            let (tx, rx) = facing_pair(seed);
+            let res = pointing_default(&tx, &rx, [0.0; 4]);
+            assert!(res.converged, "seed {seed}: {res:?}");
+            worst = worst.max(res.iterations);
+        }
+        assert!(
+            (2..=6).contains(&worst),
+            "worst-case outer iterations {worst} (paper: 2–5)"
+        );
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let (tx, rx) = facing_pair(7);
+        let cold = pointing_default(&tx, &rx, [0.0; 4]);
+        let warm = pointing_default(&tx, &rx, cold.voltages);
+        assert!(
+            warm.iterations <= 2,
+            "warm restart took {}",
+            warm.iterations
+        );
+        assert!(warm.converged);
+    }
+
+    #[test]
+    fn the_two_beams_coincide_as_lines() {
+        let (tx, rx) = facing_pair(9);
+        let res = pointing_default(&tx, &rx, [0.0; 4]);
+        let bt = tx.trace(res.voltages[0], res.voltages[1]).unwrap();
+        let br = rx.trace(res.voltages[2], res.voltages[3]).unwrap();
+        // Anti-parallel directions, near-zero line distance.
+        assert!(
+            bt.dir.dot(br.dir) < -0.999_99,
+            "dirs {} vs {}",
+            bt.dir,
+            br.dir
+        );
+        assert!(bt.line_distance(&br) < 1e-4);
+    }
+
+    #[test]
+    fn model_error_translates_to_proportional_pointing_error() {
+        // Perturb the RX model the pointing uses (not the "real" one) and
+        // verify the Lemma gap measured against the REAL models grows
+        // smoothly — the mechanism behind Table 2's combined error.
+        let (tx, rx) = facing_pair(11);
+        let mut rng = StdRng::seed_from_u64(99);
+        let rx_believed = rx.perturbed(&mut rng, 0.5, 0.05, 1e-6);
+        let res = pointing_default(&tx, &rx_believed, [0.0; 4]);
+        let g = gap(&tx, &rx, res.voltages);
+        assert!(g > 1e-5, "a wrong model cannot align perfectly");
+        assert!(g < 0.02, "but a slightly wrong model misses slightly: {g}");
+    }
+
+    #[test]
+    fn degenerate_models_do_not_hang() {
+        let (tx, mut rx) = facing_pair(13);
+        // A pathological fitted model: both mirror rotation axes equal
+        // their normals, so voltages cannot steer the beam at all — G' can
+        // never reach its target.
+        rx.r1 = rx.n1;
+        rx.r2 = rx.n2;
+        let res = pointing_default(&tx, &rx, [0.0; 4]);
+        assert!(!res.converged, "{res:?}");
+        assert!(res.iterations <= 12);
+    }
+
+    #[test]
+    fn solution_is_invariant_to_common_frame_change() {
+        // P computed in any rigid frame gives the same voltages — the
+        // pipeline's frame-consistency sanity check.
+        let (tx, rx) = facing_pair(17);
+        let frame = Pose::new(
+            axis_angle(v3(0.3, 0.2, 0.93).normalized(), 0.8),
+            v3(1.0, -2.0, 0.5),
+        );
+        let res_a = pointing_default(&tx, &rx, [0.0; 4]);
+        let res_b = pointing_default(&tx.transformed(&frame), &rx.transformed(&frame), [0.0; 4]);
+        for i in 0..4 {
+            assert!(
+                (res_a.voltages[i] - res_b.voltages[i]).abs() < 1e-6,
+                "voltage {i} differs across frames"
+            );
+        }
+    }
+}

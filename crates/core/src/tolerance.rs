@@ -1,0 +1,157 @@
+//! Link movement-tolerance measurement (§5.1, Table 1, Fig 11).
+//!
+//! The paper's metric: "the maximum angular movement from the aligned
+//! position for which the link remains connected". Measured here exactly as
+//! on the bench — start from a perfectly aligned link, apply a pure offset
+//! (TX steering angle, RX assembly rotation, or RX lateral translation), and
+//! bisect for the largest offset at which received power still meets the
+//! receiver's sensitivity.
+//!
+//! These functions work on the pure link geometry (no galvos needed): the
+//! tolerance is a property of the beam/coupling design.
+
+use cyclops_geom::ray::Ray;
+use cyclops_geom::rotation::axis_angle;
+use cyclops_geom::vec3::Vec3;
+use cyclops_optics::coupling::{LinkDesign, ReceiverGeometry};
+use cyclops_solver::scalar::bisect_threshold;
+
+const ANGLE_HI: f64 = 0.1; // 100 mrad search ceiling
+const TOL: f64 = 1e-6;
+
+fn aligned_rx(range: f64) -> ReceiverGeometry {
+    ReceiverGeometry::new(Vec3::Z * range, -Vec3::Z)
+}
+
+fn chief() -> Ray {
+    Ray::new(Vec3::ZERO, Vec3::Z)
+}
+
+/// TX angular tolerance (radians): maximum TX steering offset keeping the
+/// link connected at `range`.
+pub fn tx_angular_tolerance(design: &LinkDesign, range: f64) -> f64 {
+    let rx = aligned_rx(range);
+    bisect_threshold(
+        |a| {
+            let steered = Ray::new(Vec3::ZERO, axis_angle(Vec3::X, a) * Vec3::Z);
+            design.link_closes(design.received_power_dbm(steered, &rx))
+        },
+        0.0,
+        ANGLE_HI,
+        TOL,
+    )
+}
+
+/// RX angular tolerance (radians): maximum RX-assembly rotation (about its
+/// own aperture centre) keeping the link connected.
+pub fn rx_angular_tolerance(design: &LinkDesign, range: f64) -> f64 {
+    bisect_threshold(
+        |a| {
+            let rx = ReceiverGeometry::new(Vec3::Z * range, axis_angle(Vec3::X, a) * -Vec3::Z);
+            design.link_closes(design.received_power_dbm(chief(), &rx))
+        },
+        0.0,
+        ANGLE_HI,
+        TOL,
+    )
+}
+
+/// Lateral tolerance (metres): maximum RX translation perpendicular to the
+/// beam keeping the link connected (without re-pointing). For a diverging
+/// beam the translation also changes the local incidence angle, which this
+/// measurement includes — the reason lateral tolerance is millimetres even
+/// though the beam is centimetres wide.
+pub fn lateral_tolerance(design: &LinkDesign, range: f64) -> f64 {
+    bisect_threshold(
+        |d| {
+            let rx = ReceiverGeometry::new(Vec3::Z * range + Vec3::X * d, -Vec3::Z);
+            design.link_closes(design.received_power_dbm(chief(), &rx))
+        },
+        0.0,
+        0.2,
+        1e-7,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: f64 = 1.75;
+
+    #[test]
+    fn table1_collimated_tolerances() {
+        let d = LinkDesign::ten_g_collimated(R);
+        let tx = tx_angular_tolerance(&d, R) * 1e3;
+        let rx = rx_angular_tolerance(&d, R) * 1e3;
+        // Paper: TX 2.00 mrad, RX 2.28 mrad.
+        assert!((1.5..3.2).contains(&tx), "TX tol {tx} mrad");
+        assert!((1.5..3.2).contains(&rx), "RX tol {rx} mrad");
+        assert!(tx <= rx + 0.2, "TX ≤ RX for the collimated design");
+    }
+
+    #[test]
+    fn table1_diverging_tolerances() {
+        let d = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let tx = tx_angular_tolerance(&d, R) * 1e3;
+        let rx = rx_angular_tolerance(&d, R) * 1e3;
+        // Paper: TX 15.81 mrad, RX 5.77 mrad.
+        assert!((12.0..19.0).contains(&tx), "TX tol {tx} mrad");
+        assert!((4.5..7.0).contains(&rx), "RX tol {rx} mrad");
+        assert!(
+            tx > 2.0 * rx,
+            "diverging design: TX tolerance ≫ RX tolerance"
+        );
+    }
+
+    #[test]
+    fn diverging_beats_collimated_on_movement_tolerance() {
+        // The design argument of §5.1.
+        let div = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let col = LinkDesign::ten_g_collimated(R);
+        assert!(tx_angular_tolerance(&div, R) > 4.0 * tx_angular_tolerance(&col, R));
+        assert!(rx_angular_tolerance(&div, R) > 1.5 * rx_angular_tolerance(&col, R));
+    }
+
+    #[test]
+    fn fig11_rx_tolerance_peaks_at_intermediate_diameter() {
+        // Fig 11: RX angular tolerance peaks (paper: 5.77 mrad @ 16 mm);
+        // both very narrow and very wide beams do worse.
+        let rx_at =
+            |d_mm: f64| rx_angular_tolerance(&LinkDesign::ten_g_diverging(d_mm * 1e-3, R), R) * 1e3;
+        let narrow = rx_at(4.0);
+        let mid = rx_at(14.0);
+        let wide = rx_at(28.0);
+        assert!(mid > narrow, "mid {mid} vs narrow {narrow}");
+        assert!(mid > wide, "mid {mid} vs wide {wide}");
+        assert!((4.5..8.0).contains(&mid), "peak RX tolerance {mid} mrad");
+    }
+
+    #[test]
+    fn tx_tolerance_grows_with_divergence_then_collapses_with_margin() {
+        let tx_at =
+            |d_mm: f64| tx_angular_tolerance(&LinkDesign::ten_g_diverging(d_mm * 1e-3, R), R) * 1e3;
+        assert!(tx_at(12.0) > tx_at(4.0));
+        // At extreme diameters the margin is gone and tolerance collapses.
+        assert!(tx_at(32.0) < tx_at(20.0));
+    }
+
+    #[test]
+    fn tolerances_scale_with_link_budget() {
+        // §5.3.1's mechanism: the 25G SFP's smaller budget cuts TX tolerance.
+        let d10 = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let d25 = LinkDesign::twenty_five_g(20.0e-3, R);
+        assert!(tx_angular_tolerance(&d25, R) < tx_angular_tolerance(&d10, R));
+        // ...while the adjustable collimators buy back RX angular tolerance
+        // (paper: 8.73 mrad vs 5.77 mrad).
+        let rx25 = rx_angular_tolerance(&d25, R) * 1e3;
+        assert!((7.0..10.5).contains(&rx25), "25G RX tol {rx25} mrad");
+    }
+
+    #[test]
+    fn lateral_tolerance_is_millimetres() {
+        let d = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let lat = lateral_tolerance(&d, R) * 1e3;
+        assert!((4.0..15.0).contains(&lat), "lateral tolerance {lat} mm");
+    }
+}

@@ -1,0 +1,278 @@
+//! The online TP controller (§3 + §5.2).
+//!
+//! Ties the trained models to the live loop: on every VRH-T report, evaluate
+//! the pointing function `P` (warm-started from the last solution) and
+//! command the galvos. The paper's latency budget, reproduced here:
+//!
+//! * computation — "minimal (in µsecs)";
+//! * realignment — "about 1–2 msec comprised mostly of digital-to-analog
+//!   conversion latency at a DAQ device" plus the mirror settle time.
+
+use crate::mapping::TrainedMapping;
+use crate::pointing::{pointing, PointingResult};
+use cyclops_geom::pose::Pose;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpConfig {
+    /// DAQ digital-to-analog conversion latency per command (seconds) —
+    /// the dominant term of the paper's 1–2 ms pointing latency.
+    pub dac_latency_s: f64,
+    /// Computation time charged per `G`/`G'` model evaluation (seconds);
+    /// scales the "µsecs" compute budget with the actual iteration count.
+    pub compute_per_eval_s: f64,
+    /// Voltage convergence tolerance of the pointing iteration.
+    pub v_tol: f64,
+    /// Outer-iteration budget of the pointing iteration.
+    pub max_iters: usize,
+}
+
+impl Default for TpConfig {
+    fn default() -> Self {
+        TpConfig {
+            dac_latency_s: 1.3e-3,
+            compute_per_eval_s: 2e-6,
+            v_tol: cyclops_optics::galvo::DAC_STEP_V,
+            max_iters: 12,
+        }
+    }
+}
+
+/// One pointing command produced from a tracking report.
+#[derive(Debug, Clone, Copy)]
+pub struct TpCommand {
+    /// The four voltages to command `(v_t1, v_t2, v_r1, v_r2)`.
+    pub voltages: [f64; 4],
+    /// Latency from report receipt until the DACs have output the voltages
+    /// (computation + DAC conversion; galvo settle time is added by the
+    /// hardware when applied).
+    pub latency_s: f64,
+    /// Whether the pointing iteration converged.
+    pub converged: bool,
+}
+
+/// Aggregate controller metrics (§5.2's TP-performance numbers).
+#[derive(Debug, Clone, Default)]
+pub struct TpMetrics {
+    /// Reports processed.
+    pub n_reports: u64,
+    /// Pointing failures (non-converged iterations).
+    pub n_failures: u64,
+    /// Sum and max of outer pointing iterations.
+    pub sum_iters: u64,
+    /// See [`TpMetrics::sum_iters`].
+    pub max_iters: u64,
+    /// Sum and max of command latency (seconds).
+    pub sum_latency_s: f64,
+    /// See [`TpMetrics::sum_latency_s`].
+    pub max_latency_s: f64,
+}
+
+impl TpMetrics {
+    /// Mean outer pointing iterations per report.
+    pub fn mean_iters(&self) -> f64 {
+        if self.n_reports == 0 {
+            0.0
+        } else {
+            self.sum_iters as f64 / self.n_reports as f64
+        }
+    }
+
+    /// Mean command latency (seconds).
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.n_reports == 0 {
+            0.0
+        } else {
+            self.sum_latency_s / self.n_reports as f64
+        }
+    }
+}
+
+/// The online controller.
+#[derive(Debug, Clone)]
+pub struct TpController {
+    /// Trained stage-1+2 models.
+    pub mapping: TrainedMapping,
+    /// Timing configuration.
+    pub cfg: TpConfig,
+    /// Running metrics.
+    pub metrics: TpMetrics,
+    last_voltages: [f64; 4],
+}
+
+impl TpController {
+    /// Creates a controller; `initial_voltages` seed the warm start (e.g.
+    /// the last exhaustive-alignment result).
+    pub fn new(mapping: TrainedMapping, cfg: TpConfig, initial_voltages: [f64; 4]) -> TpController {
+        TpController {
+            mapping,
+            cfg,
+            metrics: TpMetrics::default(),
+            last_voltages: initial_voltages,
+        }
+    }
+
+    /// Processes one VRH-T report: computes `P(Ψ)` and returns the command.
+    pub fn on_report(&mut self, reported_pose: &Pose) -> TpCommand {
+        let tx_vr = self.mapping.tx_in_vr();
+        let rx_vr = self.mapping.rx_in_vr(reported_pose);
+        let mut res: PointingResult = pointing(
+            &tx_vr,
+            &rx_vr,
+            self.last_voltages,
+            self.cfg.v_tol,
+            self.cfg.max_iters,
+        );
+        let mut extra_evals = 0usize;
+        if !res.converged {
+            // A stale warm start (large headset jump since the last report)
+            // can strand the iteration; restart cold once, as the real
+            // controller would.
+            extra_evals = 2 * res.iterations + 3 * res.gprime_iterations;
+            res = pointing(&tx_vr, &rx_vr, [0.0; 4], self.cfg.v_tol, self.cfg.max_iters);
+        }
+        // Each outer iteration costs 2 traces; each G' iteration 3 traces
+        // plus the plane algebra.
+        let evals = 2 * res.iterations + 3 * res.gprime_iterations + extra_evals;
+        let latency = self.cfg.dac_latency_s + evals as f64 * self.cfg.compute_per_eval_s;
+        if res.converged {
+            self.last_voltages = res.voltages;
+        }
+        self.metrics.n_reports += 1;
+        if !res.converged {
+            self.metrics.n_failures += 1;
+        }
+        self.metrics.sum_iters += res.iterations as u64;
+        self.metrics.max_iters = self.metrics.max_iters.max(res.iterations as u64);
+        self.metrics.sum_latency_s += latency;
+        self.metrics.max_latency_s = self.metrics.max_latency_s.max(latency);
+        TpCommand {
+            voltages: res.voltages,
+            latency_s: latency,
+            converged: res.converged,
+        }
+    }
+
+    /// The warm-start voltages currently held.
+    pub fn last_voltages(&self) -> [f64; 4] {
+        self.last_voltages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{cheat_align, Deployment, DeploymentConfig};
+    use crate::kspace::{train_both, BoardConfig};
+    use crate::mapping::{self, rough_initial_guess};
+    use cyclops_geom::vec3::v3;
+
+    /// Builds a fully-trained controller plus its deployment.
+    fn trained_controller(seed: u64) -> (Deployment, TpController) {
+        let mut dep = Deployment::new(&DeploymentConfig::paper_10g(seed));
+        let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &BoardConfig::default(), seed);
+        let (init_tx, init_rx) =
+            rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed.wrapping_add(7));
+        let mt = mapping::train(
+            &mut dep,
+            &tx_tr.fitted,
+            &rx_tr.fitted,
+            init_tx,
+            init_rx,
+            30,
+            seed.wrapping_add(9),
+        );
+        let v0 = dep.voltages();
+        let ctl = TpController::new(mt.trained, TpConfig::default(), [v0.0, v0.1, v0.2, v0.3]);
+        (dep, ctl)
+    }
+
+    #[test]
+    fn tp_realigns_after_headset_moves() {
+        // The §5.2 experiment: move the RX randomly, lock it, run TP, check
+        // the link reaches (near-)optimal state — 10/10 in the paper.
+        let (mut dep, mut ctl) = trained_controller(501);
+        let mut successes = 0;
+        for k in 0..10 {
+            let pose = mapping::random_placement(dep.rng(), 1.75 + 0.01 * k as f64);
+            dep.set_headset_pose(pose);
+            let report = mapping::noisy_report(&mut dep, &Default::default());
+            let cmd = ctl.on_report(&report);
+            dep.set_voltages(
+                cmd.voltages[0],
+                cmd.voltages[1],
+                cmd.voltages[2],
+                cmd.voltages[3],
+            );
+            if dep.link_up() {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= 9,
+            "only {successes}/10 realignments closed the link"
+        );
+    }
+
+    #[test]
+    fn tp_accuracy_close_to_optimal_power() {
+        // §5.2: received power after TP within a few dB of the optimal
+        // (paper: −13…−14 dBm vs −10 dBm peak).
+        let (mut dep, mut ctl) = trained_controller(502);
+        let pose = mapping::random_placement(dep.rng(), 1.8);
+        dep.set_headset_pose(pose);
+        let report = mapping::noisy_report(&mut dep, &Default::default());
+        let cmd = ctl.on_report(&report);
+        dep.set_voltages(
+            cmd.voltages[0],
+            cmd.voltages[1],
+            cmd.voltages[2],
+            cmd.voltages[3],
+        );
+        let tp_power = dep.received_power_dbm();
+        cheat_align(&mut dep);
+        let best = dep.received_power_dbm();
+        assert!(
+            tp_power > best - 6.0,
+            "TP power {tp_power} dBm vs optimal {best} dBm"
+        );
+    }
+
+    #[test]
+    fn latency_is_one_to_two_ms() {
+        let (mut dep, mut ctl) = trained_controller(503);
+        for _ in 0..20 {
+            let pose = mapping::random_placement(dep.rng(), 1.75);
+            dep.set_headset_pose(pose);
+            let report = mapping::noisy_report(&mut dep, &Default::default());
+            let cmd = ctl.on_report(&report);
+            assert!(
+                (0.8e-3..2.5e-3).contains(&cmd.latency_s),
+                "latency {} ms",
+                cmd.latency_s * 1e3
+            );
+        }
+        let m = &ctl.metrics;
+        assert_eq!(m.n_reports, 20);
+        assert!(m.mean_latency_s() < 2.0e-3);
+        assert!(m.mean_iters() >= 1.0 && m.mean_iters() <= 6.0);
+    }
+
+    #[test]
+    fn small_motion_uses_warm_start_efficiently() {
+        let (mut dep, mut ctl) = trained_controller(504);
+        let base = mapping::random_placement(dep.rng(), 1.75);
+        dep.set_headset_pose(base);
+        let r0 = mapping::noisy_report(&mut dep, &Default::default());
+        ctl.on_report(&r0);
+        // A 2 mm nudge: pointing should converge in very few iterations.
+        let mut nudged = base;
+        nudged.trans += v3(0.002, 0.0, 0.0);
+        dep.set_headset_pose(nudged);
+        let r1 = mapping::noisy_report(&mut dep, &Default::default());
+        let before = ctl.metrics.sum_iters;
+        ctl.on_report(&r1);
+        let iters = ctl.metrics.sum_iters - before;
+        assert!(iters <= 3, "warm-started pointing took {iters} iterations");
+    }
+}

@@ -1,0 +1,44 @@
+//! # Cyclops
+//!
+//! A full reproduction of **"Cyclops: An FSO-based Wireless Link for VR
+//! Headsets"** (SIGCOMM 2022): a free-space-optical 10/25 Gbps link between a
+//! ceiling transmitter and a VR headset, kept aligned by a learning-based
+//! tracking-and-pointing (TP) mechanism — plus the simulated bench (optics,
+//! galvos, headset tracking, motion rigs) the original authors had in
+//! hardware.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cyclops::prelude::*;
+//!
+//! // Commission a 10G system: build the bench, learn the galvo models on
+//! // the grid board (§4.1), learn the VR-space mapping (§4.2).
+//! let mut system = CyclopsSystem::commission(&SystemConfig::fast_10g(42));
+//!
+//! // Move the headset; the TP controller re-points from tracking alone.
+//! let pose = Pose::translation(Vec3::new(0.08, -0.05, 1.8));
+//! system.move_headset(pose);
+//! let report = system.track();
+//! system.point(&report);
+//! assert!(system.link_up());
+//! ```
+//!
+//! The sub-crates are re-exported under [`geom`], [`optics`], [`vrh`],
+//! [`solver`], [`core`] and [`link`]; the curated surface lives in
+//! [`prelude`].
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use cyclops_core as core;
+pub use cyclops_geom as geom;
+pub use cyclops_link as link;
+pub use cyclops_optics as optics;
+pub use cyclops_solver as solver;
+pub use cyclops_vrh as vrh;
+
+pub mod prelude;
+pub mod system;
+
+pub use system::{CommissioningReport, CyclopsSystem, SystemConfig};

@@ -1,0 +1,34 @@
+//! Curated re-exports for typical use.
+//!
+//! ```
+//! use cyclops::prelude::*;
+//! ```
+
+pub use crate::system::{CommissioningReport, CyclopsSystem, SystemConfig};
+
+pub use cyclops_geom::pose::{Pose, Pose6};
+pub use cyclops_geom::quat::Quat;
+pub use cyclops_geom::ray::Ray;
+pub use cyclops_geom::vec3::Vec3;
+
+pub use cyclops_optics::amplifier::Edfa;
+pub use cyclops_optics::beam::BeamState;
+pub use cyclops_optics::coupling::{CouplingModel, LinkDesign, ReceiverGeometry};
+pub use cyclops_optics::galvo::{GalvoParams, GalvoSim, GalvoSimConfig};
+pub use cyclops_optics::sfp::SfpSpec;
+
+pub use cyclops_core::deployment::{Deployment, DeploymentConfig};
+pub use cyclops_core::gprime::{gprime, gprime_default};
+pub use cyclops_core::pointing::{pointing, pointing_default};
+pub use cyclops_core::tolerance::{lateral_tolerance, rx_angular_tolerance, tx_angular_tolerance};
+pub use cyclops_core::tp::{TpConfig, TpController};
+
+pub use cyclops_vrh::motion::{
+    ArbitraryMotion, LinearRail, Motion, RotationStage, StaticPose, TracePlayback,
+};
+pub use cyclops_vrh::traces::{HeadTrace, TraceGenConfig};
+pub use cyclops_vrh::tracking::{TrackerConfig, TrackingReport, VrhTracker};
+
+pub use cyclops_link::multi_tx::{MultiTxSimulator, TxInstallation};
+pub use cyclops_link::simulator::{LinkSimConfig, LinkSimulator, SlotRecord};
+pub use cyclops_link::trace_sim::{simulate_trace, TraceSimParams};

@@ -1,0 +1,70 @@
+//! Floating-point comparison helpers used across the workspace's tests and
+//! convergence checks.
+
+/// Default absolute/relative tolerance used by [`approx_eq`].
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// True if `a` and `b` are equal within a mixed absolute/relative tolerance
+/// `eps` (absolute for small magnitudes, relative for large ones).
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= eps {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= eps * scale
+}
+
+/// [`approx_eq_eps`] with [`DEFAULT_EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, DEFAULT_EPS)
+}
+
+/// Asserts two floats are approximately equal, with a useful failure message.
+#[macro_export]
+macro_rules! assert_approx_eq {
+    ($a:expr, $b:expr) => {
+        $crate::assert_approx_eq!($a, $b, $crate::approx::DEFAULT_EPS)
+    };
+    ($a:expr, $b:expr, $eps:expr) => {{
+        let (a, b) = ($a, $b);
+        assert!(
+            $crate::approx::approx_eq_eps(a, b, $eps),
+            "assert_approx_eq failed: {} vs {} (eps = {})",
+            a,
+            b,
+            $eps
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_tolerance_near_zero() {
+        assert!(approx_eq(0.0, 1e-12));
+        assert!(!approx_eq(0.0, 1e-3));
+    }
+
+    #[test]
+    fn relative_tolerance_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 + 1.0));
+        assert!(!approx_eq(1e12, 1.001e12));
+    }
+
+    #[test]
+    fn macro_works() {
+        assert_approx_eq!(1.0, 1.0 + 1e-12);
+        assert_approx_eq!(100.0, 100.5, 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn macro_fails_loudly() {
+        assert_approx_eq!(1.0, 2.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! 3×3 matrices (mostly rotation matrices).
+
+use crate::vec3::{v3, Vec3};
+use std::ops::{Add, Mul, Sub};
+
+/// A 3×3 matrix stored row-major.
+///
+/// In Cyclops these are almost always rotation matrices: the voltage-to-normal
+/// map of the galvo-mirror model `G` rotates mirror normals with
+/// [`crate::rotation::axis_angle`], and [`crate::pose::Pose`] composes a
+/// rotation with a translation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [Vec3; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [v3(1.0, 0.0, 0.0), v3(0.0, 1.0, 0.0), v3(0.0, 0.0, 1.0)],
+    };
+
+    /// The zero matrix.
+    pub const ZERO: Mat3 = Mat3 {
+        rows: [Vec3::ZERO, Vec3::ZERO, Vec3::ZERO],
+    };
+
+    /// Builds a matrix from three rows.
+    #[inline]
+    pub const fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
+        Mat3 { rows: [r0, r1, r2] }
+    }
+
+    /// Builds a matrix from three columns.
+    #[inline]
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
+        Mat3::from_rows(
+            v3(c0.x, c1.x, c2.x),
+            v3(c0.y, c1.y, c2.y),
+            v3(c0.z, c1.z, c2.z),
+        )
+    }
+
+    /// Column `i` of the matrix.
+    #[inline]
+    pub fn col(&self, i: usize) -> Vec3 {
+        v3(self.rows[0][i], self.rows[1][i], self.rows[2][i])
+    }
+
+    /// Matrix entry at (row, col).
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.rows[r][c]
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        Mat3::from_cols(self.rows[0], self.rows[1], self.rows[2])
+    }
+
+    /// Determinant.
+    #[inline]
+    pub fn det(&self) -> f64 {
+        self.rows[0].dot(self.rows[1].cross(self.rows[2]))
+    }
+
+    /// Trace (sum of diagonal entries).
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.at(0, 0) + self.at(1, 1) + self.at(2, 2)
+    }
+
+    /// General matrix inverse.
+    ///
+    /// Returns `None` when the matrix is singular (|det| below `1e-300`).
+    /// For rotation matrices prefer [`Mat3::transpose`], which is exact.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() < 1e-300 {
+            return None;
+        }
+        let r = &self.rows;
+        // Adjugate / determinant, built from cross products of rows:
+        // inverse columns are cross products of row pairs.
+        let c0 = r[1].cross(r[2]) / d;
+        let c1 = r[2].cross(r[0]) / d;
+        let c2 = r[0].cross(r[1]) / d;
+        // These are the rows of the inverse transpose, i.e. columns of inverse
+        // transpose... careful: A^{-1} = adj(A)/det, adj rows are cofactors of
+        // columns. Using the identity: (A^{-1})^T has rows r1×r2/d, r2×r0/d,
+        // r0×r1/d. So the inverse is the transpose of that.
+        Some(Mat3::from_rows(c0, c1, c2).transpose())
+    }
+
+    /// True if this matrix is a proper rotation: `RᵀR = I` and `det = +1`,
+    /// within tolerance `eps`.
+    pub fn is_rotation(&self, eps: f64) -> bool {
+        let should_be_identity = self.transpose() * *self;
+        let mut max_dev: f64 = 0.0;
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                max_dev = max_dev.max((should_be_identity.at(r, c) - expect).abs());
+            }
+        }
+        max_dev <= eps && (self.det() - 1.0).abs() <= eps
+    }
+
+    /// Maximum absolute entry of `self - other` (for tests/convergence).
+    pub fn max_abs_diff(&self, other: &Mat3) -> f64 {
+        let mut m: f64 = 0.0;
+        for r in 0..3 {
+            m = m.max((self.rows[r] - other.rows[r]).abs_max());
+        }
+        m
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v3(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        Mat3::from_cols(self * rhs.col(0), self * rhs.col(1), self * rhs.col(2))
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn mul(self, s: f64) -> Mat3 {
+        Mat3::from_rows(self.rows[0] * s, self.rows[1] * s, self.rows[2] * s)
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn add(self, rhs: Mat3) -> Mat3 {
+        Mat3::from_rows(
+            self.rows[0] + rhs.rows[0],
+            self.rows[1] + rhs.rows[1],
+            self.rows[2] + rhs.rows[2],
+        )
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        Mat3::from_rows(
+            self.rows[0] - rhs.rows[0],
+            self.rows[1] - rhs.rows[1],
+            self.rows[2] - rhs.rows[2],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::axis_angle;
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = v3(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+        let r = axis_angle(v3(0.0, 0.0, 1.0), 0.3);
+        assert!((Mat3::IDENTITY * r).max_abs_diff(&r) < 1e-15);
+        assert!((r * Mat3::IDENTITY).max_abs_diff(&r) < 1e-15);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Mat3::from_rows(v3(1.0, 2.0, 3.0), v3(4.0, 5.0, 6.0), v3(7.0, 8.0, 10.0));
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn det_of_known_matrix() {
+        let m = Mat3::from_rows(v3(1.0, 2.0, 3.0), v3(4.0, 5.0, 6.0), v3(7.0, 8.0, 10.0));
+        assert!((m.det() - (-3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_of_general_matrix() {
+        let m = Mat3::from_rows(v3(2.0, 0.0, 1.0), v3(1.0, 3.0, -1.0), v3(0.0, 1.0, 4.0));
+        let inv = m.inverse().unwrap();
+        assert!((m * inv).max_abs_diff(&Mat3::IDENTITY) < 1e-12);
+        assert!((inv * m).max_abs_diff(&Mat3::IDENTITY) < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = Mat3::from_rows(v3(1.0, 2.0, 3.0), v3(2.0, 4.0, 6.0), v3(0.0, 1.0, 0.0));
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn rotation_detection() {
+        let r = axis_angle(v3(1.0, 1.0, 0.2).normalized(), 1.1);
+        assert!(r.is_rotation(1e-12));
+        let not_rot = Mat3::from_rows(v3(2.0, 0.0, 0.0), v3(0.0, 1.0, 0.0), v3(0.0, 0.0, 1.0));
+        assert!(!not_rot.is_rotation(1e-12));
+        // Reflection: orthogonal but det = -1.
+        let refl = Mat3::from_rows(v3(-1.0, 0.0, 0.0), v3(0.0, 1.0, 0.0), v3(0.0, 0.0, 1.0));
+        assert!(!refl.is_rotation(1e-12));
+    }
+
+    #[test]
+    fn matrix_vector_consistency_with_cols() {
+        let m = Mat3::from_cols(v3(1.0, 0.0, 0.0), v3(1.0, 1.0, 0.0), v3(1.0, 1.0, 1.0));
+        assert_eq!(m * Vec3::X, v3(1.0, 0.0, 0.0));
+        assert_eq!(m * Vec3::Y, v3(1.0, 1.0, 0.0));
+        assert_eq!(m * Vec3::Z, v3(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn mat_mul_associative_with_vector() {
+        let a = axis_angle(Vec3::X, 0.4);
+        let b = axis_angle(Vec3::Z, -0.7);
+        let v = v3(0.3, 1.2, -0.5);
+        let lhs = (a * b) * v;
+        let rhs = a * (b * v);
+        assert!((lhs - rhs).norm() < 1e-12);
+    }
+}

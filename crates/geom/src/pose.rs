@@ -1,0 +1,262 @@
+//! Rigid transforms (poses) and their 6-parameter encoding.
+//!
+//! §4.2 of the paper learns "12 mapping parameters": two rigid transforms
+//! (six parameters each, per Corke \[30\]) that place the TX-GMA's K-space in
+//! VR-space and the RX-GMA's K-space relative to the headset's tracked point.
+//! [`Pose6`] is exactly that 6-parameter encoding (rotation vector +
+//! translation), and the Levenberg–Marquardt fit in `cyclops-core` optimizes
+//! over two of them.
+
+use crate::mat3::Mat3;
+use crate::quat::Quat;
+use crate::ray::Ray;
+use crate::rotation::{from_rotation_vector, to_rotation_vector};
+use crate::vec3::Vec3;
+
+/// A rigid transform: `x ↦ R·x + t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    /// Rotation part.
+    pub rot: Mat3,
+    /// Translation part.
+    pub trans: Vec3,
+}
+
+impl Pose {
+    /// The identity transform.
+    pub const IDENTITY: Pose = Pose {
+        rot: Mat3::IDENTITY,
+        trans: Vec3::ZERO,
+    };
+
+    /// Builds a pose from rotation matrix and translation.
+    pub fn new(rot: Mat3, trans: Vec3) -> Pose {
+        Pose { rot, trans }
+    }
+
+    /// Builds a pose from a unit quaternion and translation.
+    pub fn from_quat(q: Quat, trans: Vec3) -> Pose {
+        Pose {
+            rot: q.to_matrix(),
+            trans,
+        }
+    }
+
+    /// Pure translation.
+    pub fn translation(t: Vec3) -> Pose {
+        Pose {
+            rot: Mat3::IDENTITY,
+            trans: t,
+        }
+    }
+
+    /// Pure rotation.
+    pub fn rotation(r: Mat3) -> Pose {
+        Pose {
+            rot: r,
+            trans: Vec3::ZERO,
+        }
+    }
+
+    /// Transforms a point.
+    #[inline]
+    pub fn apply_point(&self, p: Vec3) -> Vec3 {
+        self.rot * p + self.trans
+    }
+
+    /// Transforms a direction (rotation only, no translation).
+    #[inline]
+    pub fn apply_dir(&self, d: Vec3) -> Vec3 {
+        self.rot * d
+    }
+
+    /// Transforms a ray (origin as point, direction as direction).
+    #[inline]
+    pub fn apply_ray(&self, r: &Ray) -> Ray {
+        Ray::new(self.apply_point(r.origin), self.apply_dir(r.dir))
+    }
+
+    /// Composition: `(a.compose(b)).apply(x) == a.apply(b.apply(x))`.
+    #[inline]
+    pub fn compose(&self, other: &Pose) -> Pose {
+        Pose {
+            rot: self.rot * other.rot,
+            trans: self.rot * other.trans + self.trans,
+        }
+    }
+
+    /// The inverse transform.
+    pub fn inverse(&self) -> Pose {
+        let rt = self.rot.transpose();
+        Pose {
+            rot: rt,
+            trans: -(rt * self.trans),
+        }
+    }
+
+    /// Orientation as a unit quaternion.
+    pub fn quat(&self) -> Quat {
+        Quat::from_matrix(&self.rot)
+    }
+
+    /// True if the rotation part is a proper rotation.
+    pub fn is_rigid(&self, eps: f64) -> bool {
+        self.rot.is_rotation(eps)
+    }
+
+    /// Encodes the pose as six parameters (rotation vector, translation).
+    pub fn to_params(&self) -> Pose6 {
+        Pose6 {
+            rv: to_rotation_vector(&self.rot),
+            t: self.trans,
+        }
+    }
+}
+
+impl Default for Pose {
+    fn default() -> Self {
+        Pose::IDENTITY
+    }
+}
+
+/// Six-parameter encoding of a rigid transform: rotation vector `rv`
+/// (axis × angle) and translation `t`.
+///
+/// This is the representation the §4.2 mapping fit optimizes over (two of
+/// these = the paper's "12 mapping parameters").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose6 {
+    /// Rotation vector (radians).
+    pub rv: Vec3,
+    /// Translation (metres).
+    pub t: Vec3,
+}
+
+impl Pose6 {
+    /// Builds from explicit rotation-vector and translation components.
+    pub fn new(rv: Vec3, t: Vec3) -> Pose6 {
+        Pose6 { rv, t }
+    }
+
+    /// Decodes into a full [`Pose`].
+    pub fn to_pose(&self) -> Pose {
+        Pose {
+            rot: from_rotation_vector(self.rv),
+            trans: self.t,
+        }
+    }
+
+    /// Flattens into a `[f64; 6]` parameter vector (for the solver).
+    pub fn to_array(&self) -> [f64; 6] {
+        [
+            self.rv.x, self.rv.y, self.rv.z, self.t.x, self.t.y, self.t.z,
+        ]
+    }
+
+    /// Rebuilds from a `[f64; 6]` parameter vector.
+    pub fn from_array(a: [f64; 6]) -> Pose6 {
+        Pose6 {
+            rv: Vec3::new(a[0], a[1], a[2]),
+            t: Vec3::new(a[3], a[4], a[5]),
+        }
+    }
+
+    /// Reads six parameters from a slice (panics if shorter than 6).
+    pub fn from_slice(s: &[f64]) -> Pose6 {
+        Pose6::from_array([s[0], s[1], s[2], s[3], s[4], s[5]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::axis_angle;
+    use crate::vec3::v3;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn sample_pose() -> Pose {
+        Pose::new(
+            axis_angle(v3(0.2, 0.3, 0.93).normalized(), 0.77),
+            v3(1.0, -2.0, 0.5),
+        )
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let p = v3(3.0, 1.0, -4.0);
+        assert_eq!(Pose::IDENTITY.apply_point(p), p);
+        let pose = sample_pose();
+        let c = Pose::IDENTITY.compose(&pose);
+        assert!((c.apply_point(p) - pose.apply_point(p)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let pose = sample_pose();
+        let p = v3(0.1, 0.2, 0.3);
+        let q = pose.inverse().apply_point(pose.apply_point(p));
+        assert!((q - p).norm() < 1e-12);
+        let id = pose.compose(&pose.inverse());
+        assert!(id.rot.max_abs_diff(&Mat3::IDENTITY) < 1e-12);
+        assert!(id.trans.norm() < 1e-12);
+    }
+
+    #[test]
+    fn composition_order() {
+        let a = Pose::translation(v3(1.0, 0.0, 0.0));
+        let b = Pose::rotation(axis_angle(Vec3::Z, FRAC_PI_2));
+        // a∘b: rotate first, then translate.
+        let p = Vec3::X;
+        let got = a.compose(&b).apply_point(p);
+        assert!((got - v3(1.0, 1.0, 0.0)).norm() < 1e-12);
+        // b∘a: translate first, then rotate.
+        let got2 = b.compose(&a).apply_point(p);
+        assert!((got2 - v3(0.0, 2.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn directions_ignore_translation() {
+        let pose = Pose::translation(v3(5.0, 5.0, 5.0));
+        assert_eq!(pose.apply_dir(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn ray_transform_preserves_structure() {
+        let pose = sample_pose();
+        let ray = Ray::new(v3(0.0, 1.0, 0.0), v3(1.0, 0.0, 0.0));
+        let tr = pose.apply_ray(&ray);
+        assert!(tr.dir.is_unit(1e-12));
+        // A point along the ray maps to a point along the transformed ray.
+        let p = ray.point_at(2.5);
+        let tp = pose.apply_point(p);
+        assert!(tr.distance_to_point(tp) < 1e-12);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let pose = sample_pose();
+        let p6 = pose.to_params();
+        let back = p6.to_pose();
+        assert!(back.rot.max_abs_diff(&pose.rot) < 1e-9);
+        assert!((back.trans - pose.trans).norm() < 1e-12);
+        // Array round-trip too.
+        let p6b = Pose6::from_array(p6.to_array());
+        assert_eq!(p6, p6b);
+        let p6c = Pose6::from_slice(&p6.to_array());
+        assert_eq!(p6, p6c);
+    }
+
+    #[test]
+    fn rigidity_check() {
+        assert!(sample_pose().is_rigid(1e-12));
+        let bad = Pose::new(Mat3::IDENTITY * 2.0, Vec3::ZERO);
+        assert!(!bad.is_rigid(1e-9));
+    }
+
+    #[test]
+    fn quat_matches_rotation() {
+        let pose = sample_pose();
+        let v = v3(0.3, 0.4, 0.5);
+        assert!((pose.quat().rotate(v) - pose.rot * v).norm() < 1e-10);
+    }
+}

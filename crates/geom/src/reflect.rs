@@ -1,0 +1,107 @@
+//! Specular reflection — the operator `R` of the paper's GMA derivation.
+//!
+//! §4.1: "Let `R` be the reflection function for a mirror that maps an input
+//! beam's parameters to the output beam's parameters, given the mirror
+//! position", used twice to derive `G`:
+//!
+//! ```text
+//! (p_mid, x̂_mid) = R(p₀, x̂₀, n̂₁', q₁)
+//! (p,     x̂)     = R(p_mid, x̂_mid, n̂₂', q₂)
+//! ```
+
+use crate::plane::Plane;
+use crate::ray::Ray;
+use crate::vec3::Vec3;
+
+/// Reflects the incoming ray off the mirror plane defined by point `q` and
+/// unit normal `n`.
+///
+/// Returns the reflected ray, whose origin is the point where the incoming
+/// ray strikes the mirror plane and whose direction is the specular
+/// reflection `x̂ − 2(x̂·n̂)n̂`.
+///
+/// Returns `None` if the ray is parallel to the mirror plane or travels away
+/// from it (the physical beam would miss the mirror).
+pub fn reflect_ray(incoming: &Ray, q: Vec3, n: Vec3) -> Option<Ray> {
+    let plane = Plane::new(q, n);
+    let (_, hit) = plane.intersect_ray(incoming)?;
+    let d = incoming.dir;
+    let out = d - plane.normal * (2.0 * d.dot(plane.normal));
+    Some(Ray::new(hit, out))
+}
+
+/// Reflects a direction vector off a surface with unit normal `n` (no
+/// intersection computed).
+#[inline]
+pub fn reflect_dir(d: Vec3, n: Vec3) -> Vec3 {
+    debug_assert!(n.is_unit(1e-9));
+    d - n * (2.0 * d.dot(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::v3;
+
+    #[test]
+    fn mirror_at_45_degrees_turns_beam_90() {
+        // Beam along +X hits a mirror at the origin whose normal is in the
+        // XZ plane at 45°; reflected beam should go along -Z or +Z.
+        let incoming = Ray::new(v3(-1.0, 0.0, 0.0), Vec3::X);
+        let n = v3(-1.0, 0.0, 1.0).normalized();
+        let out = reflect_ray(&incoming, Vec3::ZERO, n).unwrap();
+        assert!((out.origin - Vec3::ZERO).norm() < 1e-12);
+        assert!((out.dir - Vec3::Z).norm() < 1e-12);
+    }
+
+    #[test]
+    fn normal_incidence_reflects_back() {
+        let incoming = Ray::new(v3(0.0, 0.0, 5.0), -Vec3::Z);
+        let out = reflect_ray(&incoming, Vec3::ZERO, Vec3::Z).unwrap();
+        assert!((out.dir - Vec3::Z).norm() < 1e-12);
+        assert!(out.origin.norm() < 1e-12);
+    }
+
+    #[test]
+    fn reflection_preserves_energy_direction_is_unit() {
+        let incoming = Ray::new(v3(0.3, -2.0, 0.7), v3(0.2, 0.9, -0.1));
+        let n = v3(0.1, -0.8, 0.5).normalized();
+        if let Some(out) = reflect_ray(&incoming, v3(0.0, 1.0, 0.0), n) {
+            assert!(out.dir.is_unit(1e-12));
+        }
+    }
+
+    #[test]
+    fn angle_of_incidence_equals_angle_of_reflection() {
+        let n = v3(0.0, 0.0, 1.0);
+        let d = v3(0.6, 0.0, -0.8);
+        let r = reflect_dir(d, n);
+        // Angles measured from the normal must match.
+        let ai = (-d).angle_to(n);
+        let ar = r.angle_to(n);
+        assert!((ai - ar).abs() < 1e-12);
+        // Tangential component is preserved.
+        assert!((d.reject_from(n) - r.reject_from(n)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_ray_misses_mirror() {
+        let incoming = Ray::new(v3(0.0, 0.0, 1.0), Vec3::X);
+        assert!(reflect_ray(&incoming, Vec3::ZERO, Vec3::Z).is_none());
+    }
+
+    #[test]
+    fn ray_pointing_away_misses_mirror() {
+        let incoming = Ray::new(v3(0.0, 0.0, 1.0), Vec3::Z);
+        assert!(reflect_ray(&incoming, Vec3::ZERO, Vec3::Z).is_none());
+    }
+
+    #[test]
+    fn double_reflection_from_parallel_mirrors_restores_direction() {
+        let incoming = Ray::new(v3(0.0, 0.0, 0.0), v3(1.0, 0.0, -1.0));
+        let n = Vec3::Z;
+        let first = reflect_ray(&incoming, v3(0.0, 0.0, -1.0), n).unwrap();
+        let second = reflect_ray(&first, v3(0.0, 0.0, 1.0), -n).unwrap();
+        assert!((second.dir - incoming.dir.normalized()).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,430 @@
+//! Three-component `f64` vector.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-D vector (or point) with `f64` components.
+///
+/// Used throughout Cyclops for positions (metres), beam direction vectors
+/// (unit length) and mirror normals (unit length).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+/// Shorthand constructor: `v3(x, y, z)`.
+#[inline]
+pub const fn v3(x: f64, y: f64, z: f64) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = v3(0.0, 0.0, 0.0);
+    /// Unit vector along +X.
+    pub const X: Vec3 = v3(1.0, 0.0, 0.0);
+    /// Unit vector along +Y.
+    pub const Y: Vec3 = v3(0.0, 1.0, 0.0);
+    /// Unit vector along +Z.
+    pub const Z: Vec3 = v3(0.0, 0.0, 1.0);
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        v3(x, y, z)
+    }
+
+    /// Creates a vector with all components equal to `s`.
+    #[inline]
+    pub const fn splat(s: f64) -> Self {
+        v3(s, s, s)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product (right-handed).
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        v3(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance between two points.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns the unit vector in the same direction.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the vector is (near-)zero; normalizing a
+    /// zero vector is always a logic error in this codebase.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 1e-300, "normalizing a zero vector");
+        self / n
+    }
+
+    /// Returns `Some(unit vector)` or `None` if the norm is below `eps`.
+    #[inline]
+    pub fn try_normalized(self, eps: f64) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= eps {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// True if the vector's norm is within `eps` of 1.
+    #[inline]
+    pub fn is_unit(self, eps: f64) -> bool {
+        (self.norm() - 1.0).abs() <= eps
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        v3(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        v3(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Projects `self` onto the (not necessarily unit) direction `dir`.
+    #[inline]
+    pub fn project_onto(self, dir: Vec3) -> Vec3 {
+        let d2 = dir.norm_sq();
+        debug_assert!(d2 > 1e-300, "projecting onto a zero direction");
+        dir * (self.dot(dir) / d2)
+    }
+
+    /// Component of `self` perpendicular to `dir`.
+    #[inline]
+    pub fn reject_from(self, dir: Vec3) -> Vec3 {
+        self - self.project_onto(dir)
+    }
+
+    /// Angle between two vectors in radians, in `[0, π]`.
+    ///
+    /// Numerically robust via `atan2` of cross/dot (stable for near-parallel
+    /// and near-antiparallel inputs, unlike `acos`).
+    #[inline]
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        self.cross(other).norm().atan2(self.dot(other))
+    }
+
+    /// Returns an arbitrary unit vector perpendicular to `self`.
+    ///
+    /// Useful to build orthonormal frames around a beam axis.
+    pub fn any_perpendicular(self) -> Vec3 {
+        debug_assert!(self.norm() > 1e-300);
+        // Pick the coordinate axis least aligned with self for stability.
+        let ax = self.x.abs();
+        let ay = self.y.abs();
+        let az = self.z.abs();
+        let basis = if ax <= ay && ax <= az {
+            Vec3::X
+        } else if ay <= az {
+            Vec3::Y
+        } else {
+            Vec3::Z
+        };
+        self.cross(basis).normalized()
+    }
+
+    /// True if all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Largest absolute component.
+    #[inline]
+    pub fn abs_max(self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+
+    /// Components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from an array `[x, y, z]`.
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Vec3 {
+        v3(a[0], a[1], a[2])
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        v3(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        v3(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        v3(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        v3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        v3(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6}, {:.6})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq;
+
+    #[test]
+    fn dot_and_cross_basics() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn cross_is_anticommutative() {
+        let a = v3(1.0, 2.0, 3.0);
+        let b = v3(-4.0, 0.5, 2.0);
+        let c = a.cross(b) + b.cross(a);
+        assert!(c.norm() < 1e-15);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let v = v3(3.0, 4.0, 0.0);
+        assert!(approx_eq(v.norm(), 5.0));
+        assert!(v.normalized().is_unit(1e-12));
+        assert!(approx_eq(v.norm_sq(), 25.0));
+    }
+
+    #[test]
+    fn try_normalized_zero_is_none() {
+        assert!(Vec3::ZERO.try_normalized(1e-12).is_none());
+        assert!(v3(1e-20, 0.0, 0.0).try_normalized(1e-12).is_none());
+        assert!(Vec3::X.try_normalized(1e-12).is_some());
+    }
+
+    #[test]
+    fn angle_to_known_angles() {
+        assert!(approx_eq(
+            Vec3::X.angle_to(Vec3::Y),
+            std::f64::consts::FRAC_PI_2
+        ));
+        assert!(approx_eq(Vec3::X.angle_to(Vec3::X), 0.0));
+        assert!(approx_eq(Vec3::X.angle_to(-Vec3::X), std::f64::consts::PI));
+        // Robust for tiny angles.
+        let tiny = v3(1.0, 1e-9, 0.0);
+        assert!((Vec3::X.angle_to(tiny) - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn projection_and_rejection_decompose() {
+        let v = v3(2.0, -3.0, 0.5);
+        let d = v3(0.2, 0.9, -0.1);
+        let p = v.project_onto(d);
+        let r = v.reject_from(d);
+        assert!((p + r - v).norm() < 1e-12);
+        assert!(r.dot(d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_perpendicular_is_perpendicular_unit() {
+        for v in [
+            Vec3::X,
+            Vec3::Y,
+            Vec3::Z,
+            v3(1.0, 2.0, 3.0),
+            v3(-0.1, 0.0, 5.0),
+        ] {
+            let p = v.any_perpendicular();
+            assert!(p.is_unit(1e-12));
+            assert!(p.dot(v).abs() < 1e-12 * v.norm());
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = v3(0.0, 1.0, 2.0);
+        let b = v3(2.0, 3.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), v3(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn index_access() {
+        let v = v3(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let _ = v3(0.0, 0.0, 0.0)[3];
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let vs = [v3(1.0, 0.0, 0.0), v3(0.0, 2.0, 0.0), v3(0.0, 0.0, 3.0)];
+        let s: Vec3 = vs.into_iter().sum();
+        assert_eq!(s, v3(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let v = v3(1.5, -2.5, 3.5);
+        assert_eq!(Vec3::from_array(v.to_array()), v);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let v = v3(1.0, 2.0, 3.0);
+        assert_eq!(v * 2.0, v3(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * v, v3(2.0, 4.0, 6.0));
+        assert_eq!(v / 2.0, v3(0.5, 1.0, 1.5));
+        let mut w = v;
+        w += v;
+        w -= v3(1.0, 1.0, 1.0);
+        w *= 3.0;
+        w /= 3.0;
+        assert_eq!(w, v3(1.0, 3.0, 5.0));
+        assert_eq!(-v, v3(-1.0, -2.0, -3.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Received power → bit-error rate → frame loss.
+//!
+//! An intensity-modulated direct-detection (OOK) receiver in Gaussian noise
+//! has `BER = ½·erfc(Q/√2)`, with the Q factor proportional to the received
+//! *amplitude*. SFP data sheets specify the sensitivity as the power at
+//! which BER reaches 10⁻¹² (`Q ≈ 7.03`); the model anchors there and scales
+//! `Q` with received power: `Q = Q_ref · 10^((P − P_sens)/20)` (20, not 10:
+//! amplitude, not power).
+//!
+//! The practical upshot reproduced from the paper: the link is a cliff. A
+//! couple of dB above sensitivity the frame loss is immeasurably small; a
+//! couple of dB below, nothing gets through — which is why the paper's
+//! throughput plots switch between "optimal" and "zero" so sharply.
+
+/// Q factor at the specified sensitivity (BER 10⁻¹²).
+pub const Q_AT_SENSITIVITY: f64 = 7.034;
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26-based rational
+/// approximation, |error| < 1.5·10⁻⁷, extended by symmetry).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+/// The power→loss channel for a given transceiver sensitivity.
+#[derive(Debug, Clone, Copy)]
+pub struct FsoChannel {
+    /// Receiver sensitivity (dBm) at which BER = 10⁻¹².
+    pub sensitivity_dbm: f64,
+    /// Receiver overload threshold (dBm): above this the receiver saturates
+    /// and errors grow again.
+    pub overload_dbm: f64,
+}
+
+impl FsoChannel {
+    /// Channel anchored at a transceiver's data-sheet points.
+    pub fn new(sensitivity_dbm: f64, overload_dbm: f64) -> FsoChannel {
+        FsoChannel {
+            sensitivity_dbm,
+            overload_dbm,
+        }
+    }
+
+    /// Q factor at the given received power.
+    pub fn q_factor(&self, rx_dbm: f64) -> f64 {
+        if rx_dbm == f64::NEG_INFINITY {
+            return 0.0;
+        }
+        let mut q = Q_AT_SENSITIVITY * 10f64.powf((rx_dbm - self.sensitivity_dbm) / 20.0);
+        if rx_dbm > self.overload_dbm {
+            // Saturation: Q degrades with overdrive.
+            q *= 10f64.powf(-(rx_dbm - self.overload_dbm) / 10.0);
+        }
+        q
+    }
+
+    /// Bit-error rate at the given received power.
+    pub fn ber(&self, rx_dbm: f64) -> f64 {
+        let q = self.q_factor(rx_dbm);
+        (0.5 * erfc(q / std::f64::consts::SQRT_2)).clamp(0.0, 0.5)
+    }
+
+    /// Probability an `n_bits` frame survives (no bit errors).
+    pub fn frame_success_prob(&self, rx_dbm: f64, n_bits: u64) -> f64 {
+        let ber = self.ber(rx_dbm);
+        if ber <= 1e-15 {
+            return 1.0;
+        }
+        // (1−p)^n via exp(n·ln(1−p)), stable for small p.
+        (n_bits as f64 * (1.0 - ber).ln()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> FsoChannel {
+        FsoChannel::new(-25.0, 7.0)
+    }
+
+    #[test]
+    fn erfc_anchor_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - (2.0 - 0.157_299_2)).abs() < 1e-6);
+        assert!(erfc(5.0) < 1.6e-12);
+    }
+
+    #[test]
+    fn ber_at_sensitivity_is_1e12() {
+        let ber = ch().ber(-25.0);
+        assert!((1e-13..1e-11).contains(&ber), "BER {ber}");
+    }
+
+    #[test]
+    fn ber_is_a_cliff() {
+        let c = ch();
+        // 3 dB above sensitivity: essentially error-free (BER ~1e-22).
+        assert!(c.ber(-22.0) < 1e-18);
+        // 6 dB below: catastrophic for any packet stream.
+        assert!(c.ber(-31.0) > 1e-4, "ber {}", c.ber(-31.0));
+        // No signal at all: coin flips.
+        assert!((c.ber(f64::NEG_INFINITY) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ber_monotone_in_power_below_overload() {
+        let c = ch();
+        let mut last = 1.0;
+        for p in [-30.0, -27.0, -25.0, -23.0, -20.0, -10.0] {
+            let b = c.ber(p);
+            assert!(b <= last, "BER must fall with power ({p} dBm: {b})");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn overload_degrades_q() {
+        let c = ch();
+        assert!(c.q_factor(12.0) < c.q_factor(5.0));
+    }
+
+    #[test]
+    fn frame_success_probability() {
+        let c = ch();
+        // 1500-byte frame = 12k bits.
+        assert!((c.frame_success_prob(-20.0, 12_000) - 1.0).abs() < 1e-9);
+        let marginal = c.frame_success_prob(-26.5, 12_000);
+        assert!((0.0..1.0).contains(&marginal), "marginal {marginal}");
+        assert!(c.frame_success_prob(-35.0, 12_000) < 1e-6);
+    }
+}

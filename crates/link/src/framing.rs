@@ -1,0 +1,135 @@
+//! Minimal framing for the video stream: sequence number + payload + CRC-32.
+//!
+//! The renderer→VRH stream is unidirectional raw video (§2.1); the frame
+//! format here is deliberately simple — a 16-byte header and a trailing
+//! CRC — just enough for the loss accounting and corruption detection used
+//! by the examples and the channel tests.
+
+use crate::crc::crc32;
+
+/// Frame header magic.
+pub const MAGIC: u32 = 0xC1C1_0050;
+
+/// A data frame on the FSO link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Payload bytes (a video-slice in the real system).
+    pub payload: Vec<u8>,
+}
+
+/// Errors from [`Frame::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer shorter than a minimal frame.
+    Truncated,
+    /// Header magic mismatch.
+    BadMagic,
+    /// Declared length inconsistent with the buffer.
+    BadLength,
+    /// CRC mismatch (corrupted in flight).
+    BadCrc,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(seq: u64, payload: Vec<u8>) -> Frame {
+        Frame { seq, payload }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + 8 + 4 + self.payload.len() + 4
+    }
+
+    /// Serializes: `magic(4) | seq(8) | len(4) | payload | crc32(4)`,
+    /// all little-endian; the CRC covers everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let c = crc32(&out);
+        out.extend_from_slice(&c.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates an encoded frame.
+    pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+        if buf.len() < 20 {
+            return Err(FrameError::Truncated);
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let seq = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+        if buf.len() != 20 + len {
+            return Err(FrameError::BadLength);
+        }
+        let crc_expect = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+        if crc32(&buf[..buf.len() - 4]) != crc_expect {
+            return Err(FrameError::BadCrc);
+        }
+        Ok(Frame {
+            seq,
+            payload: buf[16..16 + len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = Frame::new(42, vec![1, 2, 3, 4, 5]);
+        let enc = f.encode();
+        assert_eq!(enc.len(), f.encoded_len());
+        let dec = Frame::decode(&enc).unwrap();
+        assert_eq!(dec, f);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = Frame::new(0, vec![]);
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let enc = Frame::new(7, vec![0xAA; 64]).encode();
+        for pos in [0usize, 5, 13, 30, enc.len() - 1] {
+            let mut bad = enc.clone();
+            bad[pos] ^= 0x40;
+            let err = Frame::decode(&bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FrameError::BadCrc | FrameError::BadMagic | FrameError::BadLength
+                ),
+                "pos {pos}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = Frame::new(7, vec![1, 2, 3]).encode();
+        assert_eq!(Frame::decode(&enc[..10]), Err(FrameError::Truncated));
+        assert_eq!(
+            Frame::decode(&enc[..enc.len() - 1]),
+            Err(FrameError::BadLength)
+        );
+    }
+
+    #[test]
+    fn large_frame() {
+        let f = Frame::new(u64::MAX, vec![0x5A; 9000]); // jumbo
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+}

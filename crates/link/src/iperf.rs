@@ -1,0 +1,131 @@
+//! iperf-style throughput measurement.
+//!
+//! The paper measures "for every 50 ms time window ... the average
+//! throughput (using iperf) as well as the linear speed (using VRH-T
+//! reports)" (§5.3). [`ThroughputMeter`] reproduces that: feed it per-slot
+//! delivered bits and it emits window-averaged Gbps.
+
+/// Windowed goodput meter.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    /// Window length (seconds); the paper uses 50 ms.
+    pub window_s: f64,
+    acc_bits: f64,
+    acc_t: f64,
+    windows: Vec<f64>,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter with the given window.
+    pub fn new(window_s: f64) -> ThroughputMeter {
+        assert!(window_s > 0.0);
+        ThroughputMeter {
+            window_s,
+            acc_bits: 0.0,
+            acc_t: 0.0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The paper's 50 ms window.
+    pub fn paper_default() -> ThroughputMeter {
+        ThroughputMeter::new(0.050)
+    }
+
+    /// Records `bits` delivered over a slot of `dt` seconds. A slot longer
+    /// than the remaining window is split proportionally across the windows
+    /// it covers (uniform delivery within the slot).
+    pub fn record(&mut self, mut bits: f64, mut dt: f64) {
+        while dt > 0.0 {
+            let remaining = self.window_s - self.acc_t;
+            if dt < remaining - 1e-12 {
+                self.acc_bits += bits;
+                self.acc_t += dt;
+                return;
+            }
+            // Fill the current window with the slot's proportional share.
+            let share = bits * (remaining / dt).min(1.0);
+            self.acc_bits += share;
+            bits -= share;
+            dt -= remaining;
+            let gbps = self.acc_bits / self.window_s / 1e9;
+            self.windows.push(gbps);
+            self.acc_bits = 0.0;
+            self.acc_t = 0.0;
+        }
+    }
+
+    /// Completed windows so far (Gbps each).
+    pub fn windows(&self) -> &[f64] {
+        &self.windows
+    }
+
+    /// Mean goodput over all completed windows (Gbps).
+    pub fn mean_gbps(&self) -> f64 {
+        if self.windows.is_empty() {
+            0.0
+        } else {
+            self.windows.iter().sum::<f64>() / self.windows.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_measures_exactly() {
+        let mut m = ThroughputMeter::paper_default();
+        // 9.4 Gbps for one second in 1 ms slots.
+        for _ in 0..1000 {
+            m.record(9.4e9 * 1e-3, 1e-3);
+        }
+        assert_eq!(m.windows().len(), 20);
+        for w in m.windows() {
+            assert!((w - 9.4).abs() < 1e-9, "window {w}");
+        }
+        assert!((m.mean_gbps() - 9.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outage_shows_as_zero_windows() {
+        let mut m = ThroughputMeter::paper_default();
+        for i in 0..200 {
+            let up = !(50..150).contains(&i); // 100 ms outage in the middle
+            m.record(if up { 1e9 * 1e-3 } else { 0.0 }, 1e-3);
+        }
+        let w = m.windows();
+        assert_eq!(w.len(), 4);
+        assert!(w[0] > 0.9 && w[3] > 0.9);
+        assert!(w[1] < 1e-9 && w[2] < 1e-9);
+    }
+
+    #[test]
+    fn long_slot_spreads_across_windows() {
+        // One 120 ms burst at a constant rate covers two full windows and
+        // part of a third; bits must spread, not pile into the first.
+        let mut m = ThroughputMeter::paper_default();
+        m.record(1.2e9 * 0.12, 0.12); // 1.2 Gbps for 120 ms
+        assert_eq!(m.windows().len(), 2);
+        for w in m.windows() {
+            assert!((w - 1.2).abs() < 1e-9, "window {w}");
+        }
+    }
+
+    #[test]
+    fn partial_window_not_emitted() {
+        let mut m = ThroughputMeter::paper_default();
+        for _ in 0..49 {
+            m.record(1e6, 1e-3);
+        }
+        assert!(m.windows().is_empty());
+        m.record(1e6, 1e-3);
+        assert_eq!(m.windows().len(), 1);
+    }
+
+    #[test]
+    fn empty_meter_mean_is_zero() {
+        assert_eq!(ThroughputMeter::paper_default().mean_gbps(), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # cyclops-link
+//!
+//! The data plane of the Cyclops reproduction: what happens to *bits* once
+//! the optics deliver (or fail to deliver) photons.
+//!
+//! * [`channel`] — received power → BER → frame-loss, anchored at the SFP's
+//!   specified sensitivity (BER 10⁻¹² at sensitivity, Gaussian-noise OOK
+//!   scaling above/below);
+//! * [`crc`] / [`framing`] — CRC-32 framing used by the loss accounting and
+//!   the quickstart examples;
+//! * [`sfp_state`] — the link up/down state machine with the multi-second
+//!   re-lock the paper observed ("once the link is lost, it takes a few
+//!   seconds to regain", §5.3);
+//! * [`iperf`] — 50 ms-window goodput measurement, the paper's iperf \[42\]
+//!   methodology;
+//! * [`simulator`] — the end-to-end 1 ms-slot simulator joining motion,
+//!   tracking, TP and optics: the engine behind Figs 13–15;
+//! * [`trace_sim`] — the §5.4 user-trace connectivity simulation (Fig 16),
+//!   implemented with exactly the paper's drift/tolerance methodology;
+//! * [`handover`] — the multi-TX occlusion/handover extension sketched in
+//!   §3 ("to circumvent occasional occlusions ... multiple TXs on the
+//!   ceiling with appropriate handover techniques") — geometric model;
+//! * [`multi_tx`] — the same extension on the full physical pipeline
+//!   (per-unit trained TP, real optics, real SFP re-lock).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod channel;
+pub mod crc;
+pub mod framing;
+pub mod handover;
+pub mod iperf;
+pub mod multi_tx;
+pub mod sfp_state;
+pub mod simulator;
+pub mod trace_sim;
+pub mod video;
+
+pub use channel::FsoChannel;
+pub use framing::Frame;
+pub use iperf::ThroughputMeter;
+pub use multi_tx::{MultiTxSimulator, TxInstallation};
+pub use sfp_state::SfpLinkState;
+pub use simulator::{LinkSimConfig, LinkSimulator, SlotRecord};
+pub use trace_sim::{simulate_trace, TraceSimParams, TraceSimResult};

@@ -1,0 +1,324 @@
+//! Full-physics multi-TX operation — the §3 occlusion/coverage extension on
+//! top of the *real* pipeline (trained TP per ceiling unit, genuine optics,
+//! genuine SFP re-lock), rather than the geometric sketch in
+//! [`crate::handover`].
+//!
+//! Construction: several [`Deployment`]s built from the **same seed** (one
+//! physical headset/RX world) with different `tx_position`s, each with its
+//! own trained [`TpController`]. Per slot the simulator:
+//!
+//! 1. advances the occluders and the headset motion (pose synced to every
+//!    unit);
+//! 2. lets the active unit's TP act on tracking reports;
+//! 3. computes the active unit's received power, gated by line-of-sight
+//!    through the occluders;
+//! 4. hands over when the active unit has been dark for a debounce interval:
+//!    picks the best unoccluded unit, re-points it once from the latest
+//!    report, and lets the SFP state machine pay the re-lock on the new
+//!    unit.
+
+use crate::handover::Occluder;
+use crate::sfp_state::SfpLinkState;
+use cyclops_core::deployment::Deployment;
+use cyclops_core::mapping::noisy_report_of;
+use cyclops_core::tp::TpController;
+use cyclops_vrh::motion::Motion;
+use cyclops_vrh::tracking::TrackerConfig;
+use rand::Rng;
+
+/// One ceiling unit: its world (with its TX) plus its trained controller.
+#[derive(Debug, Clone)]
+pub struct TxInstallation {
+    /// The unit's deployment (shares the headset world with its siblings).
+    pub dep: Deployment,
+    /// The unit's trained TP controller.
+    pub ctl: TpController,
+}
+
+/// Per-slot record of the multi-TX simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiTxSlot {
+    /// Slot end time (s).
+    pub t: f64,
+    /// Index of the active unit.
+    pub active: usize,
+    /// Whether the active unit currently has line of sight.
+    pub los: bool,
+    /// Received power on the active unit (dBm; −90 floor).
+    pub power_dbm: f64,
+    /// Whether the SFP link is up (delivering data).
+    pub link_up: bool,
+}
+
+/// The multi-TX simulator.
+#[derive(Debug)]
+pub struct MultiTxSimulator<M: Motion> {
+    /// The installed units.
+    pub units: Vec<TxInstallation>,
+    /// Headset motion.
+    pub motion: M,
+    /// Moving occluders.
+    pub occluders: Vec<Occluder>,
+    /// Tracker timing config (shared).
+    pub tracker: TrackerConfig,
+    /// Dark time on the active unit before a handover is attempted (s).
+    pub handover_debounce_s: f64,
+    active: usize,
+    sfp: SfpLinkState,
+    dark_s: f64,
+    next_report_t: f64,
+    t: f64,
+    /// Cached TX aperture positions (ceiling units do not move).
+    tx_positions: Vec<cyclops_geom::vec3::Vec3>,
+}
+
+impl<M: Motion> MultiTxSimulator<M> {
+    /// Creates the simulator; unit 0 starts active and aligned to the
+    /// motion's initial pose.
+    pub fn new(
+        mut units: Vec<TxInstallation>,
+        mut motion: M,
+        occluders: Vec<Occluder>,
+    ) -> MultiTxSimulator<M> {
+        assert!(!units.is_empty());
+        let relink = units[0].dep.design.sfp.relink_time_s;
+        let pose0 = motion.pose_at(0.0);
+        for u in units.iter_mut() {
+            u.dep.set_headset_pose(pose0);
+        }
+        // Align unit 0.
+        let tracker = TrackerConfig::default();
+        let clean = units[0].dep.headset.true_reported_pose();
+        let rep = noisy_report_of(clean, &tracker, units[0].dep.rng());
+        let cmd = units[0].ctl.on_report(&rep);
+        units[0].dep.set_voltages(
+            cmd.voltages[0],
+            cmd.voltages[1],
+            cmd.voltages[2],
+            cmd.voltages[3],
+        );
+        let tx_positions = units.iter().map(|u| u.dep.tx_world_params().q2).collect();
+        MultiTxSimulator {
+            units,
+            motion,
+            occluders,
+            tracker,
+            handover_debounce_s: 0.03,
+            active: 0,
+            sfp: SfpLinkState::new_up(relink),
+            dark_s: 0.0,
+            next_report_t: 0.0,
+            t: 0.0,
+            tx_positions,
+        }
+    }
+
+    /// Index of the currently active unit.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    fn unit_los(&self, i: usize, rx_pos: cyclops_geom::vec3::Vec3) -> bool {
+        let tx_pos = self.tx_positions[i];
+        !self.occluders.iter().any(|o| o.blocks(tx_pos, rx_pos))
+    }
+
+    /// Runs for `duration_s` at 1 ms slots.
+    pub fn run(&mut self, duration_s: f64) -> Vec<MultiTxSlot> {
+        let slot = 1e-3;
+        let n = (duration_s / slot).round() as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t_slot = self.t + slot;
+
+            // Occluders wander.
+            for o in self.occluders.iter_mut() {
+                o.step(slot);
+            }
+
+            // Headset pose, synced to every unit's world.
+            let pose = self.motion.pose_at(t_slot);
+            for u in self.units.iter_mut() {
+                u.dep.set_headset_pose(pose);
+            }
+            let rx_pos = self.units[self.active].dep.rx_world_params().q2;
+
+            // Tracking reports drive the active unit's TP.
+            while self.next_report_t <= t_slot {
+                let rt = self.next_report_t;
+                let c = self.tracker;
+                let period = c.draw_period(self.units[self.active].dep.rng());
+                self.next_report_t = rt + period;
+                if c.report_loss_prob > 0.0
+                    && self.units[self.active]
+                        .dep
+                        .rng()
+                        .gen_bool(c.report_loss_prob)
+                {
+                    continue; // lost in the control channel
+                }
+                let u = &mut self.units[self.active];
+                let clean = u.dep.headset.true_reported_pose();
+                let rep = noisy_report_of(clean, &self.tracker, u.dep.rng());
+                let cmd = u.ctl.on_report(&rep);
+                u.dep.set_voltages(
+                    cmd.voltages[0],
+                    cmd.voltages[1],
+                    cmd.voltages[2],
+                    cmd.voltages[3],
+                );
+            }
+
+            // Active unit's optics, gated by line of sight.
+            let los = self.unit_los(self.active, rx_pos);
+            let power = if los {
+                self.units[self.active].dep.received_power_dbm()
+            } else {
+                Deployment::POWER_METER_FLOOR_DBM
+            };
+            let sens = self.units[self.active].dep.design.sfp.rx_sensitivity_dbm;
+            let signal = power >= sens;
+            if signal {
+                self.dark_s = 0.0;
+            } else {
+                self.dark_s += slot;
+            }
+
+            // Handover after the debounce: best unoccluded sibling.
+            if self.dark_s >= self.handover_debounce_s && self.units.len() > 1 {
+                if let Some(best) = (0..self.units.len())
+                    .filter(|&i| i != self.active && self.unit_los(i, rx_pos))
+                    .min_by(|&a, &b| {
+                        let da = self.tx_positions[a].distance(rx_pos);
+                        let db = self.tx_positions[b].distance(rx_pos);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                {
+                    self.active = best;
+                    self.dark_s = 0.0;
+                    // One immediate TP shot on the new unit.
+                    let u = &mut self.units[best];
+                    let clean = u.dep.headset.true_reported_pose();
+                    let rep = noisy_report_of(clean, &self.tracker, u.dep.rng());
+                    let cmd = u.ctl.on_report(&rep);
+                    u.dep.set_voltages(
+                        cmd.voltages[0],
+                        cmd.voltages[1],
+                        cmd.voltages[2],
+                        cmd.voltages[3],
+                    );
+                }
+            }
+
+            let up = self.sfp.step(signal, slot);
+            out.push(MultiTxSlot {
+                t: t_slot,
+                active: self.active,
+                los,
+                power_dbm: power,
+                link_up: up,
+            });
+            self.t = t_slot;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::pose::Pose;
+    use cyclops_geom::vec3::v3;
+    use cyclops_vrh::motion::StaticPose;
+
+    /// Two fully-trained installations sharing one headset world.
+    fn two_units(seed: u64) -> Vec<TxInstallation> {
+        use cyclops_core::deployment::DeploymentConfig;
+        use cyclops_core::kspace::{train_both, BoardConfig};
+        use cyclops_core::mapping::{self, rough_initial_guess};
+        use cyclops_core::tp::{TpConfig, TpController};
+        let board = BoardConfig {
+            cols: 10,
+            rows: 8,
+            cell_m: 0.0508,
+        };
+        [v3(-0.35, 0.0, 0.0), v3(0.35, 0.0, 0.0)]
+            .into_iter()
+            .map(|pos| {
+                let mut cfg = DeploymentConfig::paper_10g(seed);
+                cfg.tx_position = pos;
+                let mut dep = Deployment::new(&cfg);
+                let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &board, seed);
+                let (itx, irx) = rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
+                let mt = mapping::train(
+                    &mut dep,
+                    &tx_tr.fitted,
+                    &rx_tr.fitted,
+                    itx,
+                    irx,
+                    12,
+                    seed + 9,
+                );
+                let v = dep.voltages();
+                let ctl = TpController::new(mt.trained, TpConfig::default(), [v.0, v.1, v.2, v.3]);
+                TxInstallation { dep, ctl }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn units_share_one_headset_world() {
+        let units = two_units(901);
+        // Same hidden headset config (same seed) but different TX positions.
+        let h0 = units[0].dep.headset.hidden_config().vr_from_world.trans;
+        let h1 = units[1].dep.headset.hidden_config().vr_from_world.trans;
+        assert!((h0 - h1).norm() < 1e-12, "hidden worlds must match");
+        let t0 = units[0].dep.tx_world_params().q2;
+        let t1 = units[1].dep.tx_world_params().q2;
+        assert!((t0 - t1).norm() > 0.5, "TX units must be installed apart");
+    }
+
+    #[test]
+    fn occlusion_triggers_physical_handover() {
+        let units = two_units(902);
+        let motion = StaticPose(Pose::translation(v3(0.0, 0.0, 1.75)));
+        // Park an occluder permanently on unit 0's line of sight.
+        let tx0 = units[0].dep.tx_world_params().q2;
+        let rx = v3(0.0, 0.0, 1.75);
+        let mid = tx0.lerp(rx, 0.5);
+        let occ = Occluder::new(mid, 0.12, 0.0, 1);
+        let mut sim = MultiTxSimulator::new(units, motion, vec![occ]);
+        assert_eq!(sim.active(), 0);
+        let recs = sim.run(4.0);
+        // Handover happened...
+        assert_eq!(sim.active(), 1, "should have switched to unit 1");
+        // ...and after the SFP re-lock, data flows again on real optics.
+        let tail = &recs[recs.len() - 200..];
+        let up = tail.iter().filter(|r| r.link_up).count();
+        assert!(
+            up > 190,
+            "link should be up on unit 1 at the end ({up}/200)"
+        );
+        // The outage is dominated by the SFP re-lock, not the steering.
+        let first_up_again = recs
+            .iter()
+            .position(|r| r.active == 1 && r.link_up)
+            .expect("must recover");
+        let outage_s = recs[first_up_again].t;
+        assert!(
+            (2.0..3.5).contains(&outage_s),
+            "recovery after ≈ relink time, got {outage_s}s"
+        );
+    }
+
+    #[test]
+    fn no_occluder_means_no_handover() {
+        let units = two_units(903);
+        let motion = StaticPose(Pose::translation(v3(0.0, 0.0, 1.75)));
+        let mut sim = MultiTxSimulator::new(units, motion, vec![]);
+        let recs = sim.run(1.0);
+        assert_eq!(sim.active(), 0);
+        let up = recs.iter().filter(|r| r.link_up).count();
+        assert!(up as f64 / recs.len() as f64 > 0.98);
+    }
+}

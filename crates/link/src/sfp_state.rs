@@ -1,0 +1,127 @@
+//! SFP/NIC link state machine.
+//!
+//! §5.3: "once the link is lost, it takes a few seconds to regain the link
+//! partly due to the SFPs taking a few seconds to report that the link is
+//! up, after receiving the light \[38\]." The machine below: the link drops as
+//! soon as the optical signal falls below sensitivity (loss-of-signal is
+//! fast), but after light returns the SFP + NIC must hold signal
+//! continuously for `relink_time_s` before traffic flows again — which is
+//! what makes every beam outage cost seconds of throughput in Figs 13–15.
+
+/// Link state with re-lock hysteresis.
+#[derive(Debug, Clone, Copy)]
+pub struct SfpLinkState {
+    /// Required continuous signal time before the link re-establishes (s).
+    pub relink_time_s: f64,
+    up: bool,
+    signal_held_s: f64,
+}
+
+impl SfpLinkState {
+    /// Creates the machine in the *up* state (link starts aligned).
+    pub fn new_up(relink_time_s: f64) -> SfpLinkState {
+        SfpLinkState {
+            relink_time_s,
+            up: true,
+            signal_held_s: 0.0,
+        }
+    }
+
+    /// Creates the machine in the *down* state.
+    pub fn new_down(relink_time_s: f64) -> SfpLinkState {
+        SfpLinkState {
+            relink_time_s,
+            up: false,
+            signal_held_s: 0.0,
+        }
+    }
+
+    /// Advances by `dt` seconds with the given optical-signal presence.
+    /// Returns whether the link is up after the step.
+    pub fn step(&mut self, signal_present: bool, dt: f64) -> bool {
+        if self.up {
+            if !signal_present {
+                self.up = false;
+                self.signal_held_s = 0.0;
+            }
+        } else if signal_present {
+            self.signal_held_s += dt;
+            if self.signal_held_s >= self.relink_time_s {
+                self.up = true;
+            }
+        } else {
+            self.signal_held_s = 0.0;
+        }
+        self.up
+    }
+
+    /// Current state.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_immediately_on_signal_loss() {
+        let mut s = SfpLinkState::new_up(2.5);
+        assert!(s.is_up());
+        assert!(!s.step(false, 1e-3));
+        assert!(!s.is_up());
+    }
+
+    #[test]
+    fn relock_takes_seconds() {
+        let mut s = SfpLinkState::new_up(2.5);
+        s.step(false, 1e-3);
+        // 2.4 s of good signal: still down.
+        for _ in 0..2400 {
+            assert!(!s.step(true, 1e-3));
+        }
+        // Another 0.2 s: up again.
+        let mut up = false;
+        for _ in 0..200 {
+            up = s.step(true, 1e-3);
+        }
+        assert!(up);
+    }
+
+    #[test]
+    fn relock_timer_resets_on_flicker() {
+        let mut s = SfpLinkState::new_up(2.0);
+        s.step(false, 1e-3);
+        for _ in 0..1900 {
+            s.step(true, 1e-3);
+        }
+        // One bad slot resets the hold timer.
+        s.step(false, 1e-3);
+        for _ in 0..1900 {
+            assert!(!s.step(true, 1e-3), "must re-hold the full relink time");
+        }
+        for _ in 0..200 {
+            s.step(true, 1e-3);
+        }
+        assert!(s.is_up());
+    }
+
+    #[test]
+    fn stays_up_with_signal() {
+        let mut s = SfpLinkState::new_up(2.5);
+        for _ in 0..10_000 {
+            assert!(s.step(true, 1e-3));
+        }
+    }
+
+    #[test]
+    fn starts_down_when_requested() {
+        let mut s = SfpLinkState::new_down(0.01);
+        assert!(!s.is_up());
+        for _ in 0..11 {
+            s.step(true, 1e-3);
+        }
+        assert!(s.is_up());
+    }
+}

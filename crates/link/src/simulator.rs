@@ -1,0 +1,502 @@
+//! End-to-end 1 ms-slot link simulator: motion × tracking × TP × optics ×
+//! data plane — the engine behind the throughput evaluations (Figs 13–15).
+//!
+//! Each slot:
+//!
+//! 1. deliver any VRH-T reports that fell due (the tracker fires every
+//!    12–13 ms), run the TP controller on them, and schedule the resulting
+//!    galvo command after the TP latency (~1–2 ms);
+//! 2. apply commands whose time has come;
+//! 3. move the headset to its true pose and evaluate received power through
+//!    the full optical chain;
+//! 4. advance the SFP state machine (instant loss-of-signal, multi-second
+//!    re-lock) and account goodput through the BER channel.
+
+use crate::channel::FsoChannel;
+use crate::sfp_state::SfpLinkState;
+use cyclops_core::deployment::Deployment;
+use cyclops_core::mapping::noisy_report_of;
+use cyclops_core::tp::TpController;
+use cyclops_vrh::motion::Motion;
+use cyclops_vrh::speeds::pose_speeds;
+use cyclops_vrh::tracking::TrackerConfig;
+use rand::Rng;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSimConfig {
+    /// Slot length (seconds); the paper's trace study uses 1 ms.
+    pub slot_s: f64,
+    /// Tracking system timing/noise.
+    pub tracker: TrackerConfig,
+    /// Frame size for loss accounting (bits).
+    pub frame_bits: u64,
+    /// Emulate the paper's §5.3 operator protocol: when the link drops, the
+    /// operator stops moving ("we stop momentarily and slowly start moving
+    /// again") until the SFP re-locks; motion time freezes while down.
+    pub pause_on_outage: bool,
+}
+
+impl Default for LinkSimConfig {
+    fn default() -> Self {
+        LinkSimConfig {
+            slot_s: 1e-3,
+            tracker: TrackerConfig::default(),
+            frame_bits: 12_000,
+            pause_on_outage: false,
+        }
+    }
+}
+
+/// Per-slot record of the simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotRecord {
+    /// Slot start time (seconds).
+    pub t: f64,
+    /// Received optical power (dBm).
+    pub power_dbm: f64,
+    /// Whether the SFP link is up.
+    pub link_up: bool,
+    /// Goodput delivered this slot (Gbps).
+    pub goodput_gbps: f64,
+    /// True linear speed over the slot (m/s).
+    pub lin_speed: f64,
+    /// True angular speed over the slot (rad/s).
+    pub ang_speed: f64,
+}
+
+/// The simulator. Owns the world, the trained controller, and a motion.
+#[derive(Debug)]
+pub struct LinkSimulator<M: Motion> {
+    /// The physical bench.
+    pub dep: Deployment,
+    /// The trained TP controller.
+    pub ctl: TpController,
+    /// The RX assembly's motion.
+    pub motion: M,
+    /// Configuration.
+    pub cfg: LinkSimConfig,
+    channel: FsoChannel,
+    sfp: SfpLinkState,
+    next_report_t: f64,
+    pending: std::collections::VecDeque<(f64, [f64; 4])>,
+    t: f64,
+    /// Accumulated tracker random-walk drift (applied to report positions
+    /// when `tracker.drift_sigma_per_sqrt_s` is set).
+    drift: cyclops_geom::vec3::Vec3,
+    last_report_t: f64,
+    /// Motion-clock time (lags `t` when pause_on_outage freezes motion).
+    motion_t: f64,
+}
+
+impl<M: Motion> LinkSimulator<M> {
+    /// Creates a simulator. Per the paper's methodology the link "starts
+    /// with a perfectly aligned beam": one TP step is run against the
+    /// motion's initial pose and applied before time zero.
+    pub fn new(dep: Deployment, ctl: TpController, motion: M, cfg: LinkSimConfig) -> Self {
+        let mut dep = dep;
+        let mut ctl = ctl;
+        let mut motion = motion;
+        let pose0 = motion.pose_at(0.0);
+        dep.set_headset_pose(pose0);
+        let clean = dep.headset.true_reported_pose();
+        let report = noisy_report_of(clean, &cfg.tracker, dep.rng());
+        let cmd = ctl.on_report(&report);
+        dep.set_voltages(
+            cmd.voltages[0],
+            cmd.voltages[1],
+            cmd.voltages[2],
+            cmd.voltages[3],
+        );
+        let channel = FsoChannel::new(
+            dep.design.sfp.rx_sensitivity_dbm,
+            dep.design.sfp.rx_overload_dbm,
+        );
+        let sfp = SfpLinkState::new_up(dep.design.sfp.relink_time_s);
+        // The pre-start alignment above consumed the t = 0 report; the next
+        // one arrives a full tracker period later.
+        let first_period = cfg.tracker.draw_period(dep.rng());
+        LinkSimulator {
+            dep,
+            ctl,
+            motion,
+            cfg,
+            channel,
+            sfp,
+            next_report_t: first_period,
+            pending: std::collections::VecDeque::new(),
+            t: 0.0,
+            motion_t: 0.0,
+            drift: cyclops_geom::vec3::Vec3::ZERO,
+            last_report_t: 0.0,
+        }
+    }
+
+    fn draw_report_period(&mut self) -> f64 {
+        let c = self.cfg.tracker;
+        c.draw_period(self.dep.rng())
+    }
+
+    /// Runs for `duration_s`, returning one record per slot.
+    pub fn run(&mut self, duration_s: f64) -> Vec<SlotRecord> {
+        let n_slots = (duration_s / self.cfg.slot_s).round() as usize;
+        let mut out = Vec::with_capacity(n_slots);
+        let mut prev_pose = self.motion.pose_at(self.motion_t);
+        for _ in 0..n_slots {
+            let t_slot = self.t + self.cfg.slot_s;
+            let moving = !self.cfg.pause_on_outage || self.sfp.is_up();
+            let motion_t_slot = if moving {
+                self.motion_t + self.cfg.slot_s
+            } else {
+                self.motion_t
+            };
+
+            // 1. Tracking reports due within this slot.
+            while self.next_report_t <= t_slot {
+                let rt = self.next_report_t;
+                let period = self.draw_report_period();
+                self.next_report_t = rt + period;
+                // The control channel may lose the report entirely; the TP
+                // then simply waits for the next one.
+                let loss_p = self.cfg.tracker.report_loss_prob;
+                if loss_p > 0.0 && self.dep.rng().gen_bool(loss_p) {
+                    continue;
+                }
+                let pose = self
+                    .motion
+                    .pose_at(motion_t_slot.min(self.motion_t.max(motion_t_slot - (t_slot - rt))));
+                self.dep.set_headset_pose(pose);
+                let mut clean = self.dep.headset.true_reported_pose();
+                // Tracker random-walk drift (the §4 re-calibration trigger).
+                let ds = self.cfg.tracker.drift_sigma_per_sqrt_s;
+                if ds > 0.0 {
+                    let dt = (rt - self.last_report_t).max(0.0);
+                    let step = ds * dt.sqrt();
+                    let rng = self.dep.rng();
+                    self.drift += cyclops_geom::vec3::v3(
+                        cyclops_vrh::rand_util::gauss(rng) * step,
+                        cyclops_vrh::rand_util::gauss(rng) * step,
+                        cyclops_vrh::rand_util::gauss(rng) * step,
+                    );
+                    clean.trans += self.drift;
+                }
+                self.last_report_t = rt;
+                let reported = noisy_report_of(clean, &self.cfg.tracker, self.dep.rng());
+                let cmd = self.ctl.on_report(&reported);
+                // The command is optically effective only after the control
+                // channel, the DAC conversion AND the mirror settle/slew.
+                let settle = self.dep.settle_estimate(
+                    cmd.voltages[0],
+                    cmd.voltages[1],
+                    cmd.voltages[2],
+                    cmd.voltages[3],
+                );
+                let apply_at =
+                    rt + self.cfg.tracker.control_channel_latency_s + cmd.latency_s + settle;
+                self.pending.push_back((apply_at, cmd.voltages));
+            }
+
+            // 2. Apply the due commands, in order (at high tracking rates a
+            // command can still be in the DAC pipeline when the next report
+            // arrives).
+            while let Some(&(when, v)) = self.pending.front() {
+                if when > t_slot {
+                    break;
+                }
+                self.dep.set_voltages(v[0], v[1], v[2], v[3]);
+                self.pending.pop_front();
+            }
+
+            // 3. True pose & optics at slot end.
+            let pose = self.motion.pose_at(motion_t_slot);
+            self.dep.set_headset_pose(pose);
+            let power = self.dep.received_power_dbm();
+            let (lin, ang) = pose_speeds(&prev_pose, &pose, self.cfg.slot_s);
+            prev_pose = pose;
+
+            // 4. Data plane.
+            let signal = power >= self.channel.sensitivity_dbm;
+            let up = self.sfp.step(signal, self.cfg.slot_s);
+            let goodput = if up {
+                let rate = self.dep.design.sfp.optimal_goodput_gbps;
+                rate * self.channel.frame_success_prob(power, self.cfg.frame_bits)
+            } else {
+                0.0
+            };
+
+            out.push(SlotRecord {
+                t: t_slot,
+                power_dbm: power,
+                link_up: up,
+                goodput_gbps: goodput,
+                lin_speed: lin,
+                ang_speed: ang,
+            });
+            self.t = t_slot;
+            self.motion_t = motion_t_slot;
+        }
+        out
+    }
+}
+
+/// One of the paper's 50 ms measurement windows.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    /// Mean linear speed (m/s).
+    pub lin: f64,
+    /// Mean angular speed (rad/s).
+    pub ang: f64,
+    /// Mean goodput (Gbps).
+    pub goodput: f64,
+    /// Minimum received power (dBm).
+    pub min_power: f64,
+    /// Fraction of slots with the SFP link up.
+    pub up_frac: f64,
+    /// Fraction of slots where optical signal was present but the SFP was
+    /// still re-locking — the §5.3 "takes a few seconds to regain the link"
+    /// deadtime, which the paper's plots show as recovery gaps.
+    pub relink_frac: f64,
+}
+
+/// Aggregates slot records into the paper's 50 ms windows.
+pub fn windows_50ms(records: &[SlotRecord], slot_s: f64, sensitivity_dbm: f64) -> Vec<Window> {
+    assert!(
+        slot_s > 0.0 && slot_s <= 0.050,
+        "slots must fit inside the 50 ms window"
+    );
+    let per = (0.050 / slot_s).round() as usize;
+    records
+        .chunks(per)
+        .filter(|c| c.len() == per)
+        .map(|c| {
+            let n = c.len() as f64;
+            let lin = c.iter().map(|r| r.lin_speed).sum::<f64>() / n;
+            let ang = c.iter().map(|r| r.ang_speed).sum::<f64>() / n;
+            let tp = c.iter().map(|r| r.goodput_gbps).sum::<f64>() / n;
+            let pmin = c.iter().map(|r| r.power_dbm).fold(f64::INFINITY, f64::min);
+            let up = c.iter().filter(|r| r.link_up).count() as f64 / n;
+            let relink = c
+                .iter()
+                .filter(|r| !r.link_up && r.power_dbm >= sensitivity_dbm)
+                .count() as f64
+                / n;
+            Window {
+                lin,
+                ang,
+                goodput: tp,
+                min_power: pmin,
+                up_frac: up,
+                relink_frac: relink,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_core::deployment::DeploymentConfig;
+    use cyclops_core::kspace::{train_both, BoardConfig};
+    use cyclops_core::mapping::{self, rough_initial_guess};
+    use cyclops_core::tp::TpConfig;
+    use cyclops_geom::pose::Pose;
+    use cyclops_geom::vec3::{v3, Vec3};
+    use cyclops_vrh::motion::{LinearRail, StaticPose};
+
+    /// Full commissioning: train stages 1+2, leave the link aligned.
+    fn commissioned(seed: u64) -> (Deployment, TpController) {
+        let mut dep = Deployment::new(&DeploymentConfig::paper_10g(seed));
+        let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &BoardConfig::default(), seed);
+        let (init_tx, init_rx) =
+            rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed.wrapping_add(7));
+        let mt = mapping::train(
+            &mut dep,
+            &tx_tr.fitted,
+            &rx_tr.fitted,
+            init_tx,
+            init_rx,
+            30,
+            seed.wrapping_add(9),
+        );
+        // Park the headset at the nominal pose and align via TP.
+        dep.set_headset_pose(Pose::translation(v3(0.0, 0.0, 1.75)));
+        let v0 = dep.voltages();
+        let mut ctl = TpController::new(mt.trained, TpConfig::default(), [v0.0, v0.1, v0.2, v0.3]);
+        let rep = mapping::noisy_report(&mut dep, &TrackerConfig::default());
+        let cmd = ctl.on_report(&rep);
+        dep.set_voltages(
+            cmd.voltages[0],
+            cmd.voltages[1],
+            cmd.voltages[2],
+            cmd.voltages[3],
+        );
+        (dep, ctl)
+    }
+
+    #[test]
+    fn static_headset_sustains_optimal_throughput() {
+        let (dep, ctl) = commissioned(601);
+        let motion = StaticPose(Pose::translation(v3(0.0, 0.0, 1.75)));
+        let mut sim = LinkSimulator::new(dep, ctl, motion, LinkSimConfig::default());
+        let recs = sim.run(2.0);
+        let up_frac = recs.iter().filter(|r| r.link_up).count() as f64 / recs.len() as f64;
+        assert!(up_frac > 0.999, "up fraction {up_frac}");
+        let mean_tp = recs.iter().map(|r| r.goodput_gbps).sum::<f64>() / recs.len() as f64;
+        assert!((mean_tp - 9.4).abs() < 0.1, "mean goodput {mean_tp} Gbps");
+    }
+
+    #[test]
+    fn slow_rail_motion_keeps_link_up() {
+        // 5 cm/s strokes: far below the §5.3 33 cm/s threshold.
+        let (dep, ctl) = commissioned(602);
+        let base = Pose::translation(v3(0.0, 0.0, 1.75));
+        let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+        rail.v0 = 0.05;
+        rail.dv = 0.0; // stay slow
+        let mut sim = LinkSimulator::new(dep, ctl, rail, LinkSimConfig::default());
+        let recs = sim.run(8.0);
+        let up_frac = recs.iter().filter(|r| r.link_up).count() as f64 / recs.len() as f64;
+        assert!(up_frac > 0.98, "up fraction {up_frac}");
+    }
+
+    #[test]
+    fn fast_rail_motion_breaks_link() {
+        // 1.2 m/s: far beyond any tolerated speed — throughput must die and
+        // the relink hysteresis must keep it dead for seconds.
+        let (dep, ctl) = commissioned(603);
+        let base = Pose::translation(v3(0.0, 0.0, 1.75));
+        let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+        rail.v0 = 1.2;
+        rail.dv = 0.0;
+        let mut sim = LinkSimulator::new(dep, ctl, rail, LinkSimConfig::default());
+        let recs = sim.run(3.0);
+        let down = recs.iter().filter(|r| !r.link_up).count() as f64 / recs.len() as f64;
+        assert!(down > 0.5, "down fraction {down}");
+    }
+
+    #[test]
+    fn tracker_drift_degrades_the_link_over_time() {
+        // With a strong random-walk drift the reported frame walks away from
+        // reality; the TP acts on stale coordinates and the static link
+        // degrades within seconds — the §4 re-calibration trigger.
+        let (dep, ctl) = commissioned(606);
+        let run = |drift: f64, dep: &Deployment, ctl: &TpController| -> f64 {
+            let motion = cyclops_vrh::motion::StaticPose(Pose::translation(v3(0.0, 0.0, 1.75)));
+            let mut cfg = LinkSimConfig::default();
+            cfg.tracker.drift_sigma_per_sqrt_s = drift;
+            let mut sim = LinkSimulator::new(dep.clone(), ctl.clone(), motion, cfg);
+            let recs = sim.run(8.0);
+            recs.iter().filter(|r| r.link_up).count() as f64 / recs.len() as f64
+        };
+        let stable = run(0.0, &dep, &ctl);
+        let drifting = run(4e-3, &dep, &ctl);
+        assert!(stable > 0.99, "no drift: {stable}");
+        assert!(
+            drifting < stable - 0.1,
+            "drift must hurt: {stable} -> {drifting}"
+        );
+    }
+
+    #[test]
+    fn report_loss_degrades_speed_tolerance() {
+        // Losing half the control-channel reports doubles the effective
+        // report interval, so a speed that was comfortably tolerated starts
+        // dropping windows.
+        let (dep, ctl) = commissioned(605);
+        let run = |loss: f64, dep: &Deployment, ctl: &TpController| -> f64 {
+            let base = Pose::translation(v3(0.0, 0.0, 1.75));
+            let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+            rail.v0 = 0.25;
+            rail.dv = 0.0;
+            let mut cfg = LinkSimConfig::default();
+            cfg.tracker.report_loss_prob = loss;
+            let mut sim = LinkSimulator::new(dep.clone(), ctl.clone(), rail, cfg);
+            let recs = sim.run(5.0);
+            recs.iter().filter(|r| r.link_up).count() as f64 / recs.len() as f64
+        };
+        let clean = run(0.0, &dep, &ctl);
+        let lossy = run(0.6, &dep, &ctl);
+        assert!(
+            clean > 0.95,
+            "clean channel should hold at 25 cm/s: {clean}"
+        );
+        assert!(
+            lossy < clean - 0.02,
+            "60% report loss must hurt: {clean} -> {lossy}"
+        );
+    }
+
+    #[test]
+    fn pause_on_outage_freezes_motion_until_relink() {
+        // A fast rail breaks the link; with the §5.3 operator protocol the
+        // motion must freeze (speed ≈ 0) while the SFP re-locks, then resume.
+        let (dep, ctl) = commissioned(604);
+        let base = Pose::translation(v3(0.0, 0.0, 1.75));
+        let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+        rail.v0 = 1.2;
+        rail.dv = 0.0;
+        let cfg = LinkSimConfig {
+            pause_on_outage: true,
+            ..Default::default()
+        };
+        let mut sim = LinkSimulator::new(dep, ctl, rail, cfg);
+        let recs = sim.run(6.0);
+        // Find the first down slot, then check motion is frozen while down.
+        let first_down = recs
+            .iter()
+            .position(|r| !r.link_up)
+            .expect("1.2 m/s must break the link");
+        let mut frozen = 0usize;
+        let mut down = 0usize;
+        for r in &recs[first_down + 2..] {
+            if !r.link_up {
+                down += 1;
+                if r.lin_speed < 1e-9 {
+                    frozen += 1;
+                }
+            }
+        }
+        assert!(
+            down > 100,
+            "expect a multi-second relink ({down} down slots)"
+        );
+        let frac = frozen as f64 / down as f64;
+        assert!(
+            frac > 0.95,
+            "motion frozen during {:.0}% of down slots",
+            frac * 100.0
+        );
+        // The protocol cycles: freeze → re-lock → resume → (at this
+        // over-threshold speed) break again. The link must come back up at
+        // least once after the first loss.
+        assert!(
+            recs[first_down..].iter().any(|r| r.link_up),
+            "link should re-lock at least once after the first loss"
+        );
+    }
+
+    #[test]
+    fn windows_aggregate_correctly() {
+        let recs: Vec<SlotRecord> = (0..100)
+            .map(|i| SlotRecord {
+                t: i as f64 * 1e-3,
+                power_dbm: -20.0,
+                link_up: i < 50, // second window is a relink window
+                goodput_gbps: if i < 50 { 9.4 } else { 0.0 },
+                lin_speed: 0.1,
+                ang_speed: 0.2,
+            })
+            .collect();
+        let w = windows_50ms(&recs, 1e-3, -25.0);
+        assert_eq!(w.len(), 2);
+        assert!((w[0].lin - 0.1).abs() < 1e-12);
+        assert!((w[0].ang - 0.2).abs() < 1e-12);
+        assert!((w[0].goodput - 9.4).abs() < 1e-12);
+        assert!((w[0].min_power + 20.0).abs() < 1e-12);
+        assert!((w[0].up_frac - 1.0).abs() < 1e-12);
+        assert_eq!(w[0].relink_frac, 0.0);
+        // Second window: signal present (−20 ≥ −25) but link down → relink.
+        assert!((w[1].relink_frac - 1.0).abs() < 1e-12);
+        assert_eq!(w[1].up_frac, 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! The §5.4 user-trace connectivity simulation (Fig 16).
+//!
+//! The paper's methodology, implemented verbatim: "we divide time into 1 ms
+//! slots. The prototype's link starts with a perfectly aligned beam.
+//! Whenever the head/VRH position is reported (roughly every 10 ms), the TP
+//! mechanism aligns the beam in 1–2 ms with a lateral and angular error of
+//! 4.54 mm and 4.54/1.75 mrad respectively ... In between two position
+//! reports r and r′, the beam drifts laterally (angularly) at a rate of
+//! d(r,r′)/t(r′,r) per ms ... In any timeslot, if the total angular or
+//! lateral drift is more than the link's angular (8.73 mrad) or lateral
+//! (6 mm) tolerance, the link is marked as disconnected in that timeslot."
+
+use cyclops_vrh::traces::HeadTrace;
+
+/// Parameters of the §5.4 simulation — defaults are the paper's 25G values.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSimParams {
+    /// Slot length (ms).
+    pub slot_ms: f64,
+    /// TP realignment completion latency after a report (ms).
+    pub realign_latency_ms: f64,
+    /// Residual lateral error right after realignment (m) — Table 2's
+    /// combined average.
+    pub residual_lat_m: f64,
+    /// Residual angular error right after realignment (rad) — 4.54 mm over
+    /// the 1.75 m link.
+    pub residual_ang_rad: f64,
+    /// Lateral tolerance (m) — §5.3.1's 6 mm for the 25G link.
+    pub tol_lat_m: f64,
+    /// Angular tolerance (rad) — §5.3.1's 8.73 mrad.
+    pub tol_ang_rad: f64,
+}
+
+impl Default for TraceSimParams {
+    fn default() -> Self {
+        TraceSimParams {
+            slot_ms: 1.0,
+            realign_latency_ms: 1.5,
+            residual_lat_m: 4.54e-3,
+            residual_ang_rad: 4.54e-3 / 1.75,
+            tol_lat_m: 6.0e-3,
+            tol_ang_rad: 8.73e-3,
+        }
+    }
+}
+
+/// Result of simulating one trace.
+#[derive(Debug, Clone)]
+pub struct TraceSimResult {
+    /// Per-slot connectivity.
+    pub slots_on: Vec<bool>,
+    /// Fraction of slots connected.
+    pub on_fraction: f64,
+}
+
+impl TraceSimResult {
+    /// Number of disconnected slots.
+    pub fn off_slots(&self) -> usize {
+        self.slots_on.iter().filter(|&&b| !b).count()
+    }
+
+    /// §5.4's clustering metric: fraction of off-slots that fall in frames
+    /// (30 contiguous slots) containing fewer than `threshold` off-slots —
+    /// "widely scattered off-timeslots should have minimal impact on user
+    /// experience". The paper reports > 60 % at threshold 10.
+    pub fn off_slot_scatter_fraction(&self, frame_slots: usize, threshold: usize) -> f64 {
+        let total_off = self.off_slots();
+        if total_off == 0 {
+            return 1.0;
+        }
+        let mut scattered = 0usize;
+        for frame in self.slots_on.chunks(frame_slots) {
+            let off = frame.iter().filter(|&&b| !b).count();
+            if off < threshold {
+                scattered += off;
+            }
+        }
+        scattered as f64 / total_off as f64
+    }
+}
+
+/// Simulates link connectivity over one head-motion trace with the paper's
+/// drift model.
+pub fn simulate_trace(trace: &HeadTrace, p: &TraceSimParams) -> TraceSimResult {
+    assert!(trace.len() >= 2, "need at least two samples");
+    let _report_ms = trace.period_ms;
+    let n_slots = ((trace.duration_s() * 1e3) / p.slot_ms).floor() as usize;
+    let mut slots_on = Vec::with_capacity(n_slots);
+
+    // Misalignment state, starting perfectly aligned.
+    let mut lat = 0.0f64;
+    let mut ang = 0.0f64;
+    // Drift rates (per ms), from the most recent report pair.
+    let mut lat_rate = 0.0f64;
+    let mut ang_rate = 0.0f64;
+    // Pending realignment completion time (ms), if any.
+    let mut realign_at: Option<f64> = None;
+
+    let mut report_idx = 0usize;
+    for k in 0..n_slots {
+        let t_ms = (k as f64 + 1.0) * p.slot_ms;
+
+        // Reports that arrived by this slot.
+        while report_idx + 1 < trace.len() && trace.samples[report_idx + 1].t_ms <= t_ms {
+            report_idx += 1;
+            let a = &trace.samples[report_idx - 1];
+            let b = &trace.samples[report_idx];
+            let dt = b.t_ms - a.t_ms;
+            lat_rate = (b.pos - a.pos).norm() / dt;
+            ang_rate = a.quat.angle_to(&b.quat) / dt;
+            realign_at = Some(b.t_ms + p.realign_latency_ms);
+        }
+
+        // Realignment completion.
+        if let Some(when) = realign_at {
+            if when <= t_ms {
+                lat = p.residual_lat_m;
+                ang = p.residual_ang_rad;
+                realign_at = None;
+            }
+        }
+
+        // Drift accrues every slot.
+        lat += lat_rate * p.slot_ms;
+        ang += ang_rate * p.slot_ms;
+
+        slots_on.push(lat <= p.tol_lat_m && ang <= p.tol_ang_rad);
+    }
+
+    let on = slots_on.iter().filter(|&&b| b).count();
+    let on_fraction = on as f64 / slots_on.len().max(1) as f64;
+    TraceSimResult {
+        slots_on,
+        on_fraction,
+    }
+}
+
+/// Simulates a corpus of traces, returning each trace's on-fraction — the
+/// distribution behind Fig 16's CDF.
+pub fn simulate_corpus(traces: &[HeadTrace], p: &TraceSimParams) -> Vec<f64> {
+    traces
+        .iter()
+        .map(|t| simulate_trace(t, p).on_fraction)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::quat::Quat;
+    use cyclops_geom::vec3::{v3, Vec3};
+    use cyclops_vrh::traces::{TraceGenConfig, TraceSample};
+
+    /// A trace moving at constant linear/angular speed.
+    fn uniform_trace(lin_mps: f64, ang_rps: f64, secs: f64) -> HeadTrace {
+        let n = (secs * 100.0) as usize + 1;
+        let samples = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.01;
+                TraceSample {
+                    t_ms: t * 1e3,
+                    pos: v3(lin_mps * t, 0.0, 0.0),
+                    quat: Quat::from_axis_angle(Vec3::Y, ang_rps * t),
+                }
+            })
+            .collect();
+        HeadTrace {
+            period_ms: 10.0,
+            samples,
+        }
+    }
+
+    #[test]
+    fn stationary_trace_is_fully_connected() {
+        let tr = uniform_trace(0.0, 0.0, 10.0);
+        let r = simulate_trace(&tr, &TraceSimParams::default());
+        assert_eq!(r.on_fraction, 1.0);
+        assert_eq!(r.off_slots(), 0);
+    }
+
+    #[test]
+    fn slow_motion_stays_connected() {
+        // 10 cm/s: lateral budget per 10 ms = 1 mm ≪ (6 − 4.54) mm.
+        let tr = uniform_trace(0.10, 0.1, 10.0);
+        let r = simulate_trace(&tr, &TraceSimParams::default());
+        assert!(r.on_fraction > 0.999, "{}", r.on_fraction);
+    }
+
+    #[test]
+    fn threshold_speed_matches_paper_budget() {
+        // The lateral budget is (6 − 4.54) mm per 10 ms interval → the
+        // critical linear speed is ≈ 14.6 cm/s: slots late in each interval
+        // disconnect above it.
+        let below = simulate_trace(&uniform_trace(0.13, 0.0, 10.0), &TraceSimParams::default());
+        let above = simulate_trace(&uniform_trace(0.18, 0.0, 10.0), &TraceSimParams::default());
+        assert!(below.on_fraction > 0.99, "below {}", below.on_fraction);
+        assert!(above.on_fraction < 0.9, "above {}", above.on_fraction);
+    }
+
+    #[test]
+    fn angular_threshold_matches_paper_budget() {
+        // Angular budget (8.73 − 2.59) mrad per 10 ms → ≈ 0.61 rad/s
+        // (35 deg/s).
+        let below = simulate_trace(&uniform_trace(0.0, 0.45, 10.0), &TraceSimParams::default());
+        let above = simulate_trace(&uniform_trace(0.0, 0.9, 10.0), &TraceSimParams::default());
+        assert!(below.on_fraction > 0.99, "below {}", below.on_fraction);
+        assert!(above.on_fraction < 0.9, "above {}", above.on_fraction);
+    }
+
+    #[test]
+    fn generated_corpus_availability_matches_fig16() {
+        // A small corpus (the Fig 16 harness runs the full 500): overall
+        // availability should land in the high-90s with per-trace spread.
+        let traces: Vec<HeadTrace> = (0..20)
+            .map(|i| HeadTrace::generate(&TraceGenConfig::default(), 9000 + i))
+            .collect();
+        let fracs = simulate_corpus(&traces, &TraceSimParams::default());
+        let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        assert!((0.93..1.0).contains(&mean), "mean availability {mean}");
+    }
+
+    #[test]
+    fn scatter_metric_distinguishes_clustered_outages() {
+        // All-off frame vs scattered singles.
+        let mut clustered = vec![true; 300];
+        for s in clustered.iter_mut().take(60).skip(30) {
+            *s = false;
+        }
+        let r1 = TraceSimResult {
+            on_fraction: 0.9,
+            slots_on: clustered,
+        };
+        assert_eq!(r1.off_slot_scatter_fraction(30, 10), 0.0);
+
+        let mut scattered = vec![true; 300];
+        for i in (0..300).step_by(30) {
+            scattered[i] = false;
+        }
+        let r2 = TraceSimResult {
+            on_fraction: 0.97,
+            slots_on: scattered,
+        };
+        assert_eq!(r2.off_slot_scatter_fraction(30, 10), 1.0);
+    }
+
+    #[test]
+    fn perfect_tp_never_disconnects_at_moderate_speed() {
+        // With zero residual error the budget doubles.
+        let p = TraceSimParams {
+            residual_lat_m: 0.0,
+            residual_ang_rad: 0.0,
+            ..Default::default()
+        };
+        let r = simulate_trace(&uniform_trace(0.25, 0.0, 5.0), &p);
+        // 0.25 m/s × 10 ms = 2.5 mm < 6 mm → fully connected.
+        assert!(r.on_fraction > 0.999, "{}", r.on_fraction);
+    }
+}

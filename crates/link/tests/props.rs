@@ -1,0 +1,125 @@
+//! Property-based tests for the data-plane layer.
+
+use cyclops_link::channel::FsoChannel;
+use cyclops_link::crc::crc32;
+use cyclops_link::framing::Frame;
+use cyclops_link::iperf::ThroughputMeter;
+use cyclops_link::sfp_state::SfpLinkState;
+use cyclops_link::trace_sim::{simulate_trace, TraceSimParams};
+use cyclops_vrh::traces::{HeadTrace, TraceGenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// BER is a monotone non-increasing function of power below overload,
+    /// bounded in [0, 0.5].
+    #[test]
+    fn ber_monotone(p1 in -60.0..5.0f64, p2 in -60.0..5.0f64) {
+        let ch = FsoChannel::new(-25.0, 7.0);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let b_lo = ch.ber(lo);
+        let b_hi = ch.ber(hi);
+        prop_assert!((0.0..=0.5).contains(&b_lo));
+        prop_assert!(b_hi <= b_lo + 1e-15);
+    }
+
+    /// Frame survival decreases with frame size.
+    #[test]
+    fn bigger_frames_survive_less(p in -30.0..-24.0f64, n1 in 100u64..5_000, n2 in 5_000u64..50_000) {
+        let ch = FsoChannel::new(-25.0, 7.0);
+        prop_assert!(ch.frame_success_prob(p, n2) <= ch.frame_success_prob(p, n1) + 1e-12);
+    }
+
+    /// Framing round-trips arbitrary payloads; CRC flags arbitrary flips.
+    #[test]
+    fn framing_roundtrip_and_corruption(seq in any::<u64>(),
+                                        payload in prop::collection::vec(any::<u8>(), 0..512),
+                                        flip_byte in 0usize..512, flip_bit in 0u8..8) {
+        let f = Frame::new(seq, payload);
+        let enc = f.encode();
+        prop_assert_eq!(Frame::decode(&enc).unwrap(), f);
+        let pos = flip_byte % enc.len();
+        let mut bad = enc.clone();
+        bad[pos] ^= 1 << flip_bit;
+        prop_assert!(Frame::decode(&bad).is_err(), "flip at {pos} undetected");
+    }
+
+    /// CRC distributes: distinct single-byte payloads get distinct CRCs
+    /// (true for CRC-32 over 1-byte inputs).
+    #[test]
+    fn crc_distinguishes_bytes(a in any::<u8>(), b in any::<u8>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(crc32(&[a]), crc32(&[b]));
+    }
+
+    /// The SFP machine's total up-time never exceeds slots with signal.
+    #[test]
+    fn sfp_up_implies_signal_history(pattern in prop::collection::vec(any::<bool>(), 1..400)) {
+        let mut s = SfpLinkState::new_up(0.05);
+        let mut up_slots = 0usize;
+        let mut signal_slots = 0usize;
+        for &sig in &pattern {
+            if sig {
+                signal_slots += 1;
+            }
+            if s.step(sig, 1e-3) {
+                up_slots += 1;
+                // The link can only be up on a slot with signal.
+                prop_assert!(sig);
+            }
+        }
+        prop_assert!(up_slots <= signal_slots);
+    }
+
+    /// The throughput meter conserves bits: sum of windows equals input.
+    #[test]
+    fn meter_conserves_bits(rates in prop::collection::vec(0.0..10e9f64, 50..400)) {
+        let mut m = ThroughputMeter::new(0.050);
+        let mut total_bits = 0.0;
+        for r in &rates {
+            m.record(r * 1e-3, 1e-3);
+            total_bits += r * 1e-3;
+        }
+        let complete = rates.len() / 50;
+        let windowed_bits: f64 = m.windows().iter().map(|g| g * 1e9 * 0.050).sum();
+        let accounted = (complete * 50) as f64;
+        // Bits in completed windows match the first `complete*50` slots.
+        let expected: f64 = rates.iter().take(accounted as usize).map(|r| r * 1e-3).sum();
+        prop_assert!((windowed_bits - expected).abs() < 1e-3,
+            "windowed {windowed_bits} vs expected {expected} (total {total_bits})");
+    }
+
+    /// Trace-sim availability is in \[0,1\] and zero-tolerance kills any
+    /// moving trace.
+    #[test]
+    fn trace_sim_bounds(seed in 0u64..50) {
+        let cfg = TraceGenConfig { duration_s: 2.0, ..Default::default() };
+        let tr = HeadTrace::generate(&cfg, seed);
+        let r = simulate_trace(&tr, &TraceSimParams::default());
+        prop_assert!((0.0..=1.0).contains(&r.on_fraction));
+        let strict = TraceSimParams {
+            tol_lat_m: 0.0,
+            tol_ang_rad: 0.0,
+            residual_lat_m: 0.0,
+            residual_ang_rad: 0.0,
+            ..Default::default()
+        };
+        let r2 = simulate_trace(&tr, &strict);
+        prop_assert!(r2.on_fraction <= r.on_fraction);
+    }
+
+    /// Tightening either tolerance can only reduce availability.
+    #[test]
+    fn trace_sim_monotone_in_tolerance(seed in 0u64..30, shrink in 0.2..1.0f64) {
+        let cfg = TraceGenConfig { duration_s: 2.0, ..Default::default() };
+        let tr = HeadTrace::generate(&cfg, seed);
+        let base = TraceSimParams::default();
+        let tight = TraceSimParams {
+            tol_lat_m: base.tol_lat_m * shrink,
+            tol_ang_rad: base.tol_ang_rad * shrink,
+            ..base
+        };
+        let a = simulate_trace(&tr, &base).on_fraction;
+        let b = simulate_trace(&tr, &tight).on_fraction;
+        prop_assert!(b <= a + 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! Gaussian-beam geometry.
+//!
+//! §5.1 compares two link designs: a **collimated** beam (near-zero
+//! divergence, width set by a beam expander) and a **diverging** beam whose
+//! divergence is tuned with an adjustable collimator so the beam reaches a
+//! chosen diameter (16–20 mm) at the receiver. [`BeamState`] models both with
+//! one parameterization: a chief ray, a waist radius/offset, and a
+//! half-divergence angle.
+
+use cyclops_geom::{Ray, Vec3};
+
+/// A propagating quasi-Gaussian beam.
+///
+/// The intensity profile is Gaussian with 1/e² radius following the
+/// hyperbola `w(z) = sqrt(w_waist² + (θ·(z − z_waist))²)`, where `z` is the
+/// distance along the chief ray from its origin and `z_waist = −waist_back`
+/// (the waist sits `waist_back` metres *behind* the current chief-ray
+/// origin). The *virtual source* is the point the far-field rays appear to
+/// emanate from; for a collimated beam it recedes to infinity. The
+/// source-distance distinction drives the Table-1 asymmetry between TX and
+/// RX angular tolerance (see [`crate::coupling`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamState {
+    /// Chief ray: current reference point and propagation direction.
+    pub chief: Ray,
+    /// 1/e² intensity radius at the waist (metres).
+    pub waist_radius: f64,
+    /// Half-divergence angle (radians).
+    pub theta_half: f64,
+    /// Path distance from the chief-ray origin *back* to the waist (metres,
+    /// ≥ 0). Zero for a freshly launched beam.
+    pub waist_back: f64,
+    /// Total optical power carried by the beam, in dBm.
+    pub power_dbm: f64,
+}
+
+impl BeamState {
+    /// Creates a freshly launched beam: waist at the chief-ray origin.
+    pub fn new(chief: Ray, waist_radius: f64, theta_half: f64, power_dbm: f64) -> BeamState {
+        assert!(waist_radius > 0.0, "beam must have positive waist radius");
+        assert!(theta_half >= 0.0, "divergence cannot be negative");
+        BeamState {
+            chief,
+            waist_radius,
+            theta_half,
+            waist_back: 0.0,
+            power_dbm,
+        }
+    }
+
+    /// 1/e² radius after travelling distance `d` beyond the chief-ray origin.
+    #[inline]
+    pub fn radius_at(&self, d: f64) -> f64 {
+        let z = d + self.waist_back;
+        (self.waist_radius * self.waist_radius + (self.theta_half * z) * (self.theta_half * z))
+            .sqrt()
+    }
+
+    /// The virtual source point: where backwards-extrapolated far-field rays
+    /// converge — at `w_waist/θ` behind the waist.
+    ///
+    /// `None` for a (near-)collimated beam; callers should use
+    /// [`BeamState::local_ray_dir`], which handles that limit.
+    pub fn virtual_source(&self) -> Option<Vec3> {
+        if self.theta_half < 1e-9 {
+            return None;
+        }
+        let behind = self.waist_back + self.waist_radius / self.theta_half;
+        Some(self.chief.origin - self.chief.dir * behind)
+    }
+
+    /// Direction of the local ray passing through point `p` — the direction
+    /// light actually travels at `p`.
+    pub fn local_ray_dir(&self, p: Vec3) -> Vec3 {
+        match self.virtual_source() {
+            Some(src) => (p - src).normalized(),
+            None => self.chief.dir,
+        }
+    }
+
+    /// Applies a power change (gain or loss) in dB, returning the new beam.
+    pub fn attenuated(mut self, db: f64) -> BeamState {
+        self.power_dbm += db;
+        self
+    }
+
+    /// The beam after travelling distance `d`: exact (the underlying
+    /// hyperbola is preserved via the waist offset).
+    pub fn propagated(&self, d: f64) -> BeamState {
+        BeamState {
+            chief: Ray::new(self.chief.point_at(d), self.chief.dir),
+            waist_radius: self.waist_radius,
+            theta_half: self.theta_half,
+            waist_back: self.waist_back + d,
+            power_dbm: self.power_dbm,
+        }
+    }
+
+    /// The beam after its path is folded by a mirror: the chief ray becomes
+    /// `reflected` (origin at the reflection point) and the optical path
+    /// travelled so far grows by `path_len`. Profile and power carry over —
+    /// mirrors are treated as lossless here; use
+    /// [`crate::mirror::clip_loss_db`] + [`BeamState::attenuated`] to account
+    /// for clipping.
+    pub fn folded(&self, reflected: Ray, path_len: f64) -> BeamState {
+        BeamState {
+            chief: reflected,
+            waist_radius: self.waist_radius,
+            theta_half: self.theta_half,
+            waist_back: self.waist_back + path_len,
+            power_dbm: self.power_dbm,
+        }
+    }
+}
+
+/// Fraction of a Gaussian beam's power (1/e² radius `w`) passing through a
+/// circular aperture of radius `a` whose centre is offset laterally by
+/// `delta` from the beam centre.
+///
+/// Evaluated by numerical integration in polar coordinates over the aperture
+/// disk (the offset case has no elementary closed form). For `delta = 0` it
+/// matches the analytic `1 − exp(−2a²/w²)`.
+pub fn capture_fraction(w: f64, delta: f64, a: f64) -> f64 {
+    assert!(w > 0.0 && a >= 0.0 && delta >= 0.0);
+    if a == 0.0 {
+        return 0.0;
+    }
+    if delta < 0.02 * w {
+        // Sub-2 % offsets perturb the encircled power by O((δ/w)²) < 4e-4
+        // relative; the centred closed form is exact enough and ~1000× the
+        // speed of the quadrature (this is the hot case: every aligned-link
+        // power evaluation in the simulators).
+        return 1.0 - (-2.0 * a * a / (w * w)).exp();
+    }
+    // If the aperture is so far into the tail that nothing couples, skip the
+    // integral (and avoid exp underflow noise).
+    if delta > 8.0 * w + a {
+        return 0.0;
+    }
+    // Integrate I(r) = (2/(π w²)) exp(−2 r²/w²) over the disk centred at
+    // distance `delta` from the beam axis, in polar coords (ρ, ψ) about the
+    // aperture centre. Midpoint rule; 48×64 is ample for the smooth kernel.
+    const NR: usize = 48;
+    const NA: usize = 64;
+    let norm = 2.0 / (std::f64::consts::PI * w * w);
+    let mut sum = 0.0;
+    for i in 0..NR {
+        let rho = (i as f64 + 0.5) / NR as f64 * a;
+        let mut ring = 0.0;
+        for j in 0..NA {
+            let psi = (j as f64 + 0.5) / NA as f64 * 2.0 * std::f64::consts::PI;
+            let r2 = rho * rho + delta * delta - 2.0 * rho * delta * psi.cos();
+            ring += (-2.0 * r2 / (w * w)).exp();
+        }
+        sum += ring * rho;
+    }
+    let d_rho = a / NR as f64;
+    let d_psi = 2.0 * std::f64::consts::PI / NA as f64;
+    (norm * sum * d_rho * d_psi).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::vec3::v3;
+
+    fn test_beam(theta: f64) -> BeamState {
+        BeamState::new(Ray::new(Vec3::ZERO, Vec3::Z), 0.005, theta, 20.0)
+    }
+
+    #[test]
+    fn radius_grows_with_divergence() {
+        let b = test_beam(0.003); // ~3 mrad half divergence
+        assert!((b.radius_at(0.0) - 0.005).abs() < 1e-12);
+        let w = b.radius_at(1.75);
+        // sqrt(5mm² + 5.25mm²) ≈ 7.25 mm
+        assert!((w - (0.005f64.powi(2) + 0.00525f64.powi(2)).sqrt()).abs() < 1e-12);
+        // Collimated beam barely grows.
+        let c = test_beam(1e-5);
+        assert!(c.radius_at(2.0) < 0.0051);
+    }
+
+    #[test]
+    fn virtual_source_position() {
+        let b = test_beam(0.005); // w/θ = 1 m behind launch
+        let src = b.virtual_source().unwrap();
+        assert!((src - v3(0.0, 0.0, -1.0)).norm() < 1e-12);
+        assert!(test_beam(0.0).virtual_source().is_none());
+    }
+
+    #[test]
+    fn local_ray_dir_diverging_vs_collimated() {
+        let b = test_beam(0.005);
+        // Ray through a point 10 cm off axis at z = 1 m tilts outwards.
+        let dir = b.local_ray_dir(v3(0.1, 0.0, 1.0));
+        assert!(dir.x > 0.0);
+        // Collimated: always the chief direction.
+        let c = test_beam(0.0);
+        assert_eq!(c.local_ray_dir(v3(0.1, 0.0, 1.0)), Vec3::Z);
+    }
+
+    #[test]
+    fn propagation_is_exact() {
+        let b = test_beam(0.004);
+        let moved = b.propagated(1.0);
+        assert!((moved.radius_at(0.0) - b.radius_at(1.0)).abs() < 1e-15);
+        // Radius continues on the same hyperbola — stepping is exact.
+        assert!((moved.radius_at(0.5) - b.radius_at(1.5)).abs() < 1e-15);
+        // Virtual source does not move.
+        let s0 = b.virtual_source().unwrap();
+        let s1 = moved.virtual_source().unwrap();
+        assert!((s0 - s1).norm() < 1e-12);
+    }
+
+    #[test]
+    fn folding_preserves_path_length() {
+        let b = test_beam(0.004);
+        // Fold at 1 m onto a new direction.
+        let folded = b.folded(Ray::new(v3(0.0, 0.0, 1.0), Vec3::X), 1.0);
+        assert!((folded.radius_at(0.75) - b.radius_at(1.75)).abs() < 1e-15);
+        assert_eq!(folded.power_dbm, b.power_dbm);
+    }
+
+    #[test]
+    fn capture_centered_matches_closed_form() {
+        for (w, a) in [(0.01, 0.005), (0.008, 0.008), (0.02, 0.004)] {
+            let got = capture_fraction(w, 0.0, a);
+            let expect = 1.0 - (-2.0 * a * a / (w * w)).exp();
+            assert!((got - expect).abs() < 1e-9, "w={w} a={a}");
+        }
+    }
+
+    #[test]
+    fn capture_offset_matches_integral_properties() {
+        let w = 0.01;
+        let a = 0.005;
+        let c0 = capture_fraction(w, 0.0, a);
+        let c1 = capture_fraction(w, 0.005, a);
+        let c2 = capture_fraction(w, 0.015, a);
+        // Monotone decreasing in offset.
+        assert!(c0 > c1 && c1 > c2);
+        // Far tail is nearly zero.
+        assert!(capture_fraction(w, 0.1, a) < 1e-12);
+        // All within [0, 1].
+        for c in [c0, c1, c2] {
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn capture_offset_numerical_accuracy() {
+        // Cross-check against a brute-force Cartesian integration.
+        let (w, delta, a) = (0.01, 0.006, 0.005);
+        let n = 400;
+        let mut sum = 0.0;
+        let h = 2.0 * a / n as f64;
+        for i in 0..n {
+            for j in 0..n {
+                let x = -a + (i as f64 + 0.5) * h;
+                let y = -a + (j as f64 + 0.5) * h;
+                if x * x + y * y <= a * a {
+                    let r2 = (x + delta) * (x + delta) + y * y;
+                    sum += (-2.0 * r2 / (w * w)).exp();
+                }
+            }
+        }
+        let brute = 2.0 / (std::f64::consts::PI * w * w) * sum * h * h;
+        let fast = capture_fraction(w, delta, a);
+        assert!((fast - brute).abs() < 2e-3, "fast {fast} brute {brute}");
+    }
+
+    #[test]
+    fn wider_beam_captures_less() {
+        let a = 0.005;
+        let narrow = capture_fraction(0.008, 0.0, a);
+        let wide = capture_fraction(0.02, 0.0, a);
+        assert!(narrow > wide);
+    }
+
+    #[test]
+    fn attenuation_changes_power_only() {
+        let b = test_beam(0.001);
+        let b2 = b.attenuated(-30.0);
+        assert!((b2.power_dbm - (b.power_dbm - 30.0)).abs() < 1e-12);
+        assert_eq!(b2.waist_radius, b.waist_radius);
+    }
+}

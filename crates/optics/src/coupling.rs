@@ -1,0 +1,452 @@
+//! Received-power model: how much light makes it from the air into the RX
+//! fiber, as a function of misalignment.
+//!
+//! ## Model
+//!
+//! The received power is the launch power plus four loss terms (all dB):
+//!
+//! 1. **Aperture capture** — fraction of the (Gaussian) beam profile of 1/e²
+//!    radius `w` entering the collimator aperture (radius `a`) at lateral
+//!    offset `δ`: the [`crate::beam::capture_fraction`] integral.
+//! 2. **Angular acceptance** — a Gaussian rolloff `exp(−φ²/2σ_φ²)` in the
+//!    incidence angle `φ` between the local ray and the collimator axis.
+//!    A fiber collimator maps incidence angle to focal-spot displacement, so
+//!    σ_φ is set by (focal spot size + fiber core)/focal length. A *diverging*
+//!    arriving beam produces a blurred, larger focal spot, which makes the
+//!    coupling *less* sensitive to angle — hence σ_φ grows (saturating) with
+//!    the arriving half-divergence θ.
+//! 3. **Divergence penalty** — the same blurred spot overfills the fiber
+//!    core, costing `k·θ²` dB. This is the paper's "coupling loss for the
+//!    diverging beam is quite high at −30 dB" (§5.3, including capture).
+//! 4. **Base insertion loss** — connectors, lens transmission.
+//!
+//! ## Calibration
+//!
+//! The four free constants are calibrated once against the four measured
+//! values of the paper's **Table 1** (TX/RX angular tolerance and peak power
+//! for the collimated and diverging 10G designs at 1.75 m); everything else —
+//! the Fig 11 diameter sweep, the speed limits of Figs 13–15 — is then a
+//! *prediction* of the calibrated model. The paper's "beam diameter at RX"
+//! is mapped to the Gaussian 1/e² radius `w`, the interpretation under which
+//! the measured diverging-beam TX tolerance (15.81 mrad) is consistent with
+//! a 15 dB link margin.
+
+use crate::amplifier::Edfa;
+use crate::beam::{capture_fraction, BeamState};
+use crate::power::linear_to_db;
+use crate::sfp::SfpSpec;
+use cyclops_geom::plane::Plane;
+use cyclops_geom::ray::Ray;
+use cyclops_geom::vec3::Vec3;
+
+/// Geometry of the receive side: the collimator aperture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverGeometry {
+    /// Centre of the collimator's clear aperture.
+    pub aperture_center: Vec3,
+    /// Outward unit normal of the aperture (pointing *towards* the arriving
+    /// beam).
+    pub axis: Vec3,
+}
+
+impl ReceiverGeometry {
+    /// Creates the geometry, normalizing the axis.
+    pub fn new(aperture_center: Vec3, axis: Vec3) -> ReceiverGeometry {
+        ReceiverGeometry {
+            aperture_center,
+            axis: axis.normalized(),
+        }
+    }
+}
+
+/// Free-space-to-fiber coupling model (see module docs for the four terms
+/// and their calibration against Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct CouplingModel {
+    /// Collimator clear-aperture radius (metres).
+    pub aperture_radius: f64,
+    /// Static insertion loss (dB, negative).
+    pub base_insertion_db: f64,
+    /// Angular acceptance σ_φ for a perfectly collimated arriving beam (rad).
+    pub sigma_phi0: f64,
+    /// Additional acceptance gained from arriving divergence (rad, saturating
+    /// amplitude).
+    pub sigma_phi_gain: f64,
+    /// Divergence scale at which the acceptance gain saturates (rad).
+    pub sigma_phi_sat: f64,
+    /// Fiber-overfill penalty per (mrad of half-divergence)² (dB, positive
+    /// number; applied as a loss).
+    pub div_loss_db_per_mrad2: f64,
+}
+
+impl CouplingModel {
+    /// Commodity collimator at RX (ThorLabs F810FC-1550), calibrated to the
+    /// 10G rows of Table 1.
+    pub fn commodity_10g() -> CouplingModel {
+        CouplingModel {
+            aperture_radius: 5.0e-3,
+            base_insertion_db: -0.9,
+            sigma_phi0: 0.53e-3,
+            sigma_phi_gain: 2.31e-3,
+            sigma_phi_sat: 9.0e-3,
+            div_loss_db_per_mrad2: 0.152,
+        }
+    }
+
+    /// Adjustable-focus collimators at both ends (ThorLabs C40FC-C), as used
+    /// by the 25G prototype (§5.3.1): ~2.5 dB better diverging-beam coupling
+    /// and a wider effective angular acceptance (the focus can be tuned to
+    /// the arriving wavefront), at slightly smaller clear aperture.
+    pub fn adjustable_25g() -> CouplingModel {
+        CouplingModel {
+            aperture_radius: 4.5e-3,
+            base_insertion_db: -0.4,
+            sigma_phi0: 0.9e-3,
+            sigma_phi_gain: 7.0e-3,
+            sigma_phi_sat: 9.0e-3,
+            div_loss_db_per_mrad2: 0.118,
+        }
+    }
+
+    /// Effective angular acceptance for an arriving half-divergence
+    /// `theta_half` (radians).
+    pub fn sigma_phi(&self, theta_half: f64) -> f64 {
+        self.sigma_phi0 + self.sigma_phi_gain * (1.0 - (-theta_half / self.sigma_phi_sat).exp())
+    }
+
+    /// Fiber-overfill penalty (dB ≤ 0) for an arriving half-divergence.
+    pub fn divergence_loss_db(&self, theta_half: f64) -> f64 {
+        let mrad = theta_half * 1e3;
+        -self.div_loss_db_per_mrad2 * mrad * mrad
+    }
+
+    /// Total coupling efficiency in dB (≤ 0) for beam radius `w` at the
+    /// aperture, lateral offset `delta`, incidence angle `phi`, arriving
+    /// half-divergence `theta_half`.
+    pub fn efficiency_db(&self, w: f64, delta: f64, phi: f64, theta_half: f64) -> f64 {
+        let sp = self.sigma_phi(theta_half);
+        // 10·log10(exp(−φ²/2σ²)) = −10·log10(e)·φ²/(2σ²).
+        let ang_db = -10.0 * std::f64::consts::LOG10_E * (phi * phi) / (2.0 * sp * sp);
+        let fixed = ang_db + self.divergence_loss_db(theta_half) + self.base_insertion_db;
+        if fixed < -90.0 {
+            // Already ~60 dB below any receiver sensitivity at any launch
+            // power in this system: skip the (expensive) capture integral and
+            // use the separable closed-form approximation (exact at δ = 0,
+            // asymptotically exact for a ≪ w) — the alignment searches
+            // hammer this far-tail region.
+            let centered =
+                1.0 - (-2.0 * self.aperture_radius * self.aperture_radius / (w * w)).exp();
+            let offset = (-2.0 * delta * delta / (w * w)).exp();
+            return linear_to_db(centered * offset) + fixed;
+        }
+        let capture = capture_fraction(w, delta, self.aperture_radius);
+        linear_to_db(capture) + fixed
+    }
+
+    /// Received power (dBm) of `beam` at the receiver `rx`.
+    ///
+    /// Computes the misalignment quantities geometrically:
+    /// * `δ` — offset of the beam centre from the aperture centre, in the
+    ///   aperture plane;
+    /// * `φ` — angle between the local ray through the aperture centre and
+    ///   the collimator axis;
+    /// * `w` — beam radius at the aperture plane.
+    ///
+    /// Returns `-inf` if the beam travels away from the receiver.
+    pub fn received_power_dbm(&self, beam: &BeamState, rx: &ReceiverGeometry) -> f64 {
+        let plane = Plane::new(rx.aperture_center, rx.axis);
+        // Beam must be heading into the aperture (against the outward axis).
+        if beam.chief.dir.dot(rx.axis) >= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let Some((t, hit)) = plane.intersect_line(&beam.chief) else {
+            return f64::NEG_INFINITY;
+        };
+        if t <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let delta = (hit - rx.aperture_center).norm();
+        let w = beam.radius_at(t);
+        let local_dir = beam.local_ray_dir(rx.aperture_center);
+        // Incidence angle between the arriving ray and the collimator axis.
+        let phi = (-local_dir).angle_to(rx.axis);
+        if phi >= std::f64::consts::FRAC_PI_2 {
+            return f64::NEG_INFINITY;
+        }
+        beam.power_dbm + self.efficiency_db(w, delta, phi, beam.theta_half)
+    }
+}
+
+/// A complete link design: transceiver, amplifier, beam profile and coupling
+/// model — one of the configurations compared in Table 1 / §5.3.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkDesign {
+    /// Transceiver at both ends.
+    pub sfp: SfpSpec,
+    /// Booster amplifier at the TX (the paper's EDFA \[34\]).
+    pub edfa: Edfa,
+    /// Beam 1/e² radius at the launch aperture (metres).
+    pub launch_radius: f64,
+    /// Beam half-divergence (radians).
+    pub theta_half: f64,
+    /// Receive-side coupling model.
+    pub coupling: CouplingModel,
+    /// Nominal TX–RX range the design targets (metres).
+    pub nominal_range: f64,
+}
+
+impl LinkDesign {
+    /// The 10G *diverging* design of §5.1: adjustable aspheric collimator at
+    /// TX tuned so the beam reaches 1/e² radius `w_rx` at the nominal range.
+    pub fn ten_g_diverging(w_rx: f64, nominal_range: f64) -> LinkDesign {
+        let launch_radius = 2.0e-3;
+        let theta_half =
+            ((w_rx * w_rx - launch_radius * launch_radius).max(0.0)).sqrt() / nominal_range;
+        LinkDesign {
+            sfp: SfpSpec::sfp10g_zr(),
+            edfa: Edfa::booster_18db(),
+            launch_radius,
+            theta_half,
+            coupling: CouplingModel::commodity_10g(),
+            nominal_range,
+        }
+    }
+
+    /// The 10G *collimated* design of Table 1: 20 mm beam from the BE02-05-C
+    /// beam expander, residual divergence only.
+    pub fn ten_g_collimated(nominal_range: f64) -> LinkDesign {
+        LinkDesign {
+            sfp: SfpSpec::sfp10g_zr(),
+            edfa: Edfa::booster_18db(),
+            launch_radius: 10.0e-3,
+            theta_half: 0.05e-3,
+            coupling: CouplingModel::commodity_10g(),
+            nominal_range,
+        }
+    }
+
+    /// The 25G design of §5.3.1: SFP28-LR (12–18 dB budget; ~13 dB less than
+    /// the 10G ZR), adjustable-focus collimators at both ends.
+    pub fn twenty_five_g(w_rx: f64, nominal_range: f64) -> LinkDesign {
+        let launch_radius = 2.0e-3;
+        let theta_half =
+            ((w_rx * w_rx - launch_radius * launch_radius).max(0.0)).sqrt() / nominal_range;
+        LinkDesign {
+            sfp: SfpSpec::sfp28_lr(),
+            edfa: Edfa::booster_18db(),
+            launch_radius,
+            theta_half,
+            coupling: CouplingModel::adjustable_25g(),
+            nominal_range,
+        }
+    }
+
+    /// Optical power launched into the air (dBm): SFP TX power through the
+    /// EDFA.
+    pub fn launch_power_dbm(&self) -> f64 {
+        self.edfa.amplify_dbm(self.sfp.tx_power_dbm)
+    }
+
+    /// Builds the launched [`BeamState`] on the given chief ray.
+    pub fn make_beam(&self, chief: Ray) -> BeamState {
+        BeamState::new(
+            chief,
+            self.launch_radius,
+            self.theta_half,
+            self.launch_power_dbm(),
+        )
+    }
+
+    /// Received power for a chief ray arriving at the given receiver.
+    pub fn received_power_dbm(&self, chief: Ray, rx: &ReceiverGeometry) -> f64 {
+        self.coupling.received_power_dbm(&self.make_beam(chief), rx)
+    }
+
+    /// True if the received power closes the link (≥ receiver sensitivity).
+    pub fn link_closes(&self, received_dbm: f64) -> bool {
+        received_dbm >= self.sfp.rx_sensitivity_dbm
+    }
+
+    /// IEC 60825 safety class of this design's launch at the given closest
+    /// accessible distance (see [`crate::safety`]). The diverging designs
+    /// are Class 1 at their deployment ranges; the amplified collimated
+    /// design is not — one of §5.1's reasons to prefer divergence.
+    pub fn safety_class(&self, access_distance_m: f64) -> crate::safety::LaserClass {
+        crate::safety::classify(
+            self.launch_power_dbm(),
+            self.launch_radius,
+            self.theta_half,
+            self.sfp.wavelength_nm,
+            access_distance_m,
+        )
+    }
+
+    /// Link margin at perfect alignment over the nominal range (dB).
+    pub fn nominal_margin_db(&self) -> f64 {
+        let beam = self.make_beam(Ray::new(Vec3::ZERO, Vec3::Z));
+        let rx = ReceiverGeometry::new(Vec3::Z * self.nominal_range, -Vec3::Z);
+        self.coupling.received_power_dbm(&beam, &rx) - self.sfp.rx_sensitivity_dbm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::vec3::v3;
+
+    const R: f64 = 1.75;
+
+    fn aligned_rx() -> ReceiverGeometry {
+        ReceiverGeometry::new(v3(0.0, 0.0, R), -Vec3::Z)
+    }
+
+    fn chief() -> Ray {
+        Ray::new(Vec3::ZERO, Vec3::Z)
+    }
+
+    #[test]
+    fn diverging_peak_power_near_minus_10_dbm() {
+        // Table 1: diverging design, 20 mm beam at RX → peak ≈ −10 dBm.
+        let d = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let p = d.received_power_dbm(chief(), &aligned_rx());
+        assert!((p - (-10.0)).abs() < 3.0, "peak {p} dBm, expected ≈ −10");
+    }
+
+    #[test]
+    fn collimated_peak_power_much_higher() {
+        // Table 1: collimated design has far higher peak received power.
+        let col = LinkDesign::ten_g_collimated(R);
+        let div = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let pc = col.received_power_dbm(chief(), &aligned_rx());
+        let pd = div.received_power_dbm(chief(), &aligned_rx());
+        assert!(pc > pd + 15.0, "collimated {pc} vs diverging {pd}");
+        assert!(
+            (pc - 15.0).abs() < 3.0,
+            "collimated peak {pc}, Table 1 reports 15 dBm"
+        );
+    }
+
+    #[test]
+    fn efficiency_decreases_with_each_misalignment_kind() {
+        let m = CouplingModel::commodity_10g();
+        let w = 0.02;
+        let th = 0.0114;
+        let base = m.efficiency_db(w, 0.0, 0.0, th);
+        assert!(m.efficiency_db(w, 0.005, 0.0, th) < base);
+        assert!(m.efficiency_db(w, 0.0, 0.003, th) < base);
+        assert!(m.efficiency_db(w, 0.0, 0.0, th * 1.5) < base);
+        assert!(base < 0.0);
+    }
+
+    #[test]
+    fn sigma_phi_grows_and_saturates() {
+        let m = CouplingModel::commodity_10g();
+        let s0 = m.sigma_phi(0.0);
+        let s1 = m.sigma_phi(5e-3);
+        let s2 = m.sigma_phi(10e-3);
+        let s3 = m.sigma_phi(100e-3);
+        assert!(s0 < s1 && s1 < s2 && s2 < s3);
+        assert!(s3 < m.sigma_phi0 + m.sigma_phi_gain + 1e-9, "saturates");
+        assert!((s0 - m.sigma_phi0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beam_heading_away_gets_no_power() {
+        let d = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let away = Ray::new(Vec3::ZERO, -Vec3::Z);
+        assert_eq!(d.received_power_dbm(away, &aligned_rx()), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rx_facing_away_gets_no_power() {
+        let d = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let rx = ReceiverGeometry::new(v3(0.0, 0.0, R), Vec3::Z); // faces away
+        assert_eq!(d.received_power_dbm(chief(), &rx), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn lateral_offset_reduces_power_smoothly() {
+        let d = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let mut last = f64::INFINITY;
+        for off_mm in [0.0, 2.0, 5.0, 10.0, 20.0] {
+            let rx = ReceiverGeometry::new(v3(off_mm * 1e-3, 0.0, R), -Vec3::Z);
+            let p = d.received_power_dbm(chief(), &rx);
+            assert!(
+                p < last,
+                "power must fall with offset (at {off_mm} mm: {p})"
+            );
+            last = p;
+        }
+    }
+
+    #[test]
+    fn link_margin_positive_for_both_10g_designs() {
+        for d in [
+            LinkDesign::ten_g_diverging(20.0e-3, R),
+            LinkDesign::ten_g_collimated(R),
+        ] {
+            assert!(
+                d.nominal_margin_db() > 5.0,
+                "margin {}",
+                d.nominal_margin_db()
+            );
+        }
+    }
+
+    #[test]
+    fn margin_25g_smaller_than_10g() {
+        // §5.3.1: the SFP28's budget is ~13 dB less than the 10G ZR's.
+        let m10 = LinkDesign::ten_g_diverging(20.0e-3, R).nominal_margin_db();
+        let m25 = LinkDesign::twenty_five_g(20.0e-3, R).nominal_margin_db();
+        assert!(m25 < m10, "25G margin {m25} vs 10G {m10}");
+        assert!(m25 > 0.0, "but the 25G link still closes when aligned");
+    }
+
+    #[test]
+    fn diverging_design_is_class1_at_range_collimated_is_not() {
+        use crate::safety::LaserClass;
+        let div = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let col = LinkDesign::ten_g_collimated(R);
+        assert_eq!(div.safety_class(R), LaserClass::Class1);
+        assert_ne!(col.safety_class(R), LaserClass::Class1);
+    }
+
+    #[test]
+    fn rotating_rx_reduces_power() {
+        let d = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let p0 = d.received_power_dbm(chief(), &aligned_rx());
+        // Tilt the collimator axis by 5 mrad.
+        let tilted = ReceiverGeometry::new(
+            v3(0.0, 0.0, R),
+            cyclops_geom::rotation::axis_angle(Vec3::X, 5e-3) * -Vec3::Z,
+        );
+        let p1 = d.received_power_dbm(chief(), &tilted);
+        assert!(
+            p1 < p0 - 3.0,
+            "5 mrad tilt must cost several dB: {p0} → {p1}"
+        );
+    }
+
+    #[test]
+    fn tx_missteer_costs_less_for_diverging_than_collimated() {
+        // The mechanism behind Table 1's TX tolerance asymmetry: steering a
+        // diverging beam moves only the intensity profile (rays through the
+        // aperture still come from the virtual source), while steering a
+        // collimated beam also rotates the arriving wavefront.
+        let alpha = 2.0e-3; // 2 mrad TX mis-steer
+        let steered = Ray::new(
+            Vec3::ZERO,
+            cyclops_geom::rotation::axis_angle(Vec3::X, alpha) * Vec3::Z,
+        );
+        let div = LinkDesign::ten_g_diverging(20.0e-3, R);
+        let col = LinkDesign::ten_g_collimated(R);
+        let drop_div = div.received_power_dbm(chief(), &aligned_rx())
+            - div.received_power_dbm(steered, &aligned_rx());
+        let drop_col = col.received_power_dbm(chief(), &aligned_rx())
+            - col.received_power_dbm(steered, &aligned_rx());
+        assert!(
+            drop_col > drop_div * 3.0,
+            "collimated drop {drop_col} dB vs diverging {drop_div} dB"
+        );
+    }
+}

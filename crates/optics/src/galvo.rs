@@ -1,0 +1,532 @@
+//! Two-mirror galvanometer (GM) geometry and hardware simulation.
+//!
+//! This module plays **two roles**, with one shared geometry:
+//!
+//! 1. [`GalvoParams`] is the parameterized beam-path expression of the
+//!    paper's §4.1(A): input beam `(p₀, x̂₀)`, per-mirror `(n̂ᵢ, qᵢ, r̂ᵢ)`, and
+//!    the voltage-to-angle gain `θ₁`. `cyclops-core` *fits* an instance of
+//!    this struct from training samples — that fitted instance is the model
+//!    `G`.
+//! 2. [`GalvoSim`] wraps a (hidden, "true") `GalvoParams` with the
+//!    non-idealities of the bench hardware (ThorLabs GVS102 \[36\]): 16-bit
+//!    DAC quantization, ~10 µrad angular noise, and the ~300 µs small-angle
+//!    settle latency the paper quotes. The learning pipeline only ever sees
+//!    `GalvoSim` outputs, exactly as the authors only ever saw their real
+//!    galvos.
+//!
+//! The beam-path math is verbatim from the paper:
+//!
+//! ```text
+//! n̂₁' = R(r̂₁, θ₁·v₁)·n̂₁          n̂₂' = R(r̂₂, θ₁·v₂)·n̂₂
+//! (p_mid, x̂_mid) = R(p₀, x̂₀, n̂₁', q₁)
+//! (p, x̂)         = R(p_mid, x̂_mid, n̂₂', q₂)
+//! ```
+
+use cyclops_geom::plane::Plane;
+use cyclops_geom::pose::Pose;
+use cyclops_geom::ray::Ray;
+use cyclops_geom::reflect::reflect_ray;
+use cyclops_geom::rotation::axis_angle;
+use cyclops_geom::units::deg_to_rad;
+use cyclops_geom::vec3::{v3, Vec3};
+use rand::Rng;
+
+/// Voltage limits of the galvo driver (±10 V, the GVS102 command range).
+pub const VOLT_MIN: f64 = -10.0;
+
+/// DAC quantization step: the USB-1608G's 16 bits over the ±10 V range.
+/// This is the "minimum GM voltage step" the paper uses as the pointing
+/// iteration's convergence threshold.
+pub const DAC_STEP_V: f64 = 20.0 / 65536.0;
+/// See [`VOLT_MIN`].
+pub const VOLT_MAX: f64 = 10.0;
+
+/// Number of free parameters in the flattened representation used by the
+/// K-space fit: `p0`(3) `x0`(3) `n1`(3) `q1`(3) `r1`(3) `n2`(3) `q2`(3)
+/// `r2`(3) `theta1`(1).
+pub const N_PARAMS: usize = 25;
+
+/// Geometric model of a galvo-mirror assembly (GMA): collimator launch beam
+/// plus two voltage-steered mirrors. All points/directions are in whatever
+/// frame the instance is expressed in (body frame, K-space or VR-space —
+/// see [`GalvoParams::transformed`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GalvoParams {
+    /// Input-beam originating point (from the collimator).
+    pub p0: Vec3,
+    /// Input-beam direction (normalized at use).
+    pub x0: Vec3,
+    /// First mirror: normal at zero voltage.
+    pub n1: Vec3,
+    /// First mirror: point on the mirror plane *and* its rotation axis.
+    pub q1: Vec3,
+    /// First mirror: rotation-axis direction.
+    pub r1: Vec3,
+    /// Second mirror: normal at zero voltage.
+    pub n2: Vec3,
+    /// Second mirror: point on the mirror plane and rotation axis.
+    pub q2: Vec3,
+    /// Second mirror: rotation-axis direction.
+    pub r2: Vec3,
+    /// Voltage-to-angle gain (radians of mirror rotation per volt); the paper
+    /// observed this to be linear and shared by both mirrors.
+    pub theta1: f64,
+}
+
+impl GalvoParams {
+    /// Nominal ("CAD drawing") geometry of a GVS102-like assembly, in the
+    /// assembly's body frame: input beam along +X at `x = −50 mm`, first
+    /// mirror at the origin rotating about Z, second mirror 12 mm away along
+    /// +Y rotating about X, output beam along +Z at rest.
+    ///
+    /// The voltage gain is 1.25° of mechanical rotation per volt, i.e. the
+    /// full ±10 V range sweeps ±12.5° mechanical (±25° optical), matching the
+    /// GVS102 data sheet.
+    pub fn nominal() -> GalvoParams {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        GalvoParams {
+            p0: v3(-0.05, 0.0, 0.0),
+            x0: v3(1.0, 0.0, 0.0),
+            n1: v3(-s, s, 0.0),
+            q1: Vec3::ZERO,
+            r1: v3(0.0, 0.0, 1.0),
+            n2: v3(0.0, -s, s),
+            q2: v3(0.0, 0.012, 0.0),
+            r2: v3(1.0, 0.0, 0.0),
+            theta1: deg_to_rad(1.25),
+        }
+    }
+
+    /// A randomly perturbed copy — the "true" hardware that differs from the
+    /// CAD nominal by assembly tolerances. Positions move by up to
+    /// `pos_mm` millimetres per axis, directions tilt by up to `ang_deg`
+    /// degrees, and the gain varies by up to `gain_frac` (fractional).
+    pub fn perturbed<R: Rng>(
+        &self,
+        rng: &mut R,
+        pos_mm: f64,
+        ang_deg: f64,
+        gain_frac: f64,
+    ) -> GalvoParams {
+        let jitter_p = |p: Vec3, rng: &mut R| {
+            p + v3(
+                rng.gen_range(-pos_mm..pos_mm) * 1e-3,
+                rng.gen_range(-pos_mm..pos_mm) * 1e-3,
+                rng.gen_range(-pos_mm..pos_mm) * 1e-3,
+            )
+        };
+        let jitter_d = |d: Vec3, rng: &mut R| {
+            let axis = v3(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            );
+            let axis = axis.try_normalized(1e-6).unwrap_or(Vec3::X);
+            let ang = deg_to_rad(rng.gen_range(-ang_deg..ang_deg));
+            axis_angle(axis, ang) * d.normalized()
+        };
+        GalvoParams {
+            p0: jitter_p(self.p0, rng),
+            x0: jitter_d(self.x0, rng),
+            n1: jitter_d(self.n1, rng),
+            q1: jitter_p(self.q1, rng),
+            r1: jitter_d(self.r1, rng),
+            n2: jitter_d(self.n2, rng),
+            q2: jitter_p(self.q2, rng),
+            r2: jitter_d(self.r2, rng),
+            theta1: self.theta1 * (1.0 + rng.gen_range(-gain_frac..gain_frac)),
+        }
+    }
+
+    /// Evaluates the GMA function `G(v₁, v₂) = (p, x̂)`: the output beam after
+    /// both voltage-tilted reflections. `None` if the beam geometrically
+    /// misses a mirror plane (possible for badly wrong parameter guesses
+    /// during fitting — the fit treats that as a large residual).
+    pub fn trace(&self, v1: f64, v2: f64) -> Option<Ray> {
+        let n1p = axis_angle(self.r1.normalized(), self.theta1 * v1) * self.n1.normalized();
+        let n2p = axis_angle(self.r2.normalized(), self.theta1 * v2) * self.n2.normalized();
+        let input = Ray::new(self.p0, self.x0);
+        let mid = reflect_ray(&input, self.q1, n1p)?;
+        reflect_ray(&mid, self.q2, n2p)
+    }
+
+    /// Like [`GalvoParams::trace`], but intersecting the mirror *lines*
+    /// rather than forward rays.
+    ///
+    /// A **fitted** model (K-space learning, §4.1) reproduces the output
+    /// beam lines of the hardware, but its internal layout is only
+    /// determined up to gauge: the fitted `p₀/q₁/q₂` can imply reflections
+    /// with negative path parameters at some voltages even though the
+    /// resulting output line is correct. Computational consumers of a
+    /// learned model (`G'`, the pointing iteration, the mapping residuals)
+    /// must therefore use this total, smooth version; the strict
+    /// [`GalvoParams::trace`] stays the physical ground-truth path used by
+    /// the hardware simulation.
+    pub fn trace_line(&self, v1: f64, v2: f64) -> Option<Ray> {
+        use cyclops_geom::plane::Plane;
+        use cyclops_geom::reflect::reflect_dir;
+        let n1p = axis_angle(self.r1.normalized(), self.theta1 * v1) * self.n1.normalized();
+        let n2p = axis_angle(self.r2.normalized(), self.theta1 * v2) * self.n2.normalized();
+        let input = Ray::new(self.p0, self.x0);
+        let (_, hit1) = Plane::new(self.q1, n1p).intersect_line(&input)?;
+        let mid = Ray::new(hit1, reflect_dir(input.dir, n1p));
+        let (_, hit2) = Plane::new(self.q2, n2p).intersect_line(&mid)?;
+        Some(Ray::new(hit2, reflect_dir(mid.dir, n2p)))
+    }
+
+    /// The plane of the second mirror at voltage `v2`.
+    ///
+    /// The pointing mechanism (§4.3) computes the target point `τ` as the
+    /// intersection of the far beam with the *other* GMA's second-mirror
+    /// plane, so this is part of the public model surface.
+    pub fn second_mirror_plane(&self, v2: f64) -> Plane {
+        let n2p = axis_angle(self.r2.normalized(), self.theta1 * v2) * self.n2.normalized();
+        Plane::new(self.q2, n2p)
+    }
+
+    /// Expresses the same physical assembly in another frame:
+    /// points map as points, directions as directions.
+    pub fn transformed(&self, pose: &Pose) -> GalvoParams {
+        GalvoParams {
+            p0: pose.apply_point(self.p0),
+            x0: pose.apply_dir(self.x0),
+            n1: pose.apply_dir(self.n1),
+            q1: pose.apply_point(self.q1),
+            r1: pose.apply_dir(self.r1),
+            n2: pose.apply_dir(self.n2),
+            q2: pose.apply_point(self.q2),
+            r2: pose.apply_dir(self.r2),
+            theta1: self.theta1,
+        }
+    }
+
+    /// Flattens into the [`N_PARAMS`]-element vector the K-space fit
+    /// optimizes over.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(N_PARAMS);
+        for p in [
+            self.p0, self.x0, self.n1, self.q1, self.r1, self.n2, self.q2, self.r2,
+        ] {
+            v.extend_from_slice(&p.to_array());
+        }
+        v.push(self.theta1);
+        v
+    }
+
+    /// Rebuilds from a flattened parameter vector (directions are
+    /// re-normalized lazily inside [`GalvoParams::trace`]).
+    pub fn from_vec(v: &[f64]) -> GalvoParams {
+        assert_eq!(v.len(), N_PARAMS);
+        let g = |i: usize| v3(v[3 * i], v[3 * i + 1], v[3 * i + 2]);
+        GalvoParams {
+            p0: g(0),
+            x0: g(1),
+            n1: g(2),
+            q1: g(3),
+            r1: g(4),
+            n2: g(5),
+            q2: g(6),
+            r2: g(7),
+            theta1: v[24],
+        }
+    }
+}
+
+/// Hardware non-idealities of the galvo driver chain.
+#[derive(Debug, Clone, Copy)]
+pub struct GalvoSimConfig {
+    /// DAC quantization step in volts (USB-1608G: 16-bit over ±10 V).
+    pub dac_step_v: f64,
+    /// RMS angular positioning noise per mirror (GVS102: ~10 µrad).
+    pub angle_noise_rad: f64,
+    /// Small-angle settle time (the paper quotes 300 µs).
+    pub small_step_settle_s: f64,
+    /// Slew rate for large steps, radians of mirror angle per second.
+    pub slew_rad_per_s: f64,
+}
+
+impl Default for GalvoSimConfig {
+    fn default() -> Self {
+        GalvoSimConfig {
+            dac_step_v: DAC_STEP_V,
+            angle_noise_rad: 10e-6,
+            small_step_settle_s: 300e-6,
+            slew_rad_per_s: deg_to_rad(1000.0),
+        }
+    }
+}
+
+/// An ideal config with no noise or quantization — useful in unit tests that
+/// need exact geometry.
+impl GalvoSimConfig {
+    /// No quantization, no noise, instant settle.
+    pub fn ideal() -> GalvoSimConfig {
+        GalvoSimConfig {
+            dac_step_v: 0.0,
+            angle_noise_rad: 0.0,
+            small_step_settle_s: 0.0,
+            slew_rad_per_s: f64::INFINITY,
+        }
+    }
+}
+
+/// Simulated galvo hardware: hidden true geometry plus driver non-idealities.
+///
+/// Deterministic given its seed history; every noisy draw comes from the RNG
+/// handed to [`GalvoSim::output_ray`].
+#[derive(Debug, Clone)]
+pub struct GalvoSim {
+    /// The true (hidden) geometry. Experiments read this only to *build* the
+    /// world; the learning pipeline never does.
+    pub truth: GalvoParams,
+    /// Driver non-idealities.
+    pub cfg: GalvoSimConfig,
+    v1: f64,
+    v2: f64,
+}
+
+impl GalvoSim {
+    /// Creates the hardware at zero volts.
+    pub fn new(truth: GalvoParams, cfg: GalvoSimConfig) -> GalvoSim {
+        GalvoSim {
+            truth,
+            cfg,
+            v1: 0.0,
+            v2: 0.0,
+        }
+    }
+
+    /// Commands the two mirror voltages (clamped to ±10 V, quantized to the
+    /// DAC step). Returns the settle time in seconds: the paper's 1–2 ms
+    /// pointing latency is dominated by this plus DAC conversion.
+    pub fn command(&mut self, v1: f64, v2: f64) -> f64 {
+        let q = |v: f64| {
+            let c = v.clamp(VOLT_MIN, VOLT_MAX);
+            if self.cfg.dac_step_v > 0.0 {
+                (c / self.cfg.dac_step_v).round() * self.cfg.dac_step_v
+            } else {
+                c
+            }
+        };
+        let (nv1, nv2) = (q(v1), q(v2));
+        let dang = ((nv1 - self.v1).abs().max((nv2 - self.v2).abs())) * self.truth.theta1;
+        self.v1 = nv1;
+        self.v2 = nv2;
+        if dang == 0.0 {
+            0.0
+        } else if self.cfg.slew_rad_per_s.is_infinite() {
+            self.cfg.small_step_settle_s
+        } else {
+            self.cfg.small_step_settle_s + dang / self.cfg.slew_rad_per_s
+        }
+    }
+
+    /// Current commanded voltages (after clamping/quantization).
+    pub fn voltages(&self) -> (f64, f64) {
+        (self.v1, self.v2)
+    }
+
+    /// Settle time [`GalvoSim::command`] *would* report for moving to the
+    /// given voltages from the current state, without moving anything —
+    /// used to schedule when a queued command becomes optically effective.
+    pub fn settle_estimate(&self, v1: f64, v2: f64) -> f64 {
+        let q = |v: f64| v.clamp(VOLT_MIN, VOLT_MAX);
+        let dang = ((q(v1) - self.v1).abs().max((q(v2) - self.v2).abs())) * self.truth.theta1;
+        if dang == 0.0 {
+            0.0
+        } else if self.cfg.slew_rad_per_s.is_infinite() {
+            self.cfg.small_step_settle_s
+        } else {
+            self.cfg.small_step_settle_s + dang / self.cfg.slew_rad_per_s
+        }
+    }
+
+    /// The physical output beam right now, with angular positioning noise
+    /// drawn from `rng`.
+    pub fn output_ray<R: Rng>(&self, rng: &mut R) -> Option<Ray> {
+        let noise_v = if self.cfg.angle_noise_rad > 0.0 {
+            self.cfg.angle_noise_rad / self.truth.theta1
+        } else {
+            0.0
+        };
+        let jitter = |rng: &mut R| {
+            if noise_v > 0.0 {
+                // Box-Muller standard normal scaled to the noise amplitude.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * noise_v
+            } else {
+                0.0
+            }
+        };
+        let j1 = jitter(rng);
+        let j2 = jitter(rng);
+        self.truth.trace(self.v1 + j1, self.v2 + j2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_rest_beam_points_up() {
+        let g = GalvoParams::nominal();
+        let out = g.trace(0.0, 0.0).unwrap();
+        assert!((out.dir - Vec3::Z).norm() < 1e-12);
+        assert!((out.origin - v3(0.0, 0.012, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_steers_beam_by_twice_mirror_angle() {
+        let g = GalvoParams::nominal();
+        let rest = g.trace(0.0, 0.0).unwrap();
+        let steered = g.trace(0.0, 1.0).unwrap();
+        let ang = rest.dir.angle_to(steered.dir);
+        // Optical deflection = 2 × mechanical rotation = 2 × θ₁ × 1 V.
+        assert!((ang - 2.0 * g.theta1).abs() < 1e-9, "got {ang}");
+    }
+
+    #[test]
+    fn both_axes_are_independent_at_rest() {
+        let g = GalvoParams::nominal();
+        let a = g.trace(0.5, 0.0).unwrap();
+        let b = g.trace(0.0, 0.5).unwrap();
+        // First-mirror steering moves the beam in the X direction (axis Z
+        // rotates the beam in the XY plane → output tilts in X); second
+        // mirror tilts in Y. They must be (nearly) orthogonal deflections.
+        let rest = g.trace(0.0, 0.0).unwrap();
+        let da = (a.dir - rest.dir).normalized();
+        let db = (b.dir - rest.dir).normalized();
+        assert!(
+            da.dot(db).abs() < 0.1,
+            "deflections not orthogonal: {da} vs {db}"
+        );
+    }
+
+    #[test]
+    fn origin_point_depends_on_first_voltage() {
+        // The "distortion effect" [58]: p is NOT constant — steering the
+        // first mirror moves the hit point on the second mirror. This is why
+        // the paper fits the full geometric model instead of assuming p
+        // constant as in [32, 33].
+        let g = GalvoParams::nominal();
+        let a = g.trace(0.0, 0.0).unwrap();
+        let b = g.trace(2.0, 0.0).unwrap();
+        assert!((a.origin - b.origin).norm() > 1e-5);
+    }
+
+    #[test]
+    fn param_vec_roundtrip() {
+        let g = GalvoParams::nominal();
+        let v = g.to_vec();
+        assert_eq!(v.len(), N_PARAMS);
+        let g2 = GalvoParams::from_vec(&v);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn transformed_commutes_with_trace() {
+        use cyclops_geom::rotation::axis_angle as aa;
+        let g = GalvoParams::nominal();
+        let pose = Pose::new(aa(v3(0.1, 0.9, 0.2).normalized(), 0.6), v3(1.0, 2.0, 3.0));
+        let gt = g.transformed(&pose);
+        let (v1, v2) = (0.7, -1.2);
+        let direct = pose.apply_ray(&g.trace(v1, v2).unwrap());
+        let via = gt.trace(v1, v2).unwrap();
+        assert!((direct.origin - via.origin).norm() < 1e-12);
+        assert!((direct.dir - via.dir).norm() < 1e-12);
+    }
+
+    #[test]
+    fn perturbed_is_close_but_not_equal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = GalvoParams::nominal();
+        let p = g.perturbed(&mut rng, 1.0, 1.0, 0.02);
+        assert_ne!(g, p);
+        // Still a working galvo with a similar rest beam.
+        let out = p.trace(0.0, 0.0).unwrap();
+        assert!(out.dir.angle_to(Vec3::Z) < deg_to_rad(10.0));
+    }
+
+    #[test]
+    fn second_mirror_plane_tracks_voltage() {
+        let g = GalvoParams::nominal();
+        let p0 = g.second_mirror_plane(0.0);
+        let p1 = g.second_mirror_plane(1.5);
+        assert!((p0.normal.angle_to(p1.normal) - 1.5 * g.theta1).abs() < 1e-9);
+        assert_eq!(p0.point, p1.point);
+    }
+
+    #[test]
+    fn sim_quantizes_and_clamps() {
+        let mut sim = GalvoSim::new(GalvoParams::nominal(), GalvoSimConfig::default());
+        sim.command(0.12345, 99.0);
+        let (v1, v2) = sim.voltages();
+        assert!((v2 - VOLT_MAX).abs() < 1e-12, "clamped to +10 V");
+        let step = sim.cfg.dac_step_v;
+        assert!(
+            (v1 / step - (v1 / step).round()).abs() < 1e-9,
+            "on DAC grid"
+        );
+    }
+
+    #[test]
+    fn sim_settle_time_model() {
+        let mut sim = GalvoSim::new(GalvoParams::nominal(), GalvoSimConfig::default());
+        let t_small = sim.command(0.01, 0.0);
+        assert!(
+            (300e-6..1e-3).contains(&t_small),
+            "small step ~300 µs, got {t_small}"
+        );
+        let t_large = sim.command(10.0, 0.0);
+        assert!(t_large > t_small, "large steps slew");
+        let t_none = sim.command(10.0, 0.0);
+        assert_eq!(t_none, 0.0, "no movement, no settle");
+    }
+
+    #[test]
+    fn sim_noise_is_small_and_zero_mean() {
+        let mut sim = GalvoSim::new(GalvoParams::nominal(), GalvoSimConfig::default());
+        sim.command(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let ideal = sim.truth.trace(sim.voltages().0, sim.voltages().1).unwrap();
+        let mut max_dev: f64 = 0.0;
+        let mut mean = Vec3::ZERO;
+        const N: usize = 500;
+        for _ in 0..N {
+            let r = sim.output_ray(&mut rng).unwrap();
+            max_dev = max_dev.max(r.dir.angle_to(ideal.dir));
+            mean += r.dir;
+        }
+        mean /= N as f64;
+        // 10 µrad mirror noise → ≤ ~100 µrad worst-case optical deviation.
+        assert!(max_dev < 100e-6, "max dev {max_dev}");
+        assert!(
+            mean.normalized().angle_to(ideal.dir) < 5e-6,
+            "bias too large"
+        );
+    }
+
+    #[test]
+    fn ideal_sim_is_exact() {
+        let mut sim = GalvoSim::new(GalvoParams::nominal(), GalvoSimConfig::ideal());
+        sim.command(0.123456789, -0.2);
+        let (v1, v2) = sim.voltages();
+        assert_eq!(v1, 0.123456789);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = sim.output_ray(&mut rng).unwrap();
+        let exact = sim.truth.trace(v1, v2).unwrap();
+        assert!((out.dir - exact.dir).norm() < 1e-15);
+    }
+
+    #[test]
+    fn trace_none_for_degenerate_parameters() {
+        let mut g = GalvoParams::nominal();
+        // Point the input beam away from the first mirror.
+        g.x0 = -g.x0;
+        assert!(g.trace(0.0, 0.0).is_none());
+    }
+}

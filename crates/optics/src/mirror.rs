@@ -1,0 +1,70 @@
+//! Finite mirror apertures and beam clipping.
+//!
+//! §5.1 rejects the wide-collimated-beam design partly because "the beam can
+//! also get 'clipped' by the TX GM, which can defeat the whole purpose. Our
+//! GMs allow 10 mm beams; using GMs that allow larger beam widths also incur
+//! higher response time." This module quantifies that clipping loss and the
+//! response-time penalty of large-aperture galvos.
+
+use crate::beam::capture_fraction;
+use crate::power::linear_to_db;
+
+/// Power loss (dB ≤ 0) when a Gaussian beam of 1/e² radius `w` reflects off
+/// a mirror with clear-aperture radius `mirror_radius`, centred on the beam.
+///
+/// Uses the same encircled-power integral as receive-aperture capture.
+pub fn clip_loss_db(w: f64, mirror_radius: f64) -> f64 {
+    linear_to_db(capture_fraction(w, 0.0, mirror_radius))
+}
+
+/// Small-angle response time (seconds) of a galvo as a function of its
+/// clear-aperture diameter.
+///
+/// Larger mirrors are heavier; settle time grows roughly with the 1.5 power
+/// of aperture (inertia ∝ d⁴ vs torque ∝ d-ish for the same motor class).
+/// Anchored at the GVS102's 10 mm / 300 µs point, with the large-beam
+/// galvos \[9\] landing near a millisecond — which is the "higher response
+/// time offsetting their advantage" trade-off of §5.1.
+pub fn settle_time_for_aperture(aperture_diameter: f64) -> f64 {
+    let ref_d = 10.0e-3;
+    let ref_t = 300e-6;
+    ref_t * (aperture_diameter / ref_d).powf(1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_beam_unclipped() {
+        // 2 mm beam on a 5 mm-radius mirror: negligible loss.
+        let loss = clip_loss_db(2e-3, 5e-3);
+        assert!(loss > -0.01, "loss {loss}");
+    }
+
+    #[test]
+    fn wide_beam_clipped_hard() {
+        // A 20 mm-radius collimated beam on the 5 mm-radius GM loses most of
+        // its power — the §5.1 argument against very wide collimated beams.
+        let loss = clip_loss_db(20e-3, 5e-3);
+        assert!(loss < -8.0, "loss {loss}");
+    }
+
+    #[test]
+    fn clipping_is_monotone_in_beam_width() {
+        let mut last = 0.0;
+        for w_mm in [1.0, 5.0, 10.0, 20.0, 40.0] {
+            let loss = clip_loss_db(w_mm * 1e-3, 5e-3);
+            assert!(loss <= last + 1e-12);
+            last = loss;
+        }
+    }
+
+    #[test]
+    fn settle_time_grows_with_aperture() {
+        let t10 = settle_time_for_aperture(10e-3);
+        let t30 = settle_time_for_aperture(30e-3);
+        assert!((t10 - 300e-6).abs() < 1e-9);
+        assert!(t30 > 3.0 * t10, "larger mirrors settle much slower");
+    }
+}

@@ -1,0 +1,162 @@
+//! Quadrant photodiode monitor around the RX collimator.
+//!
+//! §4.2 (footnote 9): "To monitor the receiver power, we surround the RX's
+//! collimator by four photodiodes connected to a DAQ, as in our earlier work
+//! \[32\]." The exhaustive four-voltage alignment search needs a feedback
+//! signal with a much wider basin than the fiber coupling itself (which is
+//! −∞ dB until the beam nearly hits the aperture); the photodiode halo
+//! provides it: the four diodes sample the beam's intensity skirt over a
+//! several-centimetre footprint.
+
+use crate::beam::{capture_fraction, BeamState};
+use crate::coupling::ReceiverGeometry;
+use cyclops_geom::plane::Plane;
+
+/// Four photodiodes arranged on a ring around the collimator aperture, plus
+/// the aperture itself, forming the alignment-search objective.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadrantMonitor {
+    /// Ring radius: distance of each diode centre from the aperture centre.
+    pub ring_radius: f64,
+    /// Active radius of each photodiode element.
+    pub diode_radius: f64,
+}
+
+impl Default for QuadrantMonitor {
+    fn default() -> Self {
+        // 15 mm ring of 5 mm-radius diodes around the collimator, per the
+        // FSONet-style arrangement.
+        QuadrantMonitor {
+            ring_radius: 15.0e-3,
+            diode_radius: 5.0e-3,
+        }
+    }
+}
+
+impl QuadrantMonitor {
+    /// The four individual diode signals (linear power fractions of the
+    /// arriving beam), ordered +u, +v, −u, −v in the aperture plane, where
+    /// (u, v) is an arbitrary-but-fixed orthonormal basis perpendicular to
+    /// the receiver axis.
+    ///
+    /// Returns `[0.0; 4]` if the beam misses the receiver plane entirely.
+    pub fn diode_signals(&self, beam: &BeamState, rx: &ReceiverGeometry) -> [f64; 4] {
+        let plane = Plane::new(rx.aperture_center, rx.axis);
+        if beam.chief.dir.dot(rx.axis) >= 0.0 {
+            return [0.0; 4];
+        }
+        let Some((t, hit)) = plane.intersect_line(&beam.chief) else {
+            return [0.0; 4];
+        };
+        if t <= 0.0 {
+            return [0.0; 4];
+        }
+        let w = beam.radius_at(t);
+        let u = rx.axis.any_perpendicular();
+        let v = rx.axis.cross(u).normalized();
+        let centers = [
+            rx.aperture_center + u * self.ring_radius,
+            rx.aperture_center + v * self.ring_radius,
+            rx.aperture_center - u * self.ring_radius,
+            rx.aperture_center - v * self.ring_radius,
+        ];
+        let mut out = [0.0; 4];
+        for (sig, c) in out.iter_mut().zip(centers) {
+            let delta = (hit - c).norm();
+            *sig = capture_fraction(w, delta, self.diode_radius);
+        }
+        out
+    }
+
+    /// The alignment-search objective: total monitored power fraction —
+    /// the sum of the four diode signals plus the power entering the
+    /// collimator aperture (`aperture_radius`). Smooth and nonzero over a
+    /// basin of roughly `ring_radius + diode_radius + w`, which is what lets
+    /// the coarse search find the receiver at all.
+    pub fn search_signal(
+        &self,
+        beam: &BeamState,
+        rx: &ReceiverGeometry,
+        aperture_radius: f64,
+    ) -> f64 {
+        let plane = Plane::new(rx.aperture_center, rx.axis);
+        if beam.chief.dir.dot(rx.axis) >= 0.0 {
+            return 0.0;
+        }
+        let Some((t, hit)) = plane.intersect_line(&beam.chief) else {
+            return 0.0;
+        };
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let w = beam.radius_at(t);
+        let delta = (hit - rx.aperture_center).norm();
+        let aperture = capture_fraction(w, delta, aperture_radius);
+        let diodes: f64 = self.diode_signals(beam, rx).iter().sum();
+        aperture + diodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::ray::Ray;
+    use cyclops_geom::vec3::{v3, Vec3};
+
+    fn beam_at(offset_x_mm: f64) -> BeamState {
+        BeamState::new(
+            Ray::new(v3(offset_x_mm * 1e-3, 0.0, 0.0), Vec3::Z),
+            2e-3,
+            0.0114,
+            20.0,
+        )
+    }
+
+    fn rx() -> ReceiverGeometry {
+        ReceiverGeometry::new(v3(0.0, 0.0, 1.75), -Vec3::Z)
+    }
+
+    #[test]
+    fn centered_beam_gives_equal_quadrants() {
+        let m = QuadrantMonitor::default();
+        let s = m.diode_signals(&beam_at(0.0), &rx());
+        for i in 1..4 {
+            assert!((s[i] - s[0]).abs() < 1e-9, "{s:?}");
+        }
+        assert!(s[0] > 0.0);
+    }
+
+    #[test]
+    fn offset_beam_biases_quadrants() {
+        let m = QuadrantMonitor::default();
+        let s = m.diode_signals(&beam_at(10.0), &rx());
+        // The diode on the side the beam moved towards must read more than
+        // the opposite one.
+        let (hi, lo) = (
+            s.iter().cloned().fold(0.0, f64::max),
+            s.iter().cloned().fold(1.0, f64::min),
+        );
+        assert!(hi > lo * 1.2, "{s:?}");
+    }
+
+    #[test]
+    fn search_signal_has_wide_basin() {
+        let m = QuadrantMonitor::default();
+        // Even 25 mm off-centre, the monitor still sees the beam skirt —
+        // while the 5 mm collimator aperture alone would see ~nothing.
+        let sig = m.search_signal(&beam_at(25.0), &rx(), 5e-3);
+        assert!(sig > 1e-6, "signal {sig}");
+        // And it decreases monotonically outward.
+        let closer = m.search_signal(&beam_at(10.0), &rx(), 5e-3);
+        let centered = m.search_signal(&beam_at(0.0), &rx(), 5e-3);
+        assert!(centered > closer && closer > sig);
+    }
+
+    #[test]
+    fn beam_pointing_away_reads_zero() {
+        let m = QuadrantMonitor::default();
+        let away = BeamState::new(Ray::new(Vec3::ZERO, -Vec3::Z), 2e-3, 0.0114, 20.0);
+        assert_eq!(m.search_signal(&away, &rx(), 5e-3), 0.0);
+        assert_eq!(m.diode_signals(&away, &rx()), [0.0; 4]);
+    }
+}

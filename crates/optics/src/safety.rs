@@ -1,0 +1,176 @@
+//! Eye-safety classification (IEC 60825-1 \[19\], simplified).
+//!
+//! §3: "Our prototypes use Class I lasers, with amplifiers used only to
+//! compensate for signal attenuation; thus there are no eye-safety concerns."
+//! The relevant physics: at 1550 nm the cornea/lens absorb before the retina,
+//! so the Class 1 accessible-emission limit (AEL) is ~10 mW for a point
+//! source; a *diverging* beam further reduces the power that can enter a
+//! 7 mm pupil, raising the effective limit.
+//!
+//! The classification is evaluated at the **closest human-accessible
+//! distance** from the emitter. For Cyclops's ceiling-mounted TX that is of
+//! order a metre — the eye-safety envelope is a property of the deployment,
+//! not just the device, and the check below makes that explicit (a fact the
+//! paper's footnote 12 glosses over).
+
+use crate::beam::capture_fraction;
+use crate::power::{dbm_to_mw, mw_to_dbm};
+
+/// Laser safety class (simplified subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaserClass {
+    /// Safe under all conditions of normal use.
+    Class1,
+    /// Safe for the naked eye, hazardous with magnifying optics.
+    Class1M,
+    /// Hazardous.
+    Class3B,
+}
+
+/// Class 1 AEL at 1550 nm for a collimated/point-source exposure, in mW
+/// (IEC 60825-1 for >10 s exposure in the 1400–4000 nm retina-safe band).
+pub const CLASS1_AEL_1550_MW: f64 = 10.0;
+
+/// AEL at 1310 nm, lower than 1550 nm (partial retinal transmission).
+pub const CLASS1_AEL_1310_MW: f64 = 1.5;
+
+/// Pupil radius used for the "power through a 7 mm aperture" measurement.
+pub const PUPIL_RADIUS_M: f64 = 3.5e-3;
+
+/// Classifies a launched beam at a given closest accessible distance.
+///
+/// * `launch_dbm` — total launched power;
+/// * `w0` — 1/e² radius at the launch aperture;
+/// * `theta_half` — half-divergence;
+/// * `wavelength_nm` — carrier wavelength;
+/// * `access_distance_m` — nearest point a human eye can reach (for a
+///   ceiling-mounted TX above a standing user, of order 1 m).
+///
+/// The accessible emission is the power passing a 7 mm pupil at that
+/// distance: a diverging beam spreads beyond the pupil, which is how Cyclops
+/// launches 20 dBm and remains Class 1 *in its deployment geometry*.
+pub fn classify(
+    launch_dbm: f64,
+    w0: f64,
+    theta_half: f64,
+    wavelength_nm: f64,
+    access_distance_m: f64,
+) -> LaserClass {
+    let ael_mw = if wavelength_nm >= 1400.0 {
+        CLASS1_AEL_1550_MW
+    } else {
+        CLASS1_AEL_1310_MW
+    };
+    let accessible_mw = dbm_to_mw(accessible_emission_dbm(
+        launch_dbm,
+        w0,
+        theta_half,
+        access_distance_m,
+    ));
+    if accessible_mw <= ael_mw {
+        LaserClass::Class1
+    } else if accessible_mw <= 5.0 * ael_mw && theta_half > 1e-3 {
+        // Collecting optics could concentrate a diverging beam.
+        LaserClass::Class1M
+    } else {
+        LaserClass::Class3B
+    }
+}
+
+/// Accessible emission (dBm) through a 7 mm pupil at the given distance.
+pub fn accessible_emission_dbm(
+    launch_dbm: f64,
+    w0: f64,
+    theta_half: f64,
+    access_distance_m: f64,
+) -> f64 {
+    let w_at_eye =
+        (w0 * w0 + (theta_half * access_distance_m) * (theta_half * access_distance_m)).sqrt();
+    let through_pupil = capture_fraction(w_at_eye, 0.0, PUPIL_RADIUS_M);
+    mw_to_dbm(dbm_to_mw(launch_dbm) * through_pupil)
+}
+
+/// The smallest access distance (metres) at which the launch is Class 1 —
+/// the radius of the hazard envelope below the ceiling unit. Returns 0 if
+/// the launch is safe even at contact.
+pub fn class1_distance_m(launch_dbm: f64, w0: f64, theta_half: f64, wavelength_nm: f64) -> f64 {
+    if classify(launch_dbm, w0, theta_half, wavelength_nm, 0.0) == LaserClass::Class1 {
+        return 0.0;
+    }
+    // Bisection over distance, 0–10 m.
+    let (mut lo, mut hi) = (0.0f64, 10.0f64);
+    if classify(launch_dbm, w0, theta_half, wavelength_nm, hi) != LaserClass::Class1 {
+        return f64::INFINITY;
+    }
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if classify(launch_dbm, w0, theta_half, wavelength_nm, mid) == LaserClass::Class1 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_sfp_is_class1_at_contact() {
+        // 0–4 dBm SFP laser, narrow beam: well under 10 mW at 1550 nm.
+        assert_eq!(classify(4.0, 1e-3, 0.0, 1550.0, 0.0), LaserClass::Class1);
+    }
+
+    #[test]
+    fn amplified_diverging_prototype_is_class1_at_range() {
+        // The 20 dBm (100 mW) launch spread over the 11 mrad diverging cone:
+        // Class 1 at the ~1.5 m working range of the ceiling deployment.
+        let theta = 11.4e-3;
+        let c = classify(20.0, 2e-3, theta, 1550.0, 1.5);
+        assert_eq!(
+            c,
+            LaserClass::Class1,
+            "accessible {} dBm",
+            accessible_emission_dbm(20.0, 2e-3, theta, 1.5)
+        );
+        // ... but NOT at 10 cm from the aperture: the envelope matters.
+        assert_ne!(classify(20.0, 2e-3, theta, 1550.0, 0.1), LaserClass::Class1);
+    }
+
+    #[test]
+    fn hazard_envelope_is_about_a_metre() {
+        let d = class1_distance_m(20.0, 2e-3, 11.4e-3, 1550.0);
+        assert!((0.3..2.0).contains(&d), "envelope {d} m");
+    }
+
+    #[test]
+    fn amplified_narrow_collimated_never_class1() {
+        // 20 dBm tightly collimated: hazardous at any distance.
+        assert_eq!(class1_distance_m(20.0, 2e-3, 0.0, 1550.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn shorter_wavelength_is_stricter() {
+        let at_1550 = classify(9.0, 2e-3, 0.0, 1550.0, 0.0);
+        let at_1310 = classify(9.0, 2e-3, 0.0, 1310.0, 0.0);
+        assert_eq!(at_1550, LaserClass::Class1);
+        assert_ne!(at_1310, LaserClass::Class1);
+    }
+
+    #[test]
+    fn accessible_emission_less_than_launch_for_wide_beam() {
+        let acc = accessible_emission_dbm(20.0, 2e-3, 11.4e-3, 1.5);
+        assert!(acc < 20.0);
+        assert!(acc > -10.0);
+    }
+
+    #[test]
+    fn accessible_emission_grows_towards_launch_at_contact() {
+        let near = accessible_emission_dbm(20.0, 2e-3, 11.4e-3, 0.01);
+        let far = accessible_emission_dbm(20.0, 2e-3, 11.4e-3, 3.0);
+        assert!(near > far);
+        assert!(near <= 20.0 + 1e-9);
+    }
+}

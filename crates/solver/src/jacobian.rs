@@ -1,0 +1,79 @@
+//! Numeric Jacobians (central differences).
+
+use crate::linalg::DMat;
+
+/// Computes the Jacobian `J[i][j] = ∂rᵢ/∂xⱼ` of a residual function by central
+/// differences.
+///
+/// `f` maps a parameter vector to a residual vector of fixed length
+/// `n_residuals`. The step for parameter `j` is `rel_step · max(|xⱼ|, 1)`,
+/// which behaves well across the mixed metre/radian/volt parameter scales in
+/// the Cyclops fits.
+pub fn numeric_jacobian<F>(f: &F, x: &[f64], n_residuals: usize, rel_step: f64) -> DMat
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    let n = x.len();
+    let mut jac = DMat::zeros(n_residuals, n);
+    let mut xp = x.to_vec();
+    for j in 0..n {
+        let h = rel_step * x[j].abs().max(1.0);
+        xp[j] = x[j] + h;
+        let rp = f(&xp);
+        xp[j] = x[j] - h;
+        let rm = f(&xp);
+        xp[j] = x[j];
+        debug_assert_eq!(rp.len(), n_residuals);
+        debug_assert_eq!(rm.len(), n_residuals);
+        let inv = 1.0 / (2.0 * h);
+        for i in 0..n_residuals {
+            jac[(i, j)] = (rp[i] - rm[i]) * inv;
+        }
+    }
+    jac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_function_exact() {
+        // r = A x with A = [[1, 2], [3, 4], [5, 6]]: Jacobian is A.
+        let f = |x: &[f64]| {
+            vec![
+                x[0] + 2.0 * x[1],
+                3.0 * x[0] + 4.0 * x[1],
+                5.0 * x[0] + 6.0 * x[1],
+            ]
+        };
+        let j = numeric_jacobian(&f, &[0.7, -0.3], 3, 1e-6);
+        let expect = [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]];
+        for r in 0..3 {
+            for c in 0..2 {
+                assert!((j[(r, c)] - expect[r][c]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn nonlinear_function() {
+        // r = [x², sin(y)]: J = [[2x, 0], [0, cos(y)]].
+        let f = |x: &[f64]| vec![x[0] * x[0], x[1].sin()];
+        let x = [1.5, 0.4];
+        let j = numeric_jacobian(&f, &x, 2, 1e-6);
+        assert!((j[(0, 0)] - 3.0).abs() < 1e-6);
+        assert!(j[(0, 1)].abs() < 1e-9);
+        assert!(j[(1, 0)].abs() < 1e-9);
+        assert!((j[(1, 1)] - 0.4f64.cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_scales_with_parameter_magnitude() {
+        // For very large parameters a fixed step would lose all precision;
+        // relative stepping keeps the error controlled.
+        let f = |x: &[f64]| vec![x[0] * 1e-6];
+        let j = numeric_jacobian(&f, &[1e9], 1, 1e-7);
+        assert!((j[(0, 0)] - 1e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! # cyclops-solver
+//!
+//! Self-contained numerical optimization, replacing the paper's use of
+//! `scipy.optimize` \[57\] for the two training stages of the Cyclops pointing
+//! mechanism:
+//!
+//! * **K-space GMA fit (§4.1(B))** — non-linear least squares over the ~20
+//!   geometric parameters of the galvo-mirror-assembly model `G`, minimizing
+//!   board-hit error over the 266 grid samples → [`lm::levenberg_marquardt`].
+//! * **VR-space mapping fit (§4.2)** — non-linear least squares over the 12
+//!   mapping parameters minimizing the Lemma-1 error
+//!   `Σ d(p_t, τ_r) + d(p_r, τ_t)` → also LM, with
+//!   [`nelder_mead::nelder_mead`] available as a derivative-free fallback.
+//! * **Exhaustive alignment search (§4.2)** — the "automated exhaustive
+//!   search \[for] the optimal combination of the four voltages that maximizes
+//!   the received power" → [`pattern::pattern_search`] (coarse-to-fine
+//!   coordinate/pattern search, the practical form of exhaustive search the
+//!   earlier FSONet work \[32\] used).
+//! * **Tolerance bisection (§5.1)** — finding the maximum misalignment at
+//!   which the link still closes → [`scalar::bisect_threshold`] and
+//!   [`scalar::golden_min`].
+//!
+//! All algorithms are deterministic; none allocate outside of plain `Vec`s.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod jacobian;
+pub mod linalg;
+pub mod lm;
+pub mod nelder_mead;
+pub mod pattern;
+pub mod scalar;
+pub mod stats;
+
+pub use jacobian::numeric_jacobian;
+pub use linalg::DMat;
+pub use lm::{levenberg_marquardt, LmOptions, LmReport, LmStatus};
+pub use nelder_mead::{nelder_mead, NmOptions, NmReport};
+pub use pattern::{axis_scan, grid_scan2, pattern_search, PatternOptions, PatternReport};
+pub use scalar::{bisect_threshold, golden_min};
+pub use stats::ResidualStats;

@@ -1,0 +1,258 @@
+//! Small dense linear algebra: just enough to run Levenberg–Marquardt on
+//! problems with a few dozen parameters (the K-space fit has ~22, the
+//! VR-space mapping fit has 12).
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMat {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMat {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> DMat {
+        DMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> DMat {
+        let mut m = DMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> DMat {
+        assert_eq!(data.len(), rows * cols, "dimension mismatch");
+        DMat { rows, cols, data }
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Computes `AᵀA` (the Gauss–Newton normal matrix).
+    pub fn gram(&self) -> DMat {
+        let n = self.cols;
+        let mut g = DMat::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// Computes `Aᵀb`.
+    pub fn t_mul_vec(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for (r, &br) in b.iter().enumerate() {
+            if br == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(r)) {
+                *o += a * br;
+            }
+        }
+        out
+    }
+
+    /// Computes `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Solves `A·x = b` in place via Gaussian elimination with partial
+    /// pivoting. Returns `None` if the matrix is (numerically) singular.
+    ///
+    /// `self` is consumed; for LM we rebuild the damped normal matrix each
+    /// iteration anyway.
+    pub fn solve(mut self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut x: Vec<f64> = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = self[(col, col)].abs();
+            for r in (col + 1)..n {
+                let v = self[(r, col)].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-300 {
+                return None;
+            }
+            if pivot != col {
+                self.data.swap(pivot * n + col, col * n + col);
+                for c in (col + 1)..n {
+                    self.data.swap(pivot * n + c, col * n + c);
+                }
+                x.swap(pivot, col);
+            }
+            let diag = self[(col, col)];
+            for r in (col + 1)..n {
+                let factor = self[(r, col)] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                self[(r, col)] = 0.0;
+                for c in (col + 1)..n {
+                    let v = self[(col, c)];
+                    self[(r, c)] -= factor * v;
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for c in (col + 1)..n {
+                s -= self[(col, c)] * x[c];
+            }
+            x[col] = s / self[(col, col)];
+        }
+        Some(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let m = DMat::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(m.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn known_system() {
+        // 2x + y = 5; x + 3y = 10  →  x = 1, y = 3.
+        let m = DMat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // First diagonal entry zero forces a row swap.
+        let m = DMat::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let m = DMat::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn random_system_roundtrip() {
+        // Deterministic pseudo-random 6x6 system: check A·solve(A,b) == b.
+        let n = 6;
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let data: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let a = DMat::from_vec(n, n, data);
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a
+            .clone()
+            .solve(&b)
+            .expect("random matrix should be nonsingular");
+        let bx = a.mul_vec(&x);
+        for i in 0..n {
+            assert!((bx[i] - b[i]).abs() < 1e-9, "component {i}");
+        }
+    }
+
+    #[test]
+    fn gram_and_t_mul_vec() {
+        // A = [[1,2],[3,4],[5,6]]
+        let a = DMat::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gram();
+        assert_eq!(g[(0, 0)], 35.0);
+        assert_eq!(g[(0, 1)], 44.0);
+        assert_eq!(g[(1, 0)], 44.0);
+        assert_eq!(g[(1, 1)], 56.0);
+        let atb = a.t_mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(atb, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = DMat::from_vec(2, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0]);
+        let y = a.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_checks_dims() {
+        let _ = DMat::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # cyclops-vrh
+//!
+//! The VR-headset substrate: everything the Oculus Rift S contributed to the
+//! paper's prototype, simulated.
+//!
+//! * [`headset`] — the headset as a rigid body with two **hidden** facts the
+//!   paper's §3 emphasises: the tracked point `X` is "some unknown point
+//!   within \[the] VRH", and poses are reported "in an unknown coordinate
+//!   space (VR-space)". The learning pipeline never sees either; the
+//!   simulation holds them as ground truth.
+//! * [`tracking`] — the VRH-T simulator: reports every 12–13 ms (0.7 % of
+//!   the time 14–15 ms, §5.2), with the stationary noise the paper measured
+//!   (≤1.79 mm location, ≤0.41 mrad orientation over 30 minutes).
+//! * [`imu`] — a strapdown-IMU + camera-correction model, the mechanism
+//!   behind VRH-T's noise; [`tracking::TrackerConfig::from_imu`] derives a
+//!   tracker configuration from it (and a test pins it to the aggregate
+//!   §5.2 numbers).
+//! * [`motion`] — the §5.3 test rigs as motion models: linear rail strokes,
+//!   rotation-stage sweeps, and free hand-held (Ornstein–Uhlenbeck) motion.
+//! * [`traces`] — 360°-video viewing head-motion traces: a synthetic
+//!   generator calibrated to the speed CDFs of Fig 3 (the public dataset
+//!   \[47\] is substituted per DESIGN.md), plus a CSV codec so real traces can
+//!   be dropped in.
+//! * [`speeds`] — linear/angular speed extraction used by Fig 3 and the
+//!   throughput experiments.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod headset;
+pub mod imu;
+pub mod motion;
+pub mod rand_util;
+pub mod speeds;
+pub mod traces;
+pub mod tracking;
+
+pub use headset::{Headset, HeadsetConfig};
+pub use motion::{ArbitraryMotion, LinearRail, Motion, RotationStage, StaticPose, TracePlayback};
+pub use traces::{HeadTrace, TraceGenConfig, TraceSample};
+pub use tracking::{TrackerConfig, TrackingReport, VrhTracker};

@@ -1,0 +1,218 @@
+//! Free hand-held motion (§5.3 "User Study (Arbitrary Motions)").
+//!
+//! "We detach the RX assembly ..., hold it in hands, and move it around in
+//! front of the TX." Hand-held motion is well described by an
+//! Ornstein–Uhlenbeck (OU) process over linear and angular velocity: velocity
+//! relaxes towards zero with a ~half-second time constant while being kicked
+//! by noise, giving the smooth-but-erratic trajectories of a human hand, with
+//! simultaneous (mixed) linear and angular components — the case the paper
+//! stresses its TP design on.
+
+use super::Motion;
+use cyclops_geom::pose::Pose;
+use cyclops_geom::quat::Quat;
+use cyclops_geom::vec3::{v3, Vec3};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of the OU velocity processes.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbitraryMotionConfig {
+    /// Velocity relaxation time constant (seconds).
+    pub tau: f64,
+    /// Stationary RMS linear speed per axis (m/s).
+    pub lin_rms: f64,
+    /// Stationary RMS angular speed per axis (rad/s).
+    pub ang_rms: f64,
+    /// Hard cap on linear speed (m/s) — a hand can only move so fast.
+    pub lin_max: f64,
+    /// Hard cap on angular speed (rad/s).
+    pub ang_max: f64,
+    /// Soft position tether: spring constant pulling back to the start
+    /// position (1/s²) so the assembly stays in front of the TX.
+    pub tether: f64,
+    /// Soft orientation tether (1/s²): a hand holding the assembly keeps it
+    /// roughly facing the TX.
+    pub ang_tether: f64,
+    /// Integration step (seconds).
+    pub dt: f64,
+}
+
+impl Default for ArbitraryMotionConfig {
+    fn default() -> Self {
+        ArbitraryMotionConfig {
+            tau: 0.5,
+            lin_rms: 0.12,
+            ang_rms: 0.20,
+            lin_max: 1.0,
+            ang_max: 2.5,
+            tether: 2.0,
+            ang_tether: 4.0,
+            dt: 1e-3,
+        }
+    }
+}
+
+/// OU-process hand-held motion, deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct ArbitraryMotion {
+    cfg: ArbitraryMotionConfig,
+    rng: StdRng,
+    base: Pose,
+    pos: Vec3,
+    quat: Quat,
+    vel: Vec3,
+    omega: Vec3,
+    t: f64,
+}
+
+impl ArbitraryMotion {
+    /// Creates the motion starting at `base`, seeded for reproducibility.
+    pub fn new(base: Pose, cfg: ArbitraryMotionConfig, seed: u64) -> ArbitraryMotion {
+        ArbitraryMotion {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            base,
+            pos: Vec3::ZERO,
+            quat: Quat::IDENTITY,
+            vel: Vec3::ZERO,
+            omega: Vec3::ZERO,
+            t: 0.0,
+        }
+    }
+
+    /// Current instantaneous linear speed (m/s).
+    pub fn linear_speed(&self) -> f64 {
+        self.vel.norm()
+    }
+
+    /// Current instantaneous angular speed (rad/s).
+    pub fn angular_speed(&self) -> f64 {
+        self.omega.norm()
+    }
+
+    fn gauss(&mut self) -> f64 {
+        crate::rand_util::gauss(&mut self.rng)
+    }
+
+    fn step(&mut self, dt: f64) {
+        let c = self.cfg;
+        // OU: dv = −v/τ dt + σ√(2dt/τ) ξ, stationary std = σ.
+        let kick_l = c.lin_rms * (2.0 * dt / c.tau).sqrt();
+        let kick_a = c.ang_rms * (2.0 * dt / c.tau).sqrt();
+        let gl = v3(self.gauss(), self.gauss(), self.gauss());
+        let ga = v3(self.gauss(), self.gauss(), self.gauss());
+        self.vel += (-self.vel / c.tau - self.pos * c.tether) * dt + gl * kick_l;
+        // Orientation spring: pull back towards the facing-the-TX attitude.
+        let rv = cyclops_geom::rotation::to_rotation_vector(&self.quat.to_matrix());
+        self.omega += (-self.omega / c.tau - rv * c.ang_tether) * dt + ga * kick_a;
+        // Caps.
+        let vs = self.vel.norm();
+        if vs > c.lin_max {
+            self.vel *= c.lin_max / vs;
+        }
+        let ws = self.omega.norm();
+        if ws > c.ang_max {
+            self.omega *= c.ang_max / ws;
+        }
+        self.pos += self.vel * dt;
+        self.quat = (Quat::from_rotation_vector(self.omega * dt) * self.quat).normalized();
+    }
+}
+
+impl Motion for ArbitraryMotion {
+    fn pose_at(&mut self, t: f64) -> Pose {
+        assert!(
+            t + 1e-9 >= self.t,
+            "ArbitraryMotion must be sampled with non-decreasing time"
+        );
+        while self.t + self.cfg.dt <= t {
+            let dt = self.cfg.dt;
+            self.step(dt);
+            self.t += dt;
+        }
+        let local = Pose::from_quat(self.quat, self.pos);
+        self.base.compose(&local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::units::rad_to_deg;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || ArbitraryMotion::new(Pose::IDENTITY, Default::default(), 99);
+        let (mut a, mut b) = (mk(), mk());
+        for i in 1..50 {
+            let t = i as f64 * 0.05;
+            assert_eq!(a.pose_at(t).trans, b.pose_at(t).trans);
+        }
+        let mut c = ArbitraryMotion::new(Pose::IDENTITY, Default::default(), 100);
+        let mut a2 = mk();
+        assert_ne!(a2.pose_at(2.0).trans, c.pose_at(2.0).trans);
+    }
+
+    #[test]
+    fn stays_tethered_near_start() {
+        let mut m = ArbitraryMotion::new(Pose::IDENTITY, Default::default(), 7);
+        let mut max_dist: f64 = 0.0;
+        let mut max_ang: f64 = 0.0;
+        for i in 1..1200 {
+            let p = m.pose_at(i as f64 * 0.05); // 60 s
+            max_dist = max_dist.max(p.trans.norm());
+            max_ang = max_ang.max(Quat::IDENTITY.angle_to(&p.quat()));
+        }
+        assert!(max_dist < 1.0, "wandered {max_dist} m");
+        assert!(max_dist > 0.01, "should actually move");
+        // The hand keeps the assembly roughly facing forward.
+        assert!(max_ang < 0.35, "spun away by {max_ang} rad");
+        assert!(max_ang > 0.01, "should actually rotate");
+    }
+
+    #[test]
+    fn speeds_are_humanlike() {
+        let mut m = ArbitraryMotion::new(Pose::IDENTITY, Default::default(), 13);
+        let mut lin = Vec::new();
+        let mut ang = Vec::new();
+        let mut last = m.pose_at(0.0);
+        for i in 1..3000 {
+            let t = i as f64 * 0.02;
+            let p = m.pose_at(t);
+            lin.push((p.trans - last.trans).norm() / 0.02);
+            ang.push(last.quat().angle_to(&p.quat()) / 0.02);
+            last = p;
+        }
+        let mean_lin = lin.iter().sum::<f64>() / lin.len() as f64;
+        let mean_ang = ang.iter().sum::<f64>() / ang.len() as f64;
+        // RMS per axis 0.12 m/s ⇒ mean |v| ≈ 1.6·0.12 ≈ 0.19 m/s.
+        assert!(
+            (0.05..0.5).contains(&mean_lin),
+            "mean linear {mean_lin} m/s"
+        );
+        assert!(
+            (5.0..40.0).contains(&rad_to_deg(mean_ang)),
+            "mean angular {} deg/s",
+            rad_to_deg(mean_ang)
+        );
+        let max_lin = lin.iter().cloned().fold(0.0, f64::max);
+        assert!(max_lin <= 1.01, "cap respected: {max_lin}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_must_not_go_backwards() {
+        let mut m = ArbitraryMotion::new(Pose::IDENTITY, Default::default(), 1);
+        m.pose_at(1.0);
+        m.pose_at(0.5);
+    }
+
+    #[test]
+    fn poses_remain_rigid() {
+        let mut m = ArbitraryMotion::new(Pose::IDENTITY, Default::default(), 3);
+        for i in 0..100 {
+            assert!(m.pose_at(i as f64 * 0.1).is_rigid(1e-7));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Motion models: the §5.3 evaluation rigs and free user motion.
+//!
+//! The paper evaluates throughput under three motion regimes, each of which
+//! is a [`Motion`] implementation here:
+//!
+//! * **purely linear** — the RX assembly on a linear rail, moved in single
+//!   smooth strokes of gradually increasing speed ([`LinearRail`]);
+//! * **purely angular** — the same protocol on a rotation stage
+//!   ([`RotationStage`]);
+//! * **arbitrary** — the assembly held in hands and moved freely
+//!   ([`ArbitraryMotion`], an Ornstein–Uhlenbeck process over linear and
+//!   angular velocity);
+//! * plus [`TracePlayback`] for the §5.4 user-trace simulation.
+
+mod arbitrary;
+mod playback;
+mod rail;
+mod stage;
+
+pub use arbitrary::{ArbitraryMotion, ArbitraryMotionConfig};
+pub use playback::TracePlayback;
+pub use rail::LinearRail;
+pub use stage::RotationStage;
+
+use cyclops_geom::pose::Pose;
+
+/// A time-parameterized rigid motion of the RX assembly.
+///
+/// `pose_at` must be called with non-decreasing `t` (stateful models
+/// integrate forward).
+pub trait Motion {
+    /// The true world pose of the assembly at time `t` (seconds).
+    fn pose_at(&mut self, t: f64) -> Pose;
+}
+
+/// A motionless assembly at a fixed pose.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticPose(pub Pose);
+
+impl Motion for StaticPose {
+    fn pose_at(&mut self, _t: f64) -> Pose {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::vec3::v3;
+
+    #[test]
+    fn static_pose_never_moves() {
+        let pose = Pose::translation(v3(1.0, 2.0, 3.0));
+        let mut m = StaticPose(pose);
+        assert_eq!(m.pose_at(0.0).trans, pose.trans);
+        assert_eq!(m.pose_at(100.0).trans, pose.trans);
+    }
+}

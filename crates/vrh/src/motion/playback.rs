@@ -1,0 +1,90 @@
+//! Replaying a recorded head-motion trace as a [`Motion`].
+
+use super::Motion;
+use crate::traces::HeadTrace;
+use cyclops_geom::pose::Pose;
+
+/// Plays a [`HeadTrace`] back, composed onto a base pose (placing the traced
+/// motion somewhere in the deployment's world frame).
+#[derive(Debug, Clone)]
+pub struct TracePlayback {
+    /// World pose of the trace's origin.
+    pub base: Pose,
+    /// The trace to follow.
+    pub trace: HeadTrace,
+    /// Playback speed factor (1.0 = real time).
+    pub speed: f64,
+}
+
+impl TracePlayback {
+    /// Creates a real-time playback.
+    pub fn new(base: Pose, trace: HeadTrace) -> TracePlayback {
+        TracePlayback {
+            base,
+            trace,
+            speed: 1.0,
+        }
+    }
+}
+
+impl Motion for TracePlayback {
+    fn pose_at(&mut self, t: f64) -> Pose {
+        self.base.compose(&self.trace.pose_at(t * self.speed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::TraceGenConfig;
+    use cyclops_geom::vec3::v3;
+
+    #[test]
+    fn playback_matches_trace() {
+        let tr = HeadTrace::generate(
+            &TraceGenConfig {
+                duration_s: 2.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut pb = TracePlayback::new(Pose::IDENTITY, tr.clone());
+        for t in [0.0, 0.5, 1.0, 1.999] {
+            let a = pb.pose_at(t);
+            let b = tr.pose_at(t);
+            assert!((a.trans - b.trans).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn base_offsets_playback() {
+        let tr = HeadTrace::generate(
+            &TraceGenConfig {
+                duration_s: 1.0,
+                ..Default::default()
+            },
+            2,
+        );
+        let base = Pose::translation(v3(0.0, 1.6, 0.0)); // head height
+        let mut pb = TracePlayback::new(base, tr.clone());
+        let p = pb.pose_at(0.5);
+        let raw = tr.pose_at(0.5);
+        assert!((p.trans - (raw.trans + v3(0.0, 1.6, 0.0))).norm() < 1e-12);
+    }
+
+    #[test]
+    fn double_speed_plays_twice_as_fast() {
+        let tr = HeadTrace::generate(
+            &TraceGenConfig {
+                duration_s: 2.0,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut fast = TracePlayback::new(Pose::IDENTITY, tr.clone());
+        fast.speed = 2.0;
+        let a = fast.pose_at(0.5);
+        let b = tr.pose_at(1.0);
+        assert!((a.trans - b.trans).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Linear-rail stroke protocol (§5.3, "Purely Linear ... Motions").
+//!
+//! "The RX assembly is moved continuously from one end of the rail to the
+//! other in a single smooth 'stroke.' The assembly momentarily comes to rest
+//! to turn at one end, and is then moved in the opposite direction. This
+//! process is repeated with gradually increasing stroke speeds."
+
+use super::Motion;
+use cyclops_geom::pose::Pose;
+use cyclops_geom::vec3::Vec3;
+
+/// Back-and-forth strokes along a rail with per-stroke speed ramp.
+#[derive(Debug, Clone)]
+pub struct LinearRail {
+    /// Pose of the assembly at the rail centre (orientation is constant).
+    pub base: Pose,
+    /// Unit direction of the rail in world coordinates.
+    pub dir: Vec3,
+    /// Usable rail length (metres); travel is ±length/2 around the centre.
+    pub length: f64,
+    /// Speed of the first stroke (m/s).
+    pub v0: f64,
+    /// Speed increment per stroke (m/s).
+    pub dv: f64,
+    /// Pause at each end of the rail (seconds).
+    pub turn_pause: f64,
+}
+
+impl LinearRail {
+    /// Creates the §5.3-style protocol: 40 cm rail, strokes from 5 cm/s
+    /// stepping up by 2.5 cm/s each stroke, 0.2 s turnaround.
+    pub fn paper_protocol(base: Pose, dir: Vec3) -> LinearRail {
+        LinearRail {
+            base,
+            dir: dir.normalized(),
+            length: 0.40,
+            v0: 0.05,
+            dv: 0.025,
+            turn_pause: 0.2,
+        }
+    }
+
+    /// Rail-axis offset from the centre at time `t`, plus the current stroke
+    /// speed (for instrumentation).
+    pub fn offset_and_speed(&self, t: f64) -> (f64, f64) {
+        // Walk stroke by stroke; speeds grow linearly so this terminates in
+        // O(#strokes), which is tiny for any realistic horizon.
+        let mut t_rem = t;
+        let mut k = 0usize;
+        loop {
+            let v = self.v0 + k as f64 * self.dv;
+            let stroke_t = self.length / v;
+            if t_rem < stroke_t {
+                let x = t_rem * v; // 0..length along current stroke
+                let signed = if k % 2 == 0 {
+                    x - self.length / 2.0
+                } else {
+                    self.length / 2.0 - x
+                };
+                return (signed, v);
+            }
+            t_rem -= stroke_t;
+            if t_rem < self.turn_pause {
+                // Resting at the end of stroke k.
+                let end = if k % 2 == 0 { 0.5 } else { -0.5 } * self.length;
+                return (end, 0.0);
+            }
+            t_rem -= self.turn_pause;
+            k += 1;
+        }
+    }
+}
+
+impl Motion for LinearRail {
+    fn pose_at(&mut self, t: f64) -> Pose {
+        let (offset, _) = self.offset_and_speed(t);
+        Pose::new(self.base.rot, self.base.trans + self.dir * offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::vec3::v3;
+
+    fn rail() -> LinearRail {
+        LinearRail::paper_protocol(Pose::IDENTITY, v3(1.0, 0.0, 0.0))
+    }
+
+    #[test]
+    fn starts_at_negative_end_moving_forward() {
+        let mut r = rail();
+        let p0 = r.pose_at(0.0);
+        assert!((p0.trans.x + 0.2).abs() < 1e-12);
+        let p1 = r.pose_at(1.0);
+        assert!(p1.trans.x > p0.trans.x);
+    }
+
+    #[test]
+    fn first_stroke_speed_is_v0() {
+        let r = rail();
+        let (_, v) = r.offset_and_speed(1.0);
+        assert!((v - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_ramps_up_across_strokes() {
+        let r = rail();
+        // First stroke takes 0.4/0.05 = 8 s (+0.2 s pause); sample the 3rd
+        // stroke.
+        let t3 = 8.0 + 0.2 + 0.4 / 0.075 + 0.2 + 1.0;
+        let (_, v) = r.offset_and_speed(t3);
+        assert!((v - 0.10).abs() < 1e-12, "third stroke at v0+2dv, got {v}");
+    }
+
+    #[test]
+    fn stays_within_rail() {
+        let mut r = rail();
+        for i in 0..5000 {
+            let p = r.pose_at(i as f64 * 0.05);
+            assert!(
+                p.trans.x.abs() <= 0.2 + 1e-9,
+                "at t={} x={}",
+                i as f64 * 0.05,
+                p.trans.x
+            );
+            assert!(p.trans.y.abs() < 1e-12, "motion is purely along the rail");
+        }
+    }
+
+    #[test]
+    fn pauses_at_stroke_ends() {
+        let r = rail();
+        // End of first stroke at t = 8.0; during [8.0, 8.2) we rest at +0.2 m.
+        let (x, v) = r.offset_and_speed(8.05);
+        assert!((x - 0.2).abs() < 1e-9);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn measured_speed_matches_commanded() {
+        // Differentiate numerically mid-stroke.
+        let mut r = rail();
+        let a = r.pose_at(2.000).trans.x;
+        let b = r.pose_at(2.010).trans.x;
+        assert!(((b - a) / 0.01 - 0.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! Small shared randomness helpers.
+
+use rand::Rng;
+
+/// One standard-normal draw via Box–Muller (keeps the workspace's `rand`
+/// usage to the core API; every crate that needs Gaussian noise shares this
+/// one implementation).
+pub fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gauss_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let g = gauss(&mut rng);
+            sum += g;
+            sum2 += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+}

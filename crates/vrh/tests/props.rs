@@ -1,0 +1,102 @@
+//! Property-based tests for the headset/tracking/motion substrate.
+
+use cyclops_geom::pose::Pose;
+use cyclops_geom::vec3::Vec3;
+use cyclops_vrh::headset::{Headset, HeadsetConfig, SpatialDistortion};
+use cyclops_vrh::motion::{LinearRail, Motion, RotationStage};
+use cyclops_vrh::speeds::{angular_speeds, linear_speeds};
+use cyclops_vrh::traces::{HeadTrace, TraceGenConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Generated traces always carry unit quaternions and uniform timing.
+    #[test]
+    fn traces_are_well_formed(seed in 0u64..500) {
+        let cfg = TraceGenConfig { duration_s: 2.0, ..Default::default() };
+        let tr = HeadTrace::generate(&cfg, seed);
+        for (i, s) in tr.samples.iter().enumerate() {
+            prop_assert!((s.quat.norm() - 1.0).abs() < 1e-9);
+            prop_assert!((s.t_ms - i as f64 * 10.0).abs() < 1e-9);
+        }
+    }
+
+    /// Speeds extracted from any generated trace are finite and non-negative.
+    #[test]
+    fn speeds_are_sane(seed in 0u64..200) {
+        let cfg = TraceGenConfig { duration_s: 1.5, ..Default::default() };
+        let tr = HeadTrace::generate(&cfg, seed);
+        for v in linear_speeds(&tr).into_iter().chain(angular_speeds(&tr)) {
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    /// Trace pose interpolation stays between its bracketing samples.
+    #[test]
+    fn interpolation_is_bounded(seed in 0u64..100, t in 0.0..1.99f64) {
+        let cfg = TraceGenConfig { duration_s: 2.0, ..Default::default() };
+        let tr = HeadTrace::generate(&cfg, seed);
+        let p = tr.pose_at(t);
+        let i = (t * 100.0).floor() as usize;
+        let a = &tr.samples[i.min(tr.len() - 1)];
+        let b = &tr.samples[(i + 1).min(tr.len() - 1)];
+        // Position within the segment's bounding box (with slack for lerp).
+        let lo = a.pos.min(b.pos);
+        let hi = a.pos.max(b.pos);
+        prop_assert!(p.trans.x >= lo.x - 1e-9 && p.trans.x <= hi.x + 1e-9);
+        prop_assert!(p.trans.y >= lo.y - 1e-9 && p.trans.y <= hi.y + 1e-9);
+        prop_assert!(p.trans.z >= lo.z - 1e-9 && p.trans.z <= hi.z + 1e-9);
+    }
+
+    /// CSV round-trips preserve any generated trace.
+    #[test]
+    fn csv_roundtrip(seed in 0u64..100) {
+        let cfg = TraceGenConfig { duration_s: 0.4, ..Default::default() };
+        let tr = HeadTrace::generate(&cfg, seed);
+        let back = HeadTrace::from_csv(&tr.to_csv()).unwrap();
+        prop_assert_eq!(tr.len(), back.len());
+        for (a, b) in tr.samples.iter().zip(&back.samples) {
+            prop_assert!((a.pos - b.pos).norm() < 1e-9);
+            prop_assert!(a.quat.angle_to(&b.quat) < 1e-6);
+        }
+    }
+
+    /// The reported pose is always a rigid transform, whatever the hidden
+    /// frames and distortion.
+    #[test]
+    fn reported_pose_is_rigid(seed in 0u64..300, x in -0.5..0.5f64,
+                              y in -0.5..0.5f64, z in 1.0..2.5f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = Headset::new(HeadsetConfig::random(&mut rng));
+        h.world_pose = Pose::translation(Vec3::new(x, y, z));
+        prop_assert!(h.true_reported_pose().is_rigid(1e-9));
+    }
+
+    /// The distortion field is bounded by a small multiple of its amplitude
+    /// within the tracked volume.
+    #[test]
+    fn distortion_is_bounded(seed in 0u64..200, x in -0.3..0.3f64,
+                             y in -0.3..0.3f64, z in 1.45..2.05f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = SpatialDistortion::random(&mut rng, Vec3::new(0.0, 0.0, 1.75), 10e-3);
+        let disp = d.displacement(Vec3::new(x, y, z)).norm();
+        prop_assert!(disp < 6.0 * 10e-3, "displacement {disp}");
+    }
+
+    /// Rail and stage motions produce rigid poses with the commanded
+    /// geometry for all times.
+    #[test]
+    fn rig_motions_are_rigid(t in 0.0..60.0f64) {
+        let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+        let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+        let p = rail.pose_at(t);
+        prop_assert!(p.is_rigid(1e-9));
+        prop_assert!(p.trans.x.abs() <= 0.2 + 1e-9);
+
+        let mut stage = RotationStage::paper_protocol(base, Vec3::Y);
+        let q = stage.pose_at(t);
+        prop_assert!(q.is_rigid(1e-9));
+        prop_assert!((q.trans - base.trans).norm() < 1e-12);
+    }
+}

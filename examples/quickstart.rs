@@ -1,0 +1,62 @@
+//! Quickstart: commission a Cyclops link and keep it aligned by tracking
+//! alone.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cyclops::prelude::*;
+
+fn main() {
+    println!("== Cyclops quickstart ==\n");
+
+    // Commission a 10G system: builds the (simulated) bench, calibrates both
+    // galvo assemblies on the grid board (§4.1 of the paper), and learns the
+    // 12 VR-space mapping parameters from exhaustively-aligned placements
+    // (§4.2). `fast_10g` uses a reduced training budget so this runs in
+    // seconds; `paper_10g` is the full-size procedure.
+    let cfg = SystemConfig::fast_10g(2022);
+    println!("commissioning (seed {}) ...", cfg.seed);
+    let mut system = CyclopsSystem::commission(&cfg);
+    let rep = &system.report;
+    println!(
+        "  stage-1 model error:  TX {:.2} mm avg, RX {:.2} mm avg",
+        rep.kspace_tx.mean * 1e3,
+        rep.kspace_rx.mean * 1e3
+    );
+    println!(
+        "  combined model error: TX {:.2} mm avg, RX {:.2} mm avg ({} placements)",
+        rep.combined_tx.mean * 1e3,
+        rep.combined_rx.mean * 1e3,
+        rep.mapping_samples_used
+    );
+
+    // Move the headset around; after each move, one tracking report plus the
+    // pointing function P realigns the beam — no optical feedback at all.
+    println!("\nmoving the headset:");
+    let poses = [
+        Vec3::new(0.10, 0.00, 1.80),
+        Vec3::new(-0.15, 0.08, 1.70),
+        Vec3::new(0.05, -0.12, 1.95),
+    ];
+    for p in poses {
+        system.move_headset(Pose::translation(p));
+        let before = system.received_power_dbm();
+        let report = system.track();
+        let latency = system.point(&report);
+        let after = system.received_power_dbm();
+        println!(
+            "  headset at ({:+.2}, {:+.2}, {:.2}) m: power {:>7.1} -> {:>6.1} dBm  (TP {:.2} ms, link {})",
+            p.x,
+            p.y,
+            p.z,
+            before,
+            after,
+            latency * 1e3,
+            if system.link_up() { "UP" } else { "DOWN" }
+        );
+        assert!(system.link_up(), "the TP mechanism should close the link");
+    }
+
+    println!("\nall poses realigned from tracking alone — no photodiode feedback.");
+}

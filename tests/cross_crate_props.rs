@@ -1,0 +1,110 @@
+//! Cross-crate property tests: invariants that span the geometry, optics and
+//! core layers.
+
+use cyclops::core::gprime::gprime_default;
+use cyclops::core::pointing::pointing_default;
+use cyclops::geom::rotation::axis_angle;
+use cyclops::optics::beam::capture_fraction;
+use cyclops::optics::coupling::{LinkDesign, ReceiverGeometry};
+use cyclops::optics::power::{dbm_to_mw, mw_to_dbm};
+use cyclops::prelude::*;
+use proptest::prelude::*;
+
+fn unit_vec() -> impl Strategy<Value = Vec3> {
+    (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64)
+        .prop_filter("nonzero", |(x, y, z)| x * x + y * y + z * z > 1e-3)
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z).normalized())
+}
+
+fn rigid_pose() -> impl Strategy<Value = Pose> {
+    (
+        unit_vec(),
+        -3.0..3.0f64,
+        -2.0..2.0f64,
+        -2.0..2.0f64,
+        -2.0..2.0f64,
+    )
+        .prop_map(|(axis, ang, x, y, z)| Pose::new(axis_angle(axis, ang), Vec3::new(x, y, z)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// G'(point on beam of G(v)) recovers a beam through that point, in any
+    /// rigid frame.
+    #[test]
+    fn gprime_inverts_g_in_any_frame(pose in rigid_pose(),
+                                     v1 in -3.0..3.0f64, v2 in -3.0..3.0f64,
+                                     dist in 0.5..3.0f64) {
+        let g = GalvoParams::nominal().transformed(&pose);
+        let beam = g.trace(v1, v2).unwrap();
+        let target = beam.point_at(dist);
+        let res = gprime_default(&g, target, (0.0, 0.0));
+        prop_assert!(res.converged);
+        prop_assert!(res.miss_distance < 1e-5, "miss {}", res.miss_distance);
+        prop_assert!((res.v1 - v1).abs() < 1e-2);
+        prop_assert!((res.v2 - v2).abs() < 1e-2);
+    }
+
+    /// Received power never exceeds launch power, for any geometry.
+    #[test]
+    fn no_free_energy(off_x in -0.2..0.2f64, off_y in -0.2..0.2f64,
+                      tilt in -0.05..0.05f64, range in 1.0..3.0f64) {
+        let d = LinkDesign::ten_g_diverging(20e-3, 1.75);
+        let chief = Ray::new(Vec3::ZERO, axis_angle(Vec3::X, tilt) * Vec3::Z);
+        let rx = ReceiverGeometry::new(Vec3::new(off_x, off_y, range), -Vec3::Z);
+        let p = d.received_power_dbm(chief, &rx);
+        prop_assert!(p <= d.launch_power_dbm() + 1e-9);
+    }
+
+    /// Aperture capture is a probability and monotone in aperture size.
+    #[test]
+    fn capture_fraction_sane(w in 1e-3..0.05f64, delta in 0.0..0.05f64,
+                             a1 in 1e-4..0.02f64, grow in 1.0..3.0f64) {
+        let c1 = capture_fraction(w, delta, a1);
+        let c2 = capture_fraction(w, delta, a1 * grow);
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!(c2 >= c1 - 1e-9, "bigger aperture must catch more");
+    }
+
+    /// dBm/mW round-trip across the dynamic range used in the system.
+    #[test]
+    fn power_units_roundtrip(dbm in -60.0..25.0f64) {
+        prop_assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+    }
+
+    /// The pointing solution is invariant under a common rigid change of
+    /// frame (the property that makes "VR-space" an acceptable workspace).
+    #[test]
+    fn pointing_frame_invariance(frame in rigid_pose(), sep in 1.2..2.5f64) {
+        let tx = GalvoParams::nominal();
+        let rx = GalvoParams::nominal().transformed(&Pose::new(
+            axis_angle(Vec3::Y, std::f64::consts::PI),
+            Vec3::new(0.05, 0.0, sep),
+        ));
+        let a = pointing_default(&tx, &rx, [0.0; 4]);
+        let b = pointing_default(
+            &tx.transformed(&frame),
+            &rx.transformed(&frame),
+            [0.0; 4],
+        );
+        prop_assert!(a.converged && b.converged);
+        for i in 0..4 {
+            prop_assert!((a.voltages[i] - b.voltages[i]).abs() < 1e-6,
+                "voltage {i}: {} vs {}", a.voltages[i], b.voltages[i]);
+        }
+    }
+
+    /// Trace CSV round-trips for arbitrary generated traces.
+    #[test]
+    fn trace_csv_roundtrip(seed in 0u64..1000) {
+        let cfg = TraceGenConfig { duration_s: 0.5, ..Default::default() };
+        let tr = HeadTrace::generate(&cfg, seed);
+        let back = HeadTrace::from_csv(&tr.to_csv()).unwrap();
+        prop_assert_eq!(tr.len(), back.len());
+        for (a, b) in tr.samples.iter().zip(&back.samples) {
+            prop_assert!((a.pos - b.pos).norm() < 1e-9);
+            prop_assert!(a.quat.angle_to(&b.quat) < 1e-6);
+        }
+    }
+}

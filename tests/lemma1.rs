@@ -1,0 +1,112 @@
+//! Numerical verification of the paper's Lemma 1 — the foundation of both
+//! the mapping error function (§4.2) and the pointing mechanism (§4.3):
+//!
+//! *"the configuration of the two GMs that maximizes the received power at
+//! RX is the same as the configuration that ensures that (i) p_t and τ_r
+//! coincide, and (ii) p_r and τ_t coincide."*
+
+use cyclops::core::deployment::{cheat_align, Deployment, DeploymentConfig};
+use cyclops::prelude::*;
+
+#[test]
+fn max_power_configuration_coincides_lemma_points() {
+    for seed in [1u64, 2, 3] {
+        let mut dep = Deployment::new(&DeploymentConfig::ideal_10g(seed));
+        cheat_align(&mut dep);
+        let lp = dep.lemma_points().unwrap();
+        assert!(
+            lp.p_t.distance(lp.tau_r) < 1e-4,
+            "seed {seed}: p_t/τ_r gap {}",
+            lp.p_t.distance(lp.tau_r)
+        );
+        assert!(
+            lp.p_r.distance(lp.tau_t) < 1e-4,
+            "seed {seed}: p_r/τ_t gap {}",
+            lp.p_r.distance(lp.tau_t)
+        );
+    }
+}
+
+#[test]
+fn power_decreases_monotonically_with_lemma_gap() {
+    let mut dep = Deployment::new(&DeploymentConfig::ideal_10g(4));
+    cheat_align(&mut dep);
+    let (a, b, c, d) = dep.voltages();
+    let mut last_power = f64::INFINITY;
+    let mut last_gap = -1.0;
+    for k in 0..6 {
+        let dv = 0.03 * k as f64;
+        dep.set_voltages(a + dv, b, c, d);
+        let gap = dep.lemma_points().unwrap().gap();
+        let power = dep.received_power_dbm();
+        assert!(gap > last_gap, "gap must grow with mis-steer");
+        assert!(
+            power < last_power + 1e-9,
+            "power must fall as the gap grows"
+        );
+        last_gap = gap;
+        last_power = power;
+    }
+}
+
+#[test]
+fn lemma_holds_at_any_headset_placement() {
+    let mut dep = Deployment::new(&DeploymentConfig::ideal_10g(5));
+    for k in 0..4 {
+        let pose = Pose::translation(Vec3::new(
+            -0.2 + 0.13 * k as f64,
+            0.1 - 0.05 * k as f64,
+            1.6 + 0.1 * k as f64,
+        ));
+        dep.set_headset_pose(pose);
+        cheat_align(&mut dep);
+        let lp = dep.lemma_points().unwrap();
+        assert!(lp.gap() < 2e-4, "placement {k}: gap {}", lp.gap());
+        // And the power at the Lemma point is within noise of this
+        // placement's optimum — cross-check with a small local sweep.
+        let p0 = dep.received_power_dbm();
+        let (va, vb, vc, vd) = dep.voltages();
+        for dv in [-0.02, 0.02] {
+            for dim in 0..4 {
+                let mut v = [va, vb, vc, vd];
+                v[dim] += dv;
+                dep.set_voltages(v[0], v[1], v[2], v[3]);
+                let p = dep.received_power_dbm();
+                assert!(
+                    p <= p0 + 0.2,
+                    "placement {k}: local voltage change improved power ({p0} → {p})"
+                );
+            }
+        }
+        dep.set_voltages(va, vb, vc, vd);
+    }
+}
+
+#[test]
+fn imaginary_beam_reciprocity() {
+    // At alignment, the TX beam and the reversed RX imaginary beam must be
+    // the same line in space (the optical-path picture of Fig 9).
+    let mut dep = Deployment::new(&DeploymentConfig::ideal_10g(6));
+    cheat_align(&mut dep);
+    let beam_t = {
+        let p = dep.tx_world_params();
+        let (v1, v2) = dep.tx.voltages();
+        p.trace(v1, v2).unwrap()
+    };
+    let beam_r = {
+        let p = dep.rx_world_params();
+        let (v1, v2) = dep.rx.voltages();
+        p.trace(v1, v2).unwrap()
+    };
+    assert!(
+        beam_t.dir.dot(beam_r.dir) < -0.999_99,
+        "beams must be anti-parallel: {} · {}",
+        beam_t.dir,
+        beam_r.dir
+    );
+    assert!(
+        beam_t.line_distance(&beam_r) < 2e-4,
+        "line distance {}",
+        beam_t.line_distance(&beam_r)
+    );
+}
