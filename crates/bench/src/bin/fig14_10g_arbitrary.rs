@@ -7,7 +7,7 @@
 
 use cyclops::link::simulator::Window;
 use cyclops::prelude::*;
-use cyclops_bench::{arbitrary_run, print_speed_bins, row, section};
+use cyclops_bench::{arbitrary_runs, print_speed_bins, row, section};
 
 const INTENSITIES: [(f64, f64); 5] = [
     (0.05, 0.08),
@@ -23,15 +23,14 @@ fn main() {
     let sys = CyclopsSystem::commission(&SystemConfig::paper_10g(seed));
 
     section("Fig 14: arbitrary hand-held motion — binned 50 ms windows");
-    // One run per intensity; the same windows feed both the pooled bin table
-    // and the per-intensity uptime summary.
-    let per_intensity: Vec<Vec<Window>> = INTENSITIES
+    // One run per intensity (fanned out across threads); the same windows
+    // feed both the pooled bin table and the per-intensity uptime summary.
+    let configs: Vec<(f64, f64, u64)> = INTENSITIES
         .iter()
         .enumerate()
-        .map(|(k, (lin_rms, ang_rms))| {
-            arbitrary_run(&sys, *lin_rms, *ang_rms, 20.0, seed + k as u64)
-        })
+        .map(|(k, &(lin_rms, ang_rms))| (lin_rms, ang_rms, seed + k as u64))
         .collect();
+    let per_intensity: Vec<Vec<Window>> = arbitrary_runs(&sys, &configs, 20.0);
     let pooled: Vec<Window> = per_intensity.iter().flatten().copied().collect();
     println!("{} windows collected\n", pooled.len());
 

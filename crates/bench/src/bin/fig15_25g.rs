@@ -7,7 +7,7 @@
 
 use cyclops::prelude::*;
 use cyclops_bench::{
-    angular_ladder, arbitrary_run, linear_ladder, print_speed_bins, row, section, tolerated_speed,
+    angular_ladder, arbitrary_runs, linear_ladder, print_speed_bins, row, section, tolerated_speed,
 };
 
 fn main() {
@@ -80,19 +80,15 @@ fn main() {
     );
 
     section("Fig 15 (right): 25G arbitrary motion");
-    let mut windows = Vec::new();
-    for (k, (lin_rms, ang_rms)) in [(0.05, 0.08), (0.10, 0.18), (0.18, 0.30), (0.28, 0.5)]
+    let configs: Vec<(f64, f64, u64)> = [(0.05, 0.08), (0.10, 0.18), (0.18, 0.30), (0.28, 0.5)]
         .iter()
         .enumerate()
-    {
-        windows.extend(arbitrary_run(
-            &sys,
-            *lin_rms,
-            *ang_rms,
-            20.0,
-            seed + k as u64,
-        ));
-    }
+        .map(|(k, &(lin_rms, ang_rms))| (lin_rms, ang_rms, seed + k as u64))
+        .collect();
+    let windows: Vec<_> = arbitrary_runs(&sys, &configs, 20.0)
+        .into_iter()
+        .flatten()
+        .collect();
     let optimal = sys.dep.design.sfp.optimal_goodput_gbps;
     print_speed_bins(
         &windows,

@@ -1,0 +1,243 @@
+//! **Perf snapshot** — machine-readable timing of the four hot paths the
+//! `parallel` feature accelerates, written to `BENCH_<date>.json`.
+//!
+//! Each workload runs twice over identical inputs: once pinned to 1 thread
+//! and once at the configured pool width (`CYCLOPS_THREADS` env var, else
+//! the machine's hardware parallelism). The two runs' numeric outputs are
+//! compared bit-for-bit — the workspace's parallelism contract — and the
+//! wall-times, speedups and thread count land in the JSON for CI trending.
+//!
+//! ```sh
+//! CYCLOPS_THREADS=8 cargo run --release -p cyclops-bench --bin perf_snapshot
+//! ```
+
+use cyclops::core::alignment::exhaustive_align;
+use cyclops::core::kspace::{self, BoardConfig, KspaceRig};
+use cyclops::core::mapping;
+use cyclops::link::trace_sim::{simulate_corpus, TraceSimParams};
+use cyclops::prelude::*;
+use std::time::Instant;
+
+struct WorkloadResult {
+    name: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+    bit_identical: bool,
+    sig_len: usize,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s.max(1e-12)
+    }
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+/// Repetitions per leg; the minimum wall-time is reported (the standard
+/// guard against scheduler noise on short workloads).
+const REPS: usize = 3;
+
+fn best_of(threads: usize, work: &impl Fn() -> Vec<f64>) -> (f64, Vec<f64>) {
+    let mut best_s = f64::INFINITY;
+    let mut sig = Vec::new();
+    for _ in 0..REPS {
+        let (s, r) = timed(|| cyclops_par::with_threads(threads, work));
+        best_s = best_s.min(s);
+        sig = r;
+    }
+    (best_s, sig)
+}
+
+/// Runs `work` at 1 thread and at `threads` ([`REPS`] times each), checking
+/// the two signature vectors for bitwise equality.
+fn run_workload(name: &'static str, threads: usize, work: impl Fn() -> Vec<f64>) -> WorkloadResult {
+    println!("  {name}: serial leg ...");
+    let (serial_s, sig_serial) = best_of(1, &work);
+    println!("  {name}: parallel leg ({threads} threads) ...");
+    let (parallel_s, sig_parallel) = best_of(threads, &work);
+    let bit_identical = sig_serial.len() == sig_parallel.len()
+        && sig_serial
+            .iter()
+            .zip(&sig_parallel)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    WorkloadResult {
+        name,
+        serial_s,
+        parallel_s,
+        bit_identical,
+        sig_len: sig_serial.len(),
+    }
+}
+
+/// Proleptic-Gregorian civil date from days since 1970-01-01 (Howard
+/// Hinnant's `civil_from_days`). Avoids a date-time dependency.
+fn civil_from_days(z: i64) -> (i64, u64, u64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock before epoch")
+        .as_secs();
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let threads = cyclops_par::max_threads();
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "perf snapshot: parallel legs use {threads} thread(s) on a {host}-thread host \
+         ({}; set CYCLOPS_THREADS to override)",
+        if cyclops_par::parallel_compiled() {
+            "parallel build"
+        } else {
+            "serial build"
+        }
+    );
+
+    // Shared fixtures built once, outside the timed regions.
+    let dep_k = Deployment::new(&DeploymentConfig::paper_10g(71));
+    let dep_m = Deployment::new(&DeploymentConfig::paper_10g(73));
+    println!("fixtures: stage-1 K-space models for the mapping workload ...");
+    let (tx_tr, tx_rig, rx_tr, rx_rig) = kspace::train_both(&dep_m, &BoardConfig::default(), 73);
+    let (init_tx, init_rx) = mapping::rough_initial_guess(&dep_m, &tx_rig, &rx_rig, 0.05, 0.08, 80);
+    let traces: Vec<HeadTrace> = (0..200)
+        .map(|i| HeadTrace::generate(&TraceGenConfig::default(), 9_100 + i))
+        .collect();
+
+    println!("running workloads (each twice: 1 thread, then {threads}) ...");
+    let results = [
+        // §4.1 stage-1 fit: LM over ~25 galvo parameters — parallel Jacobian
+        // columns.
+        run_workload("kspace_fit", threads, || {
+            let mut rig = KspaceRig::standard(dep_k.tx.clone(), 72);
+            let init = rig.cad_initial_guess();
+            let samples = rig.collect_samples(&BoardConfig::default());
+            let tr = kspace::fit(&samples, &init);
+            let mut sig = tr.fitted.to_vec();
+            sig.push(tr.report.cost);
+            sig
+        }),
+        // §4.2 exhaustive search: row-parallel 51² + 161² voltage grids.
+        run_workload("exhaustive_align", threads, || {
+            let mut dep = Deployment::new(&DeploymentConfig::paper_10g(42));
+            let res = exhaustive_align(&mut dep);
+            let mut sig = res.voltages.to_vec();
+            sig.push(res.power_dbm);
+            sig.push(res.n_evals as f64);
+            sig
+        }),
+        // §4.2 stage-2 training: parallel placement collection + LM fit.
+        run_workload("mapping_fit", threads, || {
+            let mut dep = dep_m.clone();
+            let mt = mapping::train(
+                &mut dep,
+                &tx_tr.fitted,
+                &rx_tr.fitted,
+                init_tx,
+                init_rx,
+                8,
+                81,
+            );
+            let mut sig = vec![mt.trained.report.cost, mt.samples.len() as f64];
+            sig.extend_from_slice(&mt.trained.tx_map.to_params().to_array());
+            sig.extend_from_slice(&mt.trained.rx_map.to_params().to_array());
+            sig
+        }),
+        // §5.4 connectivity simulation: 200 × 60 s traces, one per work item.
+        run_workload("trace_sim_60s", threads, || {
+            simulate_corpus(&traces, &TraceSimParams::default())
+        }),
+    ];
+
+    println!(
+        "\n{:<18} {:>10} {:>10} {:>8}  bit-identical",
+        "workload", "serial s", "par s", "speedup"
+    );
+    let mut total_serial = 0.0;
+    let mut total_parallel = 0.0;
+    let mut all_identical = true;
+    for r in &results {
+        println!(
+            "{:<18} {:>10.3} {:>10.3} {:>7.2}x  {}",
+            r.name,
+            r.serial_s,
+            r.parallel_s,
+            r.speedup(),
+            r.bit_identical
+        );
+        total_serial += r.serial_s;
+        total_parallel += r.parallel_s;
+        all_identical &= r.bit_identical;
+    }
+    println!(
+        "{:<18} {:>10.3} {:>10.3} {:>7.2}x",
+        "total",
+        total_serial,
+        total_parallel,
+        total_serial / total_parallel.max(1e-12)
+    );
+
+    // Hand-rolled JSON (the workspace builds offline; no serde available).
+    let date = today_utc();
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"date\": \"{date}\",\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"host_threads\": {host},\n"));
+    json.push_str(&format!(
+        "  \"cyclops_threads_env\": {},\n",
+        match std::env::var("CYCLOPS_THREADS") {
+            Ok(v) => format!("\"{}\"", v.trim()),
+            Err(_) => "null".to_string(),
+        }
+    ));
+    json.push_str(&format!(
+        "  \"parallel_compiled\": {},\n",
+        cyclops_par::parallel_compiled()
+    ));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \
+             \"speedup\": {:.4}, \"bit_identical\": {}, \"signature_len\": {}}}{}\n",
+            r.name,
+            r.serial_s,
+            r.parallel_s,
+            r.speedup(),
+            r.bit_identical,
+            r.sig_len,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_serial_s\": {total_serial:.6},\n"));
+    json.push_str(&format!("  \"total_parallel_s\": {total_parallel:.6},\n"));
+    json.push_str(&format!(
+        "  \"overall_speedup\": {:.4}\n}}\n",
+        total_serial / total_parallel.max(1e-12)
+    ));
+    let path = format!("BENCH_{date}.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
+
+    assert!(
+        all_identical,
+        "serial/parallel outputs diverged — the parallelism contract is broken"
+    );
+}

@@ -2,24 +2,20 @@
 //! tolerated by the 10G and 25G links for pure and mixed motions.
 
 use cyclops::prelude::*;
-use cyclops_bench::{angular_ladder, arbitrary_run, linear_ladder, row, section, tolerated_speed};
+use cyclops_bench::{angular_ladder, arbitrary_runs, linear_ladder, row, section, tolerated_speed};
 
 /// Mixed-motion tolerated speeds: the largest simultaneous (linear, angular)
 /// bin whose windows stay ≥ 95 % optimal.
 fn mixed_tolerated(sys: &CyclopsSystem, seed: u64) -> (f64, f64) {
-    let mut windows = Vec::new();
-    for (k, (lin_rms, ang_rms)) in [(0.06, 0.1), (0.12, 0.2), (0.2, 0.35), (0.3, 0.55)]
+    let configs: Vec<(f64, f64, u64)> = [(0.06, 0.1), (0.12, 0.2), (0.2, 0.35), (0.3, 0.55)]
         .iter()
         .enumerate()
-    {
-        windows.extend(arbitrary_run(
-            sys,
-            *lin_rms,
-            *ang_rms,
-            16.0,
-            seed + k as u64,
-        ));
-    }
+        .map(|(k, &(lin_rms, ang_rms))| (lin_rms, ang_rms, seed + k as u64))
+        .collect();
+    let windows: Vec<_> = arbitrary_runs(sys, &configs, 16.0)
+        .into_iter()
+        .flatten()
+        .collect();
     let optimal = sys.dep.design.sfp.optimal_goodput_gbps;
     let windows: Vec<_> = windows.iter().filter(|w| w.relink_frac < 0.1).collect();
     // Scan candidate simultaneous thresholds on a grid; accept the largest

@@ -67,53 +67,62 @@ fn eval_windows(
 
 /// Runs the §5.3 purely-linear protocol at each speed: constant-speed rail
 /// strokes, measuring throughput/power over the paper's 50 ms windows.
+///
+/// Rungs are independent (each clones the commissioned system), so under the
+/// `parallel` feature they run on worker threads and are collected in input
+/// order — bit-identical to the serial sweep.
 pub fn linear_ladder(sys: &CyclopsSystem, speeds_mps: &[f64], dur_s: f64) -> Vec<LadderPoint> {
     let optimal = sys.dep.design.sfp.optimal_goodput_gbps;
-    speeds_mps
-        .iter()
-        .map(|&v| {
-            let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
-            let mut rail = LinearRail::paper_protocol(base, Vec3::X);
-            rail.v0 = v;
-            rail.dv = 0.0;
-            let mut sim = sys.clone().into_simulator(rail);
-            let slot_s = sim.cfg.slot_s;
-            let recs = sim.run(dur_s);
-            eval_windows(
-                &recs,
-                |w| w.lin,
-                v,
-                optimal,
-                sys.dep.design.sfp.rx_sensitivity_dbm,
-                slot_s,
-            )
-        })
-        .collect()
+    let rung = |&v: &f64| {
+        let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+        let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+        rail.v0 = v;
+        rail.dv = 0.0;
+        let mut sim = sys.clone().into_simulator(rail);
+        let slot_s = sim.cfg.slot_s;
+        let recs = sim.run(dur_s);
+        eval_windows(
+            &recs,
+            |w| w.lin,
+            v,
+            optimal,
+            sys.dep.design.sfp.rx_sensitivity_dbm,
+            slot_s,
+        )
+    };
+    #[cfg(feature = "parallel")]
+    let pts = cyclops_par::par_map(speeds_mps, 1, rung);
+    #[cfg(not(feature = "parallel"))]
+    let pts: Vec<LadderPoint> = speeds_mps.iter().map(rung).collect();
+    pts
 }
 
 /// Runs the §5.3 purely-angular protocol at each angular speed (rad/s).
+/// Rungs parallelize exactly as in [`linear_ladder`].
 pub fn angular_ladder(sys: &CyclopsSystem, speeds_rps: &[f64], dur_s: f64) -> Vec<LadderPoint> {
     let optimal = sys.dep.design.sfp.optimal_goodput_gbps;
-    speeds_rps
-        .iter()
-        .map(|&w| {
-            let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
-            let mut stage = RotationStage::paper_protocol(base, Vec3::Y);
-            stage.w0 = w;
-            stage.dw = 0.0;
-            let mut sim = sys.clone().into_simulator(stage);
-            let slot_s = sim.cfg.slot_s;
-            let recs = sim.run(dur_s);
-            eval_windows(
-                &recs,
-                |x| x.ang,
-                w,
-                optimal,
-                sys.dep.design.sfp.rx_sensitivity_dbm,
-                slot_s,
-            )
-        })
-        .collect()
+    let rung = |&w: &f64| {
+        let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+        let mut stage = RotationStage::paper_protocol(base, Vec3::Y);
+        stage.w0 = w;
+        stage.dw = 0.0;
+        let mut sim = sys.clone().into_simulator(stage);
+        let slot_s = sim.cfg.slot_s;
+        let recs = sim.run(dur_s);
+        eval_windows(
+            &recs,
+            |x| x.ang,
+            w,
+            optimal,
+            sys.dep.design.sfp.rx_sensitivity_dbm,
+            slot_s,
+        )
+    };
+    #[cfg(feature = "parallel")]
+    let pts = cyclops_par::par_map(speeds_rps, 1, rung);
+    #[cfg(not(feature = "parallel"))]
+    let pts: Vec<LadderPoint> = speeds_rps.iter().map(rung).collect();
+    pts
 }
 
 /// One mixed-motion (hand-held) run at a given intensity; returns the 50 ms
@@ -139,6 +148,25 @@ pub fn arbitrary_run(
     let slot_s = sim.cfg.slot_s;
     let recs = sim.run(dur_s);
     cyclops::link::simulator::windows_50ms(&recs, slot_s, sys.dep.design.sfp.rx_sensitivity_dbm)
+}
+
+/// A batch of [`arbitrary_run`]s, one per `(lin_rms, ang_rms, seed)` config,
+/// collected in config order. Runs are seeded independently, so under the
+/// `parallel` feature they execute on worker threads with results
+/// bit-identical to the serial loop.
+pub fn arbitrary_runs(
+    sys: &CyclopsSystem,
+    configs: &[(f64, f64, u64)],
+    dur_s: f64,
+) -> Vec<Vec<Window>> {
+    let one = |&(lin_rms, ang_rms, seed): &(f64, f64, u64)| {
+        arbitrary_run(sys, lin_rms, ang_rms, dur_s, seed)
+    };
+    #[cfg(feature = "parallel")]
+    let runs = cyclops_par::par_map(configs, 1, one);
+    #[cfg(not(feature = "parallel"))]
+    let runs: Vec<Vec<Window>> = configs.iter().map(one).collect();
+    runs
 }
 
 /// The largest ladder speed whose optimal fraction is ≥ 95 % — the paper's

@@ -23,7 +23,9 @@
 use crate::deployment::Deployment;
 use cyclops_optics::galvo::{VOLT_MAX, VOLT_MIN};
 use cyclops_optics::power::dbm_to_mw;
-use cyclops_solver::pattern::{grid_scan2, pattern_search, PatternOptions};
+use cyclops_solver::pattern::{pattern_search, PatternOptions};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 /// Result of an exhaustive alignment.
 #[derive(Debug, Clone, Copy)]
@@ -36,90 +38,103 @@ pub struct AlignResult {
     pub n_evals: usize,
 }
 
+/// One coarse voltage-pair sweep over the full `[VOLT_MIN, VOLT_MAX]²` grid,
+/// row-parallel under the `parallel` feature. Returns the first-wins argmax
+/// `(v_a, v_b, score)`.
+///
+/// The simulated hardware is stateful — every reading advances the
+/// deployment's noise RNG — so rows cannot share `dep` across threads
+/// without making the draw order depend on the schedule. Instead each row
+/// scans its own clone whose RNG is reseeded from
+/// `mix64(stage_seed, row)`, a pure function of the stage and the row, and
+/// rows are folded in index order with a strictly-greater comparison. The
+/// result is therefore bit-identical for any thread count, including the
+/// serial `--no-default-features` build (which maps the same row closure in
+/// a plain loop).
+fn par_voltage_scan<F>(dep: &Deployment, stage_seed: u64, points: usize, eval: F) -> (f64, f64, f64)
+where
+    F: Fn(&mut Deployment, f64, f64) -> f64 + Sync,
+{
+    let step = (VOLT_MAX - VOLT_MIN) / (points - 1) as f64;
+    let scan_row = |i: usize| -> (f64, f64, f64) {
+        let mut d = dep.clone();
+        *d.rng() = StdRng::seed_from_u64(cyclops_par::mix64(stage_seed, i as u64));
+        let va = VOLT_MIN + i as f64 * step;
+        let mut best = (va, VOLT_MIN, f64::NEG_INFINITY);
+        for j in 0..points {
+            let vb = VOLT_MIN + j as f64 * step;
+            let s = eval(&mut d, va, vb);
+            if s > best.2 {
+                best = (va, vb, s);
+            }
+        }
+        best
+    };
+    #[cfg(feature = "parallel")]
+    let rows = cyclops_par::par_map_indexed(points, 1, scan_row);
+    #[cfg(not(feature = "parallel"))]
+    let rows: Vec<(f64, f64, f64)> = (0..points).map(scan_row).collect();
+
+    let mut best = (VOLT_MIN, VOLT_MIN, f64::NEG_INFINITY);
+    for row in rows {
+        if row.2 > best.2 {
+            best = row;
+        }
+    }
+    best
+}
+
 /// Runs the §4.2 exhaustive search on the deployment as currently posed.
 /// Leaves the galvos commanded to the aligned voltages.
 pub fn exhaustive_align(dep: &mut Deployment) -> AlignResult {
     let mut n_evals = 0usize;
 
-    // Stage 1: TX coarse sweep on the monitor signal.
-    let monitor_obj = |v: &[f64], dep: &mut Deployment, n: &mut usize| {
-        dep.set_voltages(v[0], v[1], dep.voltages().2, dep.voltages().3);
-        *n += 1;
-        dep.monitor_signal()
-    };
-    let coarse_tx = {
-        let mut local = |v: &[f64]| {
-            let mut n = 0usize;
-            let s = monitor_obj(v, dep, &mut n);
-            n_evals += n;
-            s
-        };
-        grid_scan2(
-            &mut local,
-            &[0.0, 0.0],
-            (0, 1),
-            (VOLT_MIN, VOLT_MIN),
-            (VOLT_MAX, VOLT_MAX),
-            51,
-        )
-    };
+    // Stage 1: TX coarse sweep on the monitor signal (row-parallel).
+    let seed_tx = dep.rng().next_u64();
+    let (ct1, ct2, _) = par_voltage_scan(dep, seed_tx, 51, |d: &mut Deployment, a, b| {
+        let keep = d.voltages();
+        d.set_voltages(a, b, keep.2, keep.3);
+        d.monitor_signal()
+    });
+    n_evals += 51 * 51;
 
-    // Stage 2: TX refine on the monitor signal.
+    // Stage 2: TX refine on the monitor signal (serial, on the real rig).
     let refine_tx = {
         let mut local = |v: &[f64]| {
-            let mut n = 0usize;
-            let s = monitor_obj(v, dep, &mut n);
-            n_evals += n;
-            s
+            let keep = dep.voltages();
+            dep.set_voltages(v[0], v[1], keep.2, keep.3);
+            n_evals += 1;
+            dep.monitor_signal()
         };
         let mut opts = PatternOptions::uniform(2, VOLT_MIN, VOLT_MAX, 0.25);
         opts.shrink_tol = 1e-3;
-        pattern_search(&mut local, &coarse_tx.params, &opts)
+        pattern_search(&mut local, &[ct1, ct2], &opts)
     };
     let (vt1, vt2) = (refine_tx.params[0], refine_tx.params[1]);
     dep.set_voltages(vt1, vt2, 0.0, 0.0);
 
-    // Stage 3: RX coarse sweep on received power (linear mW so that "no
-    // light" is a clean zero).
-    let power_obj = |v: &[f64; 4], dep: &mut Deployment, n: &mut usize| {
-        dep.set_voltages(v[0], v[1], v[2], v[3]);
-        *n += 1;
-        dbm_to_mw(dep.received_power_unfloored_dbm())
-    };
-    let coarse_rx = {
-        let mut local = |v: &[f64]| {
-            let mut n = 0usize;
-            let s = power_obj(&[vt1, vt2, v[0], v[1]], dep, &mut n);
-            n_evals += n;
-            s
-        };
-        grid_scan2(
-            &mut local,
-            &[0.0, 0.0],
-            (0, 1),
-            (VOLT_MIN, VOLT_MIN),
-            (VOLT_MAX, VOLT_MAX),
-            161,
-        )
-    };
+    // Stage 3: RX coarse sweep on received power (row-parallel; linear mW so
+    // that "no light" is a clean zero).
+    let seed_rx = dep.rng().next_u64();
+    let (cr1, cr2, _) = par_voltage_scan(dep, seed_rx, 161, move |d: &mut Deployment, a, b| {
+        d.set_voltages(vt1, vt2, a, b);
+        dbm_to_mw(d.received_power_unfloored_dbm())
+    });
+    n_evals += 161 * 161;
 
-    // Stage 4: joint 4-D refine on received power, down to the DAC step.
+    // Stage 4: joint 4-D refine on received power, down to the DAC step
+    // (serial, on the real rig).
     let dac_step = dep.tx.cfg.dac_step_v.max(1e-5);
     let joint = {
         let mut local = |v: &[f64]| {
-            let mut n = 0usize;
-            let s = power_obj(&[v[0], v[1], v[2], v[3]], dep, &mut n);
-            n_evals += n;
-            s
+            dep.set_voltages(v[0], v[1], v[2], v[3]);
+            n_evals += 1;
+            dbm_to_mw(dep.received_power_unfloored_dbm())
         };
         let mut opts = PatternOptions::uniform(4, VOLT_MIN, VOLT_MAX, 0.08);
         opts.shrink_tol = dac_step / 0.08;
         opts.max_evals = 20_000;
-        pattern_search(
-            &mut local,
-            &[vt1, vt2, coarse_rx.params[0], coarse_rx.params[1]],
-            &opts,
-        )
+        pattern_search(&mut local, &[vt1, vt2, cr1, cr2], &opts)
     };
 
     let v = [

@@ -119,25 +119,67 @@ pub fn collect_samples_with(
     seed: u64,
     tracker_cfg: &TrackerConfig,
 ) -> Vec<MappingSample> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(n);
     // The bench operator keeps trying placements until n usable ones are
     // collected (a placement where the search cannot close the link is
     // simply re-drawn), within a sanity bound.
-    let mut attempts = 0usize;
-    while out.len() < n && attempts < 3 * n + 10 {
-        attempts += 1;
-        let pose = random_placement(&mut rng, dep.design.nominal_range);
-        dep.set_headset_pose(pose);
-        let res = exhaustive_align(dep);
-        if res.power_dbm < dep.design.sfp.rx_sensitivity_dbm {
-            continue;
+    let max_attempts = 3 * n + 10;
+
+    // Every attempt is deterministic in isolation: the placement, the report
+    // noise, and the rig clone's hardware-noise stream all derive from
+    // `mix64(seed, attempt)`, never from a shared RNG. Attempts run in waves
+    // of (at most) the thread count and are accepted strictly in attempt
+    // order, so the collected set is identical for any thread count — a
+    // one-thread wave degenerates to exactly the serial loop, including its
+    // early exit. Wider waves may evaluate up to `threads − 1` attempts past
+    // the n-th acceptance and discard them; that costs only wall-clock work
+    // already saved many times over.
+    let base = dep.clone();
+    let try_attempt = |k: usize| -> Option<(Pose, MappingSample)> {
+        let mut rng = StdRng::seed_from_u64(cyclops_par::mix64(seed, 2 * k as u64));
+        let mut d = base.clone();
+        *d.rng() = StdRng::seed_from_u64(cyclops_par::mix64(seed, 2 * k as u64 + 1));
+        let pose = random_placement(&mut rng, d.design.nominal_range);
+        d.set_headset_pose(pose);
+        let res = exhaustive_align(&mut d);
+        if res.power_dbm < d.design.sfp.rx_sensitivity_dbm {
+            return None;
         }
-        let reported = noisy_report_with(dep, tracker_cfg, &mut rng);
-        out.push(MappingSample {
-            voltages: res.voltages,
-            reported,
-        });
+        let reported = noisy_report_with(&d, tracker_cfg, &mut rng);
+        Some((
+            pose,
+            MappingSample {
+                voltages: res.voltages,
+                reported,
+            },
+        ))
+    };
+
+    let mut out = Vec::with_capacity(n);
+    let mut last_accepted: Option<(Pose, [f64; 4])> = None;
+    let mut next = 0usize;
+    while out.len() < n && next < max_attempts {
+        let wave = cyclops_par::max_threads().min(max_attempts - next);
+        #[cfg(feature = "parallel")]
+        let results = cyclops_par::par_map_indexed(wave, 1, |i| try_attempt(next + i));
+        #[cfg(not(feature = "parallel"))]
+        let results: Vec<Option<(Pose, MappingSample)>> =
+            (0..wave).map(|i| try_attempt(next + i)).collect();
+        next += wave;
+        for (pose, sample) in results.into_iter().flatten() {
+            if out.len() >= n {
+                break;
+            }
+            last_accepted = Some((pose, sample.voltages));
+            out.push(sample);
+        }
+    }
+
+    // Leave the real rig posed and aligned at the last accepted placement —
+    // commissioning reads the aligning voltages off the deployment after
+    // training.
+    if let Some((pose, v)) = last_accepted {
+        dep.set_headset_pose(pose);
+        dep.set_voltages(v[0], v[1], v[2], v[3]);
     }
     out
 }

@@ -137,11 +137,17 @@ pub fn simulate_trace(trace: &HeadTrace, p: &TraceSimParams) -> TraceSimResult {
 
 /// Simulates a corpus of traces, returning each trace's on-fraction — the
 /// distribution behind Fig 16's CDF.
+///
+/// Traces are independent and the simulation is pure, so under the
+/// `parallel` feature they are evaluated on worker threads and collected in
+/// input order — bit-identical to the serial loop.
 pub fn simulate_corpus(traces: &[HeadTrace], p: &TraceSimParams) -> Vec<f64> {
-    traces
-        .iter()
-        .map(|t| simulate_trace(t, p).on_fraction)
-        .collect()
+    let one = |t: &HeadTrace| simulate_trace(t, p).on_fraction;
+    #[cfg(feature = "parallel")]
+    let fracs = cyclops_par::par_map(traces, 1, one);
+    #[cfg(not(feature = "parallel"))]
+    let fracs: Vec<f64> = traces.iter().map(one).collect();
+    fracs
 }
 
 #[cfg(test)]

@@ -126,37 +126,86 @@ pub fn capture_fraction(w: f64, delta: f64, a: f64) -> f64 {
         return 0.0;
     }
     if delta < 0.02 * w {
-        // Sub-2 % offsets perturb the encircled power by O((δ/w)²) < 4e-4
-        // relative; the centred closed form is exact enough and ~1000× the
-        // speed of the quadrature (this is the hot case: every aligned-link
-        // power evaluation in the simulators).
-        return 1.0 - (-2.0 * a * a / (w * w)).exp();
+        // Sub-2 % offsets: centred closed form plus the analytic O(δ²) term
+        //   P(δ) ≈ (1 − E) − 4 δ² a² E / w⁴,   E = e^(−2a²/w²),
+        // which matches the quadrature branch to O((δ/w)⁴) ≈ 3e-8 at the
+        // boundary, so capture stays monotone in offset across the switch.
+        // This is the hot case: every aligned-link power evaluation in the
+        // simulators lands here, and it is ~1000× the speed of the
+        // quadrature. Still exactly monotone in `a`: the correction's slope
+        // in `a` is at most (δ/w)² ≪ 1 of the leading term's.
+        let e = (-2.0 * a * a / (w * w)).exp();
+        return 1.0 - e - 4.0 * delta * delta * a * a * e / (w * w * w * w);
     }
     // If the aperture is so far into the tail that nothing couples, skip the
     // integral (and avoid exp underflow noise).
     if delta > 8.0 * w + a {
         return 0.0;
     }
-    // Integrate I(r) = (2/(π w²)) exp(−2 r²/w²) over the disk centred at
-    // distance `delta` from the beam axis, in polar coords (ρ, ψ) about the
-    // aperture centre. Midpoint rule; 48×64 is ample for the smooth kernel.
-    const NR: usize = 48;
-    const NA: usize = 64;
-    let norm = 2.0 / (std::f64::consts::PI * w * w);
+    // Integrate in aperture-centred radial coordinates with the angular part
+    // in closed form (ring average of a displaced Gaussian is a modified
+    // Bessel function):
+    //   P(a) = (4/w²) ∫₀^a ρ · exp(−2(ρ−δ)²/w²) · I₀ₑ(4ρδ/w²) dρ
+    // where I₀ₑ(x) = e⁻ˣ I₀(x). The integrand is smooth, so the midpoint
+    // rule converges at O(h²) with an error that varies smoothly in δ —
+    // offset-monotonicity holds far below the 1e-6 the tests ask for.
+    // Crucially the node grid depends only on w and δ, never on the aperture
+    // radius: growing `a` only adds non-negative terms (plus a final partial
+    // cell whose weight grows with `a`), so capture is non-decreasing in
+    // aperture size down to the last bit.
+    let r_max = delta + 8.0 * w;
+    let n = ((128.0 * r_max / w).ceil() as usize).clamp(64, 20_000);
+    let dr = r_max / n as f64;
+    // Two-point Gauss–Legendre per cell: O(h⁴) on this smooth integrand,
+    // positive weights, and each cell integrates independently — all three
+    // properties the monotonicity argument above needs.
+    const GL_OFF: f64 = 0.288_675_134_594_812_9; // 1/(2√3)
+    let f = |rho: f64| {
+        rho * (-2.0 * (rho - delta) * (rho - delta) / (w * w)).exp()
+            * bessel_i0_scaled(4.0 * rho * delta / (w * w))
+    };
     let mut sum = 0.0;
-    for i in 0..NR {
-        let rho = (i as f64 + 0.5) / NR as f64 * a;
-        let mut ring = 0.0;
-        for j in 0..NA {
-            let psi = (j as f64 + 0.5) / NA as f64 * 2.0 * std::f64::consts::PI;
-            let r2 = rho * rho + delta * delta - 2.0 * rho * delta * psi.cos();
-            ring += (-2.0 * r2 / (w * w)).exp();
+    for i in 0..n {
+        let lo = i as f64 * dr;
+        if lo >= a {
+            break;
         }
-        sum += ring * rho;
+        // Last cell may be cut by the aperture edge: apply the same rule to
+        // the partial cell, whose width grows continuously with `a`.
+        let hi = (lo + dr).min(a);
+        let (width, mid) = (hi - lo, 0.5 * (lo + hi));
+        let s = width * GL_OFF;
+        sum += 0.5 * width * (f(mid - s) + f(mid + s));
     }
-    let d_rho = a / NR as f64;
-    let d_psi = 2.0 * std::f64::consts::PI / NA as f64;
-    (norm * sum * d_rho * d_psi).clamp(0.0, 1.0)
+    (4.0 / (w * w) * sum).clamp(0.0, 1.0)
+}
+
+/// Scaled modified Bessel function of the first kind, e⁻ˣ I₀(x), for x ≥ 0.
+///
+/// Abramowitz & Stegun 9.8.1/9.8.2 polynomial fits; |relative error| < 2e-7
+/// over the full range, which is far inside the quadrature error budget of
+/// [`capture_fraction`].
+fn bessel_i0_scaled(x: f64) -> f64 {
+    debug_assert!(x >= 0.0);
+    if x < 3.75 {
+        let t = x / 3.75;
+        let t2 = t * t;
+        let i0 = 1.0
+            + t2 * (3.5156229
+                + t2 * (3.0899424
+                    + t2 * (1.2067492 + t2 * (0.2659732 + t2 * (0.0360768 + t2 * 0.0045813)))));
+        i0 * (-x).exp()
+    } else {
+        let t = 3.75 / x;
+        (0.39894228
+            + t * (0.01328592
+                + t * (0.00225319
+                    + t * (-0.00157565
+                        + t * (0.00916281
+                            + t * (-0.02057706
+                                + t * (0.02635537 + t * (-0.01647633 + t * 0.00392377))))))))
+            / x.sqrt()
+    }
 }
 
 #[cfg(test)]

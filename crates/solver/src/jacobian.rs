@@ -2,6 +2,25 @@
 
 use crate::linalg::DMat;
 
+/// Residual functions accepted by the numeric-Jacobian and LM drivers.
+///
+/// With the `parallel` feature (the default) residual closures must be
+/// [`Sync`] so Jacobian columns can be evaluated from worker threads; serial
+/// builds (`--no-default-features`) drop that bound. The alias is
+/// blanket-implemented, so callers never name it — any suitable closure
+/// works.
+#[cfg(feature = "parallel")]
+pub trait Residual: Fn(&[f64]) -> Vec<f64> + Sync {}
+#[cfg(feature = "parallel")]
+impl<F: Fn(&[f64]) -> Vec<f64> + Sync> Residual for F {}
+
+/// Residual functions accepted by the numeric-Jacobian and LM drivers
+/// (serial build: no [`Sync`] bound).
+#[cfg(not(feature = "parallel"))]
+pub trait Residual: Fn(&[f64]) -> Vec<f64> {}
+#[cfg(not(feature = "parallel"))]
+impl<F: Fn(&[f64]) -> Vec<f64>> Residual for F {}
+
 /// Computes the Jacobian `J[i][j] = ∂rᵢ/∂xⱼ` of a residual function by central
 /// differences.
 ///
@@ -9,28 +28,56 @@ use crate::linalg::DMat;
 /// `n_residuals`. The step for parameter `j` is `rel_step · max(|xⱼ|, 1)`,
 /// which behaves well across the mixed metre/radian/volt parameter scales in
 /// the Cyclops fits.
+///
+/// Columns are evaluated in parallel under the `parallel` feature. The result
+/// is bit-identical to the serial evaluation: each column depends only on `x`
+/// and `j`, and columns are written back in index order.
 pub fn numeric_jacobian<F>(f: &F, x: &[f64], n_residuals: usize, rel_step: f64) -> DMat
 where
-    F: Fn(&[f64]) -> Vec<f64>,
+    F: Residual,
+{
+    let mut jac = DMat::zeros(n_residuals, x.len());
+    numeric_jacobian_into(f, x, rel_step, &mut jac);
+    jac
+}
+
+/// [`numeric_jacobian`] writing into a caller-owned matrix, so iterative
+/// solvers (LM) can reuse one allocation across iterations.
+///
+/// # Panics
+/// Panics if `jac` is not `n_residuals × x.len()` (the residual length is
+/// taken from `jac.rows`).
+pub fn numeric_jacobian_into<F>(f: &F, x: &[f64], rel_step: f64, jac: &mut DMat)
+where
+    F: Residual,
 {
     let n = x.len();
-    let mut jac = DMat::zeros(n_residuals, n);
-    let mut xp = x.to_vec();
-    for j in 0..n {
+    let m = jac.rows;
+    assert_eq!(jac.cols, n, "jacobian column count must match x.len()");
+
+    let eval_col = |j: usize| -> Vec<f64> {
+        let mut xp = x.to_vec();
         let h = rel_step * x[j].abs().max(1.0);
         xp[j] = x[j] + h;
         let rp = f(&xp);
         xp[j] = x[j] - h;
         let rm = f(&xp);
-        xp[j] = x[j];
-        debug_assert_eq!(rp.len(), n_residuals);
-        debug_assert_eq!(rm.len(), n_residuals);
+        debug_assert_eq!(rp.len(), m);
+        debug_assert_eq!(rm.len(), m);
         let inv = 1.0 / (2.0 * h);
-        for i in 0..n_residuals {
-            jac[(i, j)] = (rp[i] - rm[i]) * inv;
+        rp.iter().zip(&rm).map(|(p, q)| (p - q) * inv).collect()
+    };
+
+    #[cfg(feature = "parallel")]
+    let cols = cyclops_par::par_map_indexed(n, 1, eval_col);
+    #[cfg(not(feature = "parallel"))]
+    let cols: Vec<Vec<f64>> = (0..n).map(eval_col).collect();
+
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            jac[(i, j)] = v;
         }
     }
-    jac
 }
 
 #[cfg(test)]
@@ -75,5 +122,51 @@ mod tests {
         let f = |x: &[f64]| vec![x[0] * 1e-6];
         let j = numeric_jacobian(&f, &[1e9], 1, 1e-7);
         assert!((j[(0, 0)] - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffer() {
+        let f = |x: &[f64]| vec![x[0].sin() * x[1], x[0] + x[1] * x[1], x[0] * x[1]];
+        let x = [0.3, -1.2];
+        let fresh = numeric_jacobian(&f, &x, 3, 1e-7);
+        let mut reused = DMat::zeros(3, 2);
+        for _ in 0..3 {
+            numeric_jacobian_into(&f, &x, 1e-7, &mut reused);
+        }
+        assert_eq!(fresh, reused);
+    }
+
+    /// The parallel column evaluation must be bit-identical to a plain serial
+    /// loop, for any thread count.
+    #[test]
+    fn parallel_columns_bit_identical_to_serial() {
+        let f = |x: &[f64]| -> Vec<f64> {
+            (0..7)
+                .map(|i| {
+                    let t = i as f64 * 0.37;
+                    (x[0] * t).sin() + x[1] * t * t - (x[2] + t).exp() * 1e-3 + x[3] / (1.0 + t)
+                })
+                .collect()
+        };
+        let x = [0.21f64, -1.7, 0.05, 3.3];
+        let rel = 1e-7f64;
+        // Hand-rolled serial reference (the pre-parallel algorithm).
+        let mut reference = DMat::zeros(7, 4);
+        for j in 0..4 {
+            let mut xp = x.to_vec();
+            let h = rel * x[j].abs().max(1.0);
+            xp[j] = x[j] + h;
+            let rp = f(&xp);
+            xp[j] = x[j] - h;
+            let rm = f(&xp);
+            let inv = 1.0 / (2.0 * h);
+            for i in 0..7 {
+                reference[(i, j)] = (rp[i] - rm[i]) * inv;
+            }
+        }
+        for threads in [1, 2, 3, 8] {
+            let jac = cyclops_par::with_threads(threads, || numeric_jacobian(&f, &x, 7, rel));
+            assert_eq!(jac, reference, "threads={threads}");
+        }
     }
 }

@@ -50,10 +50,35 @@ impl DMat {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Copies another matrix's contents into this one without reallocating.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, other: &DMat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "copy_from dimension mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Computes `AᵀA` (the Gauss–Newton normal matrix).
     pub fn gram(&self) -> DMat {
+        let mut g = DMat::zeros(self.cols, self.cols);
+        self.gram_into(&mut g);
+        g
+    }
+
+    /// [`DMat::gram`] writing into a caller-owned `cols × cols` matrix, so
+    /// iterative solvers can reuse one allocation.
+    ///
+    /// # Panics
+    /// Panics if `g` is not `cols × cols`.
+    pub fn gram_into(&self, g: &mut DMat) {
         let n = self.cols;
-        let mut g = DMat::zeros(n, n);
+        assert_eq!((g.rows, g.cols), (n, n), "gram_into dimension mismatch");
+        g.data.fill(0.0);
         for r in 0..self.rows {
             let row = self.row(r);
             for i in 0..n {
@@ -72,13 +97,23 @@ impl DMat {
                 g[(i, j)] = g[(j, i)];
             }
         }
-        g
     }
 
     /// Computes `Aᵀb`.
     pub fn t_mul_vec(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.rows);
         let mut out = vec![0.0; self.cols];
+        self.t_mul_vec_into(b, &mut out);
+        out
+    }
+
+    /// [`DMat::t_mul_vec`] writing into a caller-owned vector.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != rows` or `out.len() != cols`.
+    pub fn t_mul_vec_into(&self, b: &[f64], out: &mut [f64]) {
+        assert_eq!(b.len(), self.rows);
+        assert_eq!(out.len(), self.cols);
+        out.fill(0.0);
         for (r, &br) in b.iter().enumerate() {
             if br == 0.0 {
                 continue;
@@ -87,7 +122,6 @@ impl DMat {
                 *o += a * br;
             }
         }
-        out
     }
 
     /// Computes `A·x`.
@@ -98,16 +132,32 @@ impl DMat {
             .collect()
     }
 
-    /// Solves `A·x = b` in place via Gaussian elimination with partial
-    /// pivoting. Returns `None` if the matrix is (numerically) singular.
+    /// Solves `A·x = b` via Gaussian elimination with partial pivoting.
+    /// Returns `None` if the matrix is (numerically) singular.
     ///
-    /// `self` is consumed; for LM we rebuild the damped normal matrix each
-    /// iteration anyway.
+    /// `self` is consumed; callers that want to keep (or reuse) the matrix
+    /// storage should use [`DMat::solve_in_place`].
     pub fn solve(mut self, b: &[f64]) -> Option<Vec<f64>> {
+        let mut x = b.to_vec();
+        if self.solve_in_place(&mut x) {
+            Some(x)
+        } else {
+            None
+        }
+    }
+
+    /// Solves `A·x = b` in place: `x` holds `b` on entry and the solution on
+    /// exit (its contents are unspecified when `false` — singular — is
+    /// returned). The matrix is destroyed (reduced) but its allocation stays
+    /// with the caller, so iterative solvers can refill and re-solve without
+    /// churning the allocator.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `x.len() != rows`.
+    pub fn solve_in_place(&mut self, x: &mut [f64]) -> bool {
         assert_eq!(self.rows, self.cols, "solve requires a square matrix");
-        assert_eq!(b.len(), self.rows);
+        assert_eq!(x.len(), self.rows);
         let n = self.rows;
-        let mut x: Vec<f64> = b.to_vec();
 
         for col in 0..n {
             // Partial pivot.
@@ -121,7 +171,7 @@ impl DMat {
                 }
             }
             if best < 1e-300 {
-                return None;
+                return false;
             }
             if pivot != col {
                 self.data.swap(pivot * n + col, col * n + col);
@@ -152,7 +202,7 @@ impl DMat {
             }
             x[col] = s / self[(col, col)];
         }
-        Some(x)
+        true
     }
 }
 
@@ -228,6 +278,23 @@ mod tests {
         for i in 0..n {
             assert!((bx[i] - b[i]).abs() < 1e-9, "component {i}");
         }
+    }
+
+    #[test]
+    fn solve_in_place_reuses_storage_and_matches_solve() {
+        let a = DMat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let expect = a.clone().solve(&[5.0, 10.0]).unwrap();
+        let mut scratch = DMat::zeros(2, 2);
+        let mut x = [5.0, 10.0];
+        scratch.copy_from(&a);
+        assert!(scratch.solve_in_place(&mut x));
+        assert_eq!(x.to_vec(), expect);
+        // Refill and solve again with the same buffers.
+        scratch.copy_from(&a);
+        let mut y = [2.0, 3.0];
+        assert!(scratch.solve_in_place(&mut y));
+        let back = a.mul_vec(&y);
+        assert!((back[0] - 2.0).abs() < 1e-12 && (back[1] - 3.0).abs() < 1e-12);
     }
 
     #[test]

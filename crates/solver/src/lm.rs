@@ -5,7 +5,8 @@
 //! initial guess" (from the galvo's CAD drawing and manual measurement); we
 //! mirror that: callers provide the initial guess and this solver refines it.
 
-use crate::jacobian::numeric_jacobian;
+use crate::jacobian::{numeric_jacobian_into, Residual};
+use crate::linalg::DMat;
 
 /// Why the optimizer stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,11 +80,17 @@ fn cost_of(r: &[f64]) -> f64 {
 /// Minimizes `½‖f(x)‖²` starting from `x0`.
 ///
 /// `f` returns the residual vector; its length must be constant. The Jacobian
-/// is computed numerically ([`numeric_jacobian`]), matching how one would
-/// drive `scipy.optimize.least_squares` without analytic derivatives.
+/// is computed numerically ([`crate::jacobian::numeric_jacobian`]), matching
+/// how one would drive `scipy.optimize.least_squares` without analytic
+/// derivatives. Under the `parallel` feature (the default) the Jacobian
+/// columns are evaluated concurrently — bit-identical to the serial path —
+/// which is where the solver spends nearly all of its time on the Cyclops
+/// fits. The Jacobian, normal matrix and step vectors live in scratch
+/// buffers reused across iterations, so the per-iteration allocations are
+/// only those of the residual closure itself.
 pub fn levenberg_marquardt<F>(f: F, x0: &[f64], opts: &LmOptions) -> LmReport
 where
-    F: Fn(&[f64]) -> Vec<f64>,
+    F: Residual,
 {
     let mut x = x0.to_vec();
     let mut r = f(&x);
@@ -96,41 +103,53 @@ where
     let mut status = LmStatus::MaxIterations;
     let mut iterations = 0usize;
 
+    // Scratch storage reused across (inner and outer) iterations.
+    let mut jac = DMat::zeros(m, n);
+    let mut gram = DMat::zeros(n, n);
+    let mut a = DMat::zeros(n, n);
+    let mut grad = vec![0.0; n];
+    let mut step = vec![0.0; n];
+    let mut x_new = vec![0.0; n];
+
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
-        let jac = numeric_jacobian(&f, &x, m, opts.fd_rel_step);
+        numeric_jacobian_into(&f, &x, opts.fd_rel_step, &mut jac);
         n_evals += 2 * n;
-        let grad = jac.t_mul_vec(&r);
+        jac.t_mul_vec_into(&r, &mut grad);
         let grad_norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
         if grad_norm < opts.tol_grad {
             status = LmStatus::GradConverged;
             break;
         }
-        let gram = jac.gram();
+        jac.gram_into(&mut gram);
 
         // Inner loop: increase damping until a step reduces the cost.
         let mut accepted = false;
         for _ in 0..32 {
             // Damped normal matrix: JᵀJ + λ·diag(JᵀJ) (Marquardt scaling),
             // with an absolute floor so flat directions stay regularized.
-            let mut a = gram.clone();
+            a.copy_from(&gram);
             for i in 0..n {
                 let d = gram[(i, i)];
                 a[(i, i)] = d + lambda * d.max(1e-12);
             }
-            let neg_grad: Vec<f64> = grad.iter().map(|g| -g).collect();
-            let Some(step) = a.solve(&neg_grad) else {
+            for (s, g) in step.iter_mut().zip(&grad) {
+                *s = -g;
+            }
+            if !a.solve_in_place(&mut step) {
                 lambda *= opts.lambda_factor;
                 continue;
-            };
-            let x_new: Vec<f64> = x.iter().zip(&step).map(|(a, b)| a + b).collect();
+            }
+            for ((xn, xi), s) in x_new.iter_mut().zip(&x).zip(&step) {
+                *xn = xi + s;
+            }
             let r_new = f(&x_new);
             n_evals += 1;
             let cost_new = cost_of(&r_new);
             if cost_new < cost {
                 let step_norm = step.iter().map(|s| s * s).sum::<f64>().sqrt();
                 let rel_decrease = (cost - cost_new) / cost.max(1e-300);
-                x = x_new;
+                std::mem::swap(&mut x, &mut x_new);
                 r = r_new;
                 cost = cost_new;
                 lambda = (lambda / opts.lambda_factor).max(1e-12);

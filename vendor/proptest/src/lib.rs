@@ -1,0 +1,282 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! slice of proptest the workspace's property tests use: the `proptest!`
+//! macro (with optional `#![proptest_config(...)]`), range/tuple strategies,
+//! `prop_map`/`prop_filter`, `any::<T>()`, `prop::collection::vec`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports the
+//! generated inputs as-is), and case generation is driven by the workspace's
+//! deterministic `StdRng`. Case counts default to 256 like upstream and can
+//! be lowered globally with `PROPTEST_CASES`.
+
+#![deny(missing_docs)]
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Test-runner configuration and plumbing used by the macros.
+pub mod test_runner {
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// Maximum rejected generations (filters + `prop_assume!`) before
+        /// the property errors out.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config {
+                cases,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Marker returned by `prop_assume!` when a case must be re-drawn.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// The deterministic RNG driving generation.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Builds the per-property RNG: deterministic from the property name so
+    /// every test function explores an independent, reproducible stream.
+    pub fn rng_for(name: &str) -> TestRng {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            let (lo, hi) = r.into_inner();
+            SizeRange {
+                lo,
+                hi_exclusive: hi + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.gen_value(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Equivalent of `prop_assert!`: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert!({}) failed", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            panic!("prop_assert!({}) failed: {}", stringify!($cond), format!($($fmt)*));
+        }
+    };
+}
+
+/// Equivalent of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            panic!("prop_assert_eq! failed: {:?} != {:?}", va, vb);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            panic!(
+                "prop_assert_eq! failed: {:?} != {:?}: {}",
+                va, vb, format!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Equivalent of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            panic!("prop_assert_ne! failed: both sides are {:?}", va);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            panic!(
+                "prop_assert_ne! failed: both sides are {:?}: {}",
+                va, format!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Equivalent of `prop_assume!`: rejects the current case (it is re-drawn
+/// and not counted) when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// The `proptest!` block macro: wraps each contained function in a runner
+/// that generates inputs from the given strategies and executes the body
+/// for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let __strategy = ($($strat,)+);
+                let mut __case = 0u32;
+                let mut __rejects = 0u32;
+                while __case < __config.cases {
+                    let __vals = loop {
+                        match $crate::Strategy::gen_value(&__strategy, &mut __rng) {
+                            Some(v) => break v,
+                            None => {
+                                __rejects += 1;
+                                assert!(
+                                    __rejects < __config.max_global_rejects,
+                                    "proptest: too many generator rejections in {}",
+                                    stringify!($name),
+                                );
+                            }
+                        }
+                    };
+                    let __outcome = (move || -> ::std::result::Result<(), $crate::test_runner::Rejected> {
+                        let ($($arg,)+) = __vals;
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => __case += 1,
+                        Err(_) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < __config.max_global_rejects,
+                                "proptest: too many prop_assume! rejections in {}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,240 @@
+//! Strategies: composable value generators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A generator of test values. `gen_value` returns `None` when the drawn
+/// value is rejected (e.g. by [`Strategy::prop_filter`]); the runner then
+/// re-draws without counting the case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value (or rejects).
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (`whence` labels the filter for
+    /// diagnostics, as in upstream proptest).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            _whence: whence.into(),
+            pred,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).gen_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    _whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.gen_value(rng).filter(&self.pred)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<f32> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.gen_value(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (whole domain for primitives).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain generator for a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_prim {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                #[allow(clippy::redundant_closure_call)]
+                Some(($gen)(rng))
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> AnyPrim<$t> {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+use rand::RngCore;
+
+arbitrary_prim!(
+    bool => |r: &mut TestRng| r.next_u64() & 1 == 1,
+    u8 => |r: &mut TestRng| r.next_u64() as u8,
+    u16 => |r: &mut TestRng| r.next_u64() as u16,
+    u32 => |r: &mut TestRng| r.next_u32(),
+    u64 => |r: &mut TestRng| r.next_u64(),
+    usize => |r: &mut TestRng| r.next_u64() as usize,
+    i8 => |r: &mut TestRng| r.next_u64() as i8,
+    i16 => |r: &mut TestRng| r.next_u64() as i16,
+    i32 => |r: &mut TestRng| r.next_u64() as i32,
+    i64 => |r: &mut TestRng| r.next_u64() as i64,
+    isize => |r: &mut TestRng| r.next_u64() as isize,
+    // Finite floats spanning a wide magnitude band (no NaN/inf: the
+    // workspace's properties all assume finite inputs, as upstream's
+    // default `any::<f64>()` config does for the common cases).
+    f64 => |r: &mut TestRng| {
+        let mag = rand::Rng::gen_range(r, -300.0..300.0f64);
+        let sign = if r.next_u64() & 1 == 1 { 1.0 } else { -1.0 };
+        sign * mag.exp2()
+    },
+    f32 => |r: &mut TestRng| {
+        let mag = rand::Rng::gen_range(r, -30.0..30.0f64);
+        let sign = if r.next_u64() & 1 == 1 { 1.0f32 } else { -1.0 };
+        sign * (mag.exp2() as f32)
+    },
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_tuples_map_filter_compose() {
+        let mut rng = rng_for("compose");
+        let s = (0.0..1.0f64, 1..10i32)
+            .prop_map(|(f, i)| f + i as f64)
+            .prop_filter("big enough", |v| *v > 2.0);
+        let mut got = 0;
+        for _ in 0..1000 {
+            if let Some(v) = s.gen_value(&mut rng) {
+                assert!(v > 2.0 && v < 11.0);
+                got += 1;
+            }
+        }
+        assert!(got > 100, "filter passed only {got}/1000");
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = rng_for("vecsize");
+        let s = crate::collection::vec(0.0..1.0f64, 2..7);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng).unwrap();
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+}
