@@ -84,6 +84,7 @@ fn commission_with(board: BoardConfig, use_prior: bool, seed: u64) -> CyclopsSys
             mapping_samples_used: mt.samples.len(),
         },
         tracker: cfg.tracker,
+        control: None,
         mapping_samples: mt.samples,
     }
 }

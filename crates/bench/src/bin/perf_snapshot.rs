@@ -1,4 +1,4 @@
-//! **Perf snapshot** — machine-readable timing of the four hot paths the
+//! **Perf snapshot** — machine-readable timing of the five hot paths the
 //! `parallel` feature accelerates, written to `BENCH_<date>.json`.
 //!
 //! Each workload runs twice over identical inputs: once pinned to 1 thread
@@ -14,8 +14,10 @@
 use cyclops::core::alignment::exhaustive_align;
 use cyclops::core::kspace::{self, BoardConfig, KspaceRig};
 use cyclops::core::mapping;
+use cyclops::link::simulator::SessionStats;
 use cyclops::link::trace_sim::{simulate_corpus, TraceSimParams};
 use cyclops::prelude::*;
+use cyclops::vrh::motion::ArbitraryMotionConfig;
 use std::time::Instant;
 
 struct WorkloadResult {
@@ -74,6 +76,45 @@ fn run_workload(name: &'static str, threads: usize, work: impl Fn() -> Vec<f64>)
     }
 }
 
+/// One fault-injected simulator session for the chaos workload: hardened
+/// control plane (ARQ + dead reckoning + re-acquisition) under the `stress`
+/// fault plan (loss bursts, delay spikes, dup/reorder, SFP flaps), hand-held
+/// motion. Returns a numeric signature plus the session counters.
+fn chaos_session(sys: &CyclopsSystem, seed: u64, dur_s: f64) -> (Vec<f64>, SessionStats) {
+    let mut s = sys.clone();
+    s.control = Some(ControlPlaneConfig::hardened(FaultPlan::stress(seed)));
+    let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+    let motion = ArbitraryMotion::new(base, ArbitraryMotionConfig::default(), 500 + seed);
+    let mut sim = s.into_simulator(motion);
+    let recs = sim.run(dur_s);
+    let stats = sim.session_stats();
+    let c = stats.control.expect("control plane is active");
+    let mut sig = vec![
+        recs.iter().map(|r| r.power_dbm).sum::<f64>(),
+        recs.iter().map(|r| r.goodput_gbps).sum::<f64>(),
+        recs.iter().filter(|r| r.link_up).count() as f64,
+    ];
+    sig.extend(
+        [
+            c.sent,
+            c.delivered,
+            c.retransmits,
+            c.channel_losses,
+            c.dup_frames,
+            c.stale_drops,
+            c.acks_lost,
+            c.gave_up,
+            stats.n_extrapolated,
+            stats.n_reacq_steps,
+            stats.n_outages,
+        ]
+        .map(|n| n as f64),
+    );
+    sig.push(stats.outage_s);
+    sig.push(stats.longest_outage_s);
+    (sig, stats)
+}
+
 /// Proleptic-Gregorian civil date from days since 1970-01-01 (Howard
 /// Hinnant's `civil_from_days`). Avoids a date-time dependency.
 fn civil_from_days(z: i64) -> (i64, u64, u64) {
@@ -120,6 +161,9 @@ fn main() {
     let traces: Vec<HeadTrace> = (0..200)
         .map(|i| HeadTrace::generate(&TraceGenConfig::default(), 9_100 + i))
         .collect();
+    println!("fixtures: fast-profile system for the chaos workload ...");
+    let sys_chaos = CyclopsSystem::commission(&SystemConfig::fast_10g(9_007));
+    let chaos_seeds: Vec<u64> = (0..6).collect();
 
     println!("running workloads (each twice: 1 thread, then {threads}) ...");
     let results = [
@@ -163,6 +207,16 @@ fn main() {
         // §5.4 connectivity simulation: 200 × 60 s traces, one per work item.
         run_workload("trace_sim_60s", threads, || {
             simulate_corpus(&traces, &TraceSimParams::default())
+        }),
+        // Fault-injection suite: hardened control plane under the stress
+        // fault plan, one session per seed. The signature includes every
+        // per-session counter, so any serial/parallel divergence in the
+        // control plane itself fails the bit-identical check.
+        run_workload("chaos_fault_injection", threads, || {
+            cyclops_par::par_map(&chaos_seeds, 1, |&s| chaos_session(&sys_chaos, s, 4.0).0)
+                .into_iter()
+                .flatten()
+                .collect()
         }),
     ];
 
@@ -226,6 +280,41 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // Session counters from one canonical (serial-order) pass over the chaos
+    // seeds — the fault-injection health record that trends alongside the
+    // timings.
+    let chaos: Vec<SessionStats> = chaos_seeds
+        .iter()
+        .map(|&s| chaos_session(&sys_chaos, s, 4.0).1)
+        .collect();
+    let sum = |f: &dyn Fn(&SessionStats) -> u64| chaos.iter().map(f).sum::<u64>();
+    let csum = |f: &dyn Fn(&cyclops::link::control::ControlStats) -> u64| {
+        chaos
+            .iter()
+            .map(|s| f(s.control.as_ref().expect("control plane is active")))
+            .sum::<u64>()
+    };
+    json.push_str(&format!(
+        "  \"chaos\": {{\"sessions\": {}, \"sent\": {}, \"delivered\": {}, \
+         \"retransmits\": {}, \"channel_losses\": {}, \"dup_frames\": {}, \
+         \"stale_drops\": {}, \"acks_lost\": {}, \"gave_up\": {}, \
+         \"extrapolated\": {}, \"reacq_steps\": {}, \"outages\": {}, \
+         \"outage_s\": {:.4}, \"longest_outage_s\": {:.4}}},\n",
+        chaos.len(),
+        csum(&|c| c.sent),
+        csum(&|c| c.delivered),
+        csum(&|c| c.retransmits),
+        csum(&|c| c.channel_losses),
+        csum(&|c| c.dup_frames),
+        csum(&|c| c.stale_drops),
+        csum(&|c| c.acks_lost),
+        csum(&|c| c.gave_up),
+        sum(&|s| s.n_extrapolated),
+        sum(&|s| s.n_reacq_steps),
+        sum(&|s| s.n_outages),
+        chaos.iter().map(|s| s.outage_s).sum::<f64>(),
+        chaos.iter().map(|s| s.longest_outage_s).fold(0.0, f64::max)
+    ));
     json.push_str(&format!("  \"total_serial_s\": {total_serial:.6},\n"));
     json.push_str(&format!("  \"total_parallel_s\": {total_parallel:.6},\n"));
     json.push_str(&format!(

@@ -179,6 +179,23 @@ pub fn tolerated_speed(points: &[LadderPoint]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// Folds a ladder's numeric output into a running `mix64` digest — the
+/// determinism fingerprint the `chaos` CI job compares across build
+/// configurations (default vs `--no-default-features`) and thread counts.
+pub fn digest_ladder(mut digest: u64, points: &[LadderPoint]) -> u64 {
+    for p in points {
+        for bits in [
+            p.speed.to_bits(),
+            p.optimal_frac.to_bits(),
+            p.mean_goodput.to_bits(),
+            p.min_power.to_bits(),
+        ] {
+            digest = cyclops_par::mix64(digest ^ bits, 0x9e37_79b9_7f4a_7c15);
+        }
+    }
+    digest
+}
+
 /// Prints a section header.
 pub fn section(title: &str) {
     println!("\n=== {title} ===");

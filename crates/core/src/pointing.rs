@@ -86,6 +86,67 @@ pub fn pointing(
     }
 }
 
+/// A bounded re-acquisition search: after optical signal loss with no
+/// trustworthy pose (reports stale, SFP down), sweep the TX beam over an
+/// expanding sunflower spiral of voltage offsets around the last good
+/// command. The RX voltages are held — its wide acceptance cone means the
+/// TX aim is what loses the aperture first — and the radius grows with
+/// `step_v · √k`, giving near-uniform areal coverage of the voltage disc.
+///
+/// The search is bounded: after `max_steps` probes the caller should
+/// restore the center command and fall back to waiting for tracking.
+#[derive(Debug, Clone, Copy)]
+pub struct ReacqSpiral {
+    center: [f64; 4],
+    step_v: f64,
+    max_steps: usize,
+    k: usize,
+}
+
+impl ReacqSpiral {
+    /// Creates a spiral around `center` (the last known-good command).
+    pub fn new(center: [f64; 4], step_v: f64, max_steps: usize) -> ReacqSpiral {
+        ReacqSpiral {
+            center,
+            step_v,
+            max_steps,
+            k: 0,
+        }
+    }
+
+    /// The next probe voltages, or `None` once the budget is exhausted.
+    pub fn next_voltages(&mut self) -> Option<[f64; 4]> {
+        if self.k >= self.max_steps {
+            return None;
+        }
+        self.k += 1;
+        let k = self.k as f64;
+        // Golden-angle (Vogel) spiral: r ∝ √k at irrational angular steps
+        // never revisits a direction, so coverage stays uniform at any
+        // truncation.
+        const GOLDEN_ANGLE: f64 = 2.399_963_229_728_653;
+        let r = self.step_v * k.sqrt();
+        let a = k * GOLDEN_ANGLE;
+        let lim = cyclops_optics::galvo::VOLT_MAX;
+        Some([
+            (self.center[0] + r * a.cos()).clamp(-lim, lim),
+            (self.center[1] + r * a.sin()).clamp(-lim, lim),
+            self.center[2],
+            self.center[3],
+        ])
+    }
+
+    /// The spiral's center (the command to restore on give-up).
+    pub fn center(&self) -> [f64; 4] {
+        self.center
+    }
+
+    /// Probes taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.k
+    }
+}
+
 /// [`pointing`] with the DAC-step tolerance and the paper's iteration budget.
 pub fn pointing_default(
     tx_vr: &GalvoParams,
@@ -198,6 +259,39 @@ mod tests {
         let g = gap(&tx, &rx, res.voltages);
         assert!(g > 1e-5, "a wrong model cannot align perfectly");
         assert!(g < 0.02, "but a slightly wrong model misses slightly: {g}");
+    }
+
+    #[test]
+    fn reacq_spiral_covers_expanding_disc_and_terminates() {
+        let center = [1.0, -2.0, 0.5, 0.25];
+        let mut sp = ReacqSpiral::new(center, 0.02, 200);
+        let mut max_r = 0.0f64;
+        let mut n = 0usize;
+        let mut prev_r = 0.0f64;
+        while let Some(v) = sp.next_voltages() {
+            n += 1;
+            // RX pair untouched.
+            assert_eq!(v[2], center[2]);
+            assert_eq!(v[3], center[3]);
+            let r = ((v[0] - center[0]).powi(2) + (v[1] - center[1]).powi(2)).sqrt();
+            assert!(r >= prev_r - 1e-12, "radius must not shrink");
+            prev_r = r;
+            max_r = max_r.max(r);
+        }
+        assert_eq!(n, 200);
+        assert_eq!(sp.steps_taken(), 200);
+        // Budget of 200 steps at 0.02 V reaches r = 0.02·√200 ≈ 0.28 V.
+        assert!((max_r - 0.02 * 200f64.sqrt()).abs() < 1e-9, "max r {max_r}");
+        assert!(sp.next_voltages().is_none(), "exhausted spiral stays done");
+    }
+
+    #[test]
+    fn reacq_spiral_clamps_to_drive_range() {
+        let lim = cyclops_optics::galvo::VOLT_MAX;
+        let mut sp = ReacqSpiral::new([lim - 0.01, -lim + 0.01, 0.0, 0.0], 0.5, 50);
+        while let Some(v) = sp.next_voltages() {
+            assert!(v[0].abs() <= lim && v[1].abs() <= lim);
+        }
     }
 
     #[test]

@@ -66,24 +66,34 @@ pub struct TpMetrics {
     pub sum_latency_s: f64,
     /// See [`TpMetrics::sum_latency_s`].
     pub max_latency_s: f64,
+    /// Dead-reckoned commands issued from extrapolated (not reported) poses
+    /// while the control channel was stale.
+    pub n_extrapolated: u64,
+    /// Re-acquisition spiral steps taken after optical signal loss.
+    pub n_reacq_steps: u64,
 }
 
 impl TpMetrics {
-    /// Mean outer pointing iterations per report.
+    /// Commands issued (reported + extrapolated poses).
+    fn n_commands(&self) -> u64 {
+        self.n_reports + self.n_extrapolated
+    }
+
+    /// Mean outer pointing iterations per command.
     pub fn mean_iters(&self) -> f64 {
-        if self.n_reports == 0 {
+        if self.n_commands() == 0 {
             0.0
         } else {
-            self.sum_iters as f64 / self.n_reports as f64
+            self.sum_iters as f64 / self.n_commands() as f64
         }
     }
 
     /// Mean command latency (seconds).
     pub fn mean_latency_s(&self) -> f64 {
-        if self.n_reports == 0 {
+        if self.n_commands() == 0 {
             0.0
         } else {
-            self.sum_latency_s / self.n_reports as f64
+            self.sum_latency_s / self.n_commands() as f64
         }
     }
 }
@@ -114,6 +124,26 @@ impl TpController {
 
     /// Processes one VRH-T report: computes `P(Ψ)` and returns the command.
     pub fn on_report(&mut self, reported_pose: &Pose) -> TpCommand {
+        self.metrics.n_reports += 1;
+        self.solve(reported_pose)
+    }
+
+    /// Processes a dead-reckoned pose (constant-velocity extrapolation from
+    /// stale reports): same pointing math as [`TpController::on_report`],
+    /// accounted separately so session stats can tell how often the
+    /// controller flew blind.
+    pub fn on_extrapolated(&mut self, extrapolated_pose: &Pose) -> TpCommand {
+        self.metrics.n_extrapolated += 1;
+        self.solve(extrapolated_pose)
+    }
+
+    /// Records one re-acquisition spiral step (taken by the simulator on the
+    /// controller's behalf).
+    pub fn note_reacq_step(&mut self) {
+        self.metrics.n_reacq_steps += 1;
+    }
+
+    fn solve(&mut self, reported_pose: &Pose) -> TpCommand {
         let tx_vr = self.mapping.tx_in_vr();
         let rx_vr = self.mapping.rx_in_vr(reported_pose);
         let mut res: PointingResult = pointing(
@@ -138,7 +168,6 @@ impl TpController {
         if res.converged {
             self.last_voltages = res.voltages;
         }
-        self.metrics.n_reports += 1;
         if !res.converged {
             self.metrics.n_failures += 1;
         }
@@ -217,25 +246,33 @@ mod tests {
     #[test]
     fn tp_accuracy_close_to_optimal_power() {
         // §5.2: received power after TP within a few dB of the optimal
-        // (paper: −13…−14 dBm vs −10 dBm peak).
-        let (mut dep, mut ctl) = trained_controller(502);
-        let pose = mapping::random_placement(dep.rng(), 1.8);
-        dep.set_headset_pose(pose);
-        let report = mapping::noisy_report(&mut dep, &Default::default());
-        let cmd = ctl.on_report(&report);
-        dep.set_voltages(
-            cmd.voltages[0],
-            cmd.voltages[1],
-            cmd.voltages[2],
-            cmd.voltages[3],
-        );
-        let tp_power = dep.received_power_dbm();
-        cheat_align(&mut dep);
-        let best = dep.received_power_dbm();
-        assert!(
-            tp_power > best - 6.0,
-            "TP power {tp_power} dBm vs optimal {best} dBm"
-        );
+        // (paper: −13…−14 dBm vs −10 dBm peak). Sampled over several
+        // placements: the focal-spot cross-blur makes residual misalignment
+        // cost real dB, so individual placements spread — the median must
+        // stay in the paper's few-dB band and no placement may fall off a
+        // cliff.
+        let mut gaps: Vec<f64> = Vec::new();
+        for seed in [500u64, 501, 502, 503, 504, 505, 506, 507] {
+            let (mut dep, mut ctl) = trained_controller(seed);
+            let pose = mapping::random_placement(dep.rng(), 1.8);
+            dep.set_headset_pose(pose);
+            let report = mapping::noisy_report(&mut dep, &Default::default());
+            let cmd = ctl.on_report(&report);
+            dep.set_voltages(
+                cmd.voltages[0],
+                cmd.voltages[1],
+                cmd.voltages[2],
+                cmd.voltages[3],
+            );
+            let tp_power = dep.received_power_dbm();
+            cheat_align(&mut dep);
+            let best = dep.received_power_dbm();
+            gaps.push(best - tp_power);
+        }
+        gaps.sort_by(|a, b| a.total_cmp(b));
+        let median = 0.5 * (gaps[3] + gaps[4]);
+        assert!(median < 4.0, "median TP gap {median} dB of {gaps:?}");
+        assert!(gaps[7] < 9.0, "worst TP gap {} dB", gaps[7]);
     }
 
     #[test]

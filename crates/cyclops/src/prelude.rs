@@ -29,6 +29,10 @@ pub use cyclops_vrh::motion::{
 pub use cyclops_vrh::traces::{HeadTrace, TraceGenConfig};
 pub use cyclops_vrh::tracking::{TrackerConfig, TrackingReport, VrhTracker};
 
+pub use cyclops_link::control::{
+    ArqConfig, ControlLink, ControlPlaneConfig, ControlStats, DeadReckoningConfig, FaultPlan,
+    FlapSchedule, ReacqConfig,
+};
 pub use cyclops_link::multi_tx::{MultiTxSimulator, TxInstallation};
-pub use cyclops_link::simulator::{LinkSimConfig, LinkSimulator, SlotRecord};
+pub use cyclops_link::simulator::{LinkSimConfig, LinkSimulator, SessionStats, SlotRecord};
 pub use cyclops_link::trace_sim::{simulate_trace, TraceSimParams};

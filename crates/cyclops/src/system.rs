@@ -16,6 +16,7 @@ use cyclops_core::kspace::{self, BoardConfig};
 use cyclops_core::mapping::{self, MappingSample};
 use cyclops_core::tp::{TpConfig, TpController};
 use cyclops_geom::pose::Pose;
+use cyclops_link::control::ControlPlaneConfig;
 use cyclops_link::simulator::{LinkSimConfig, LinkSimulator};
 use cyclops_solver::stats::ResidualStats;
 use cyclops_vrh::motion::Motion;
@@ -105,6 +106,10 @@ pub struct CyclopsSystem {
     pub report: CommissioningReport,
     /// Tracker configuration used for reports.
     pub tracker: TrackerConfig,
+    /// Control-plane configuration for simulations built from this system:
+    /// fault injection plus ARQ/dead-reckoning/re-acquisition mitigations.
+    /// `None` (the default) keeps the legacy reliable-channel path.
+    pub control: Option<ControlPlaneConfig>,
     /// The mapping training set (kept for evaluation).
     pub mapping_samples: Vec<MappingSample>,
 }
@@ -148,6 +153,7 @@ impl CyclopsSystem {
             ctl,
             report,
             tracker: cfg.tracker,
+            control: None,
             mapping_samples: mt.samples,
         }
     }
@@ -189,6 +195,7 @@ impl CyclopsSystem {
     pub fn into_simulator<M: Motion>(self, motion: M) -> LinkSimulator<M> {
         let cfg = LinkSimConfig {
             tracker: self.tracker,
+            control: self.control,
             ..Default::default()
         };
         LinkSimulator::new(self.dep, self.ctl, motion, cfg)

@@ -47,9 +47,12 @@ impl FsoChannel {
         }
     }
 
-    /// Q factor at the given received power.
+    /// Q factor at the given received power. Total: NaN and ±∞ inputs map
+    /// to `Q = 0` (no usable signal) rather than propagating — a garbage
+    /// power report must read as "link dead", never as NaN throughput.
+    /// (+∞ is genuinely the overload limit: `Q ∝ 10^(p/20 − p/10) → 0`.)
     pub fn q_factor(&self, rx_dbm: f64) -> f64 {
-        if rx_dbm == f64::NEG_INFINITY {
+        if !rx_dbm.is_finite() {
             return 0.0;
         }
         let mut q = Q_AT_SENSITIVITY * 10f64.powf((rx_dbm - self.sensitivity_dbm) / 20.0);
@@ -57,23 +60,33 @@ impl FsoChannel {
             // Saturation: Q degrades with overdrive.
             q *= 10f64.powf(-(rx_dbm - self.overload_dbm) / 10.0);
         }
-        q
+        if q.is_finite() {
+            q
+        } else {
+            0.0
+        }
     }
 
-    /// Bit-error rate at the given received power.
+    /// Bit-error rate at the given received power. Total: always in
+    /// `[0, 0.5]`, even for non-finite input.
     pub fn ber(&self, rx_dbm: f64) -> f64 {
         let q = self.q_factor(rx_dbm);
-        (0.5 * erfc(q / std::f64::consts::SQRT_2)).clamp(0.0, 0.5)
+        let b = 0.5 * erfc(q / std::f64::consts::SQRT_2);
+        if b.is_nan() {
+            return 0.5;
+        }
+        b.clamp(0.0, 0.5)
     }
 
-    /// Probability an `n_bits` frame survives (no bit errors).
+    /// Probability an `n_bits` frame survives (no bit errors). Total:
+    /// always in `[0, 1]`.
     pub fn frame_success_prob(&self, rx_dbm: f64, n_bits: u64) -> f64 {
         let ber = self.ber(rx_dbm);
         if ber <= 1e-15 {
             return 1.0;
         }
         // (1−p)^n via exp(n·ln(1−p)), stable for small p.
-        (n_bits as f64 * (1.0 - ber).ln()).exp()
+        (n_bits as f64 * (1.0 - ber).ln()).exp().clamp(0.0, 1.0)
     }
 }
 
@@ -119,6 +132,22 @@ mod tests {
             assert!(b <= last, "BER must fall with power ({p} dBm: {b})");
             last = b;
         }
+    }
+
+    #[test]
+    fn channel_is_total_on_garbage_input() {
+        let c = ch();
+        for p in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e308, -1e308] {
+            let q = c.q_factor(p);
+            assert!(q.is_finite() && q >= 0.0, "q({p}) = {q}");
+            let b = c.ber(p);
+            assert!((0.0..=0.5).contains(&b), "ber({p}) = {b}");
+            let f = c.frame_success_prob(p, 12_000);
+            assert!((0.0..=1.0).contains(&f), "fsp({p}) = {f}");
+        }
+        // Garbage reads as "link dead", not "link fine".
+        assert!((c.ber(f64::NAN) - 0.5).abs() < 1e-6);
+        assert!(c.frame_success_prob(f64::NAN, 12_000) < 1e-9);
     }
 
     #[test]

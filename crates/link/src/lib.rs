@@ -8,6 +8,9 @@
 //!   scaling above/below);
 //! * [`crc`] / [`framing`] — CRC-32 framing used by the loss accounting and
 //!   the quickstart examples;
+//! * [`control`] — the reliable control channel (sequence-numbered ARQ
+//!   with dedup, timeouts and capped backoff) and the deterministic
+//!   fault-injection layer (`FaultPlan`) behind the chaos suite;
 //! * [`sfp_state`] — the link up/down state machine with the multi-second
 //!   re-lock the paper observed ("once the link is lost, it takes a few
 //!   seconds to regain", §5.3);
@@ -27,6 +30,7 @@
 #![warn(clippy::all)]
 
 pub mod channel;
+pub mod control;
 pub mod crc;
 pub mod framing;
 pub mod handover;
@@ -38,9 +42,13 @@ pub mod trace_sim;
 pub mod video;
 
 pub use channel::FsoChannel;
+pub use control::{
+    ArqConfig, ControlLink, ControlPlaneConfig, ControlStats, DeadReckoningConfig, FaultPlan,
+    FlapSchedule, ReacqConfig,
+};
 pub use framing::Frame;
 pub use iperf::ThroughputMeter;
 pub use multi_tx::{MultiTxSimulator, TxInstallation};
 pub use sfp_state::SfpLinkState;
-pub use simulator::{LinkSimConfig, LinkSimulator, SlotRecord};
+pub use simulator::{LinkSimConfig, LinkSimulator, SessionStats, SlotRecord};
 pub use trace_sim::{simulate_trace, TraceSimParams, TraceSimResult};

@@ -46,7 +46,10 @@ impl SfpLinkState {
             }
         } else if signal_present {
             self.signal_held_s += dt;
-            if self.signal_held_s >= self.relink_time_s {
+            // The 1 ns slack absorbs float accumulation over thousands of
+            // sub-millisecond slots; without it 2500 × 0.001 s sums just
+            // under 2.5 s and re-lock lands a full slot late.
+            if self.signal_held_s >= self.relink_time_s - 1e-9 {
                 self.up = true;
             }
         } else {
@@ -105,6 +108,76 @@ mod tests {
             s.step(true, 1e-3);
         }
         assert!(s.is_up());
+    }
+
+    #[test]
+    fn relock_never_overshoots_by_more_than_one_step() {
+        // Regression: re-lock must fire on the first step where accumulated
+        // continuous signal reaches `relink_time_s` — i.e. after exactly
+        // ceil(relink/dt) good steps — never a step late, at any step size.
+        for &dt in &[1e-3, 7e-3, 0.05, 0.4, 2.5, 3.0] {
+            let relink = 2.5;
+            let mut s = SfpLinkState::new_up(relink);
+            s.step(false, dt);
+            let mut held = 0.0;
+            loop {
+                let up = s.step(true, dt);
+                held += dt;
+                assert!(
+                    held < relink + dt + 1e-12,
+                    "dt={dt}: still down after {held} s of signal"
+                );
+                if up {
+                    break;
+                }
+            }
+            assert!(held + 1e-12 >= relink, "dt={dt}: re-locked early at {held}");
+            let expect_steps = (relink / dt).ceil();
+            assert!(
+                (held / dt - expect_steps).abs() < 1e-9,
+                "dt={dt}: took {} steps, expected {expect_steps}",
+                held / dt
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_flapping_faster_than_relink_never_relocks() {
+        // Signal flaps every 2.0 s with relink_time 2.5 s: partial hold
+        // progress (80 % of the way) must reset to zero on every flap, so
+        // the link stays down indefinitely — and once the flapping stops it
+        // still needs the FULL relink time (no residual credit).
+        let relink = 2.5;
+        let mut s = SfpLinkState::new_up(relink);
+        s.step(false, 1e-3);
+        for cycle in 0..10 {
+            for k in 0..2000 {
+                assert!(!s.step(true, 1e-3), "up mid-flap (cycle {cycle}, slot {k})");
+            }
+            assert!(!s.step(false, 1e-3));
+        }
+        for _ in 0..2499 {
+            assert!(!s.step(true, 1e-3), "must re-hold the full relink time");
+        }
+        assert!(s.step(true, 1e-3), "re-lock exactly at relink_time_s");
+    }
+
+    #[test]
+    fn down_slots_between_flaps_zero_the_hold_timer() {
+        // Two bad slots in a row behave identically to one: the timer is
+        // already zero, and subsequent re-lock timing is unaffected.
+        let mut a = SfpLinkState::new_up(0.5);
+        let mut b = SfpLinkState::new_up(0.5);
+        a.step(false, 1e-3);
+        b.step(false, 1e-3);
+        b.step(false, 1e-3);
+        let mut ups = (0, 0);
+        for _ in 0..500 {
+            ups.0 += a.step(true, 1e-3) as u32;
+            ups.1 += b.step(true, 1e-3) as u32;
+        }
+        assert_eq!(ups.0, ups.1, "extra down slots must not shift re-lock");
+        assert!(a.is_up() && b.is_up());
     }
 
     #[test]

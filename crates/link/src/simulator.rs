@@ -13,11 +13,14 @@
 //!    re-lock) and account goodput through the BER channel.
 
 use crate::channel::FsoChannel;
+use crate::control::{ControlLink, ControlPlaneConfig, ControlStats};
 use crate::sfp_state::SfpLinkState;
 use cyclops_core::deployment::Deployment;
 use cyclops_core::mapping::noisy_report_of;
+use cyclops_core::pointing::ReacqSpiral;
 use cyclops_core::tp::TpController;
-use cyclops_vrh::motion::Motion;
+use cyclops_geom::pose::Pose;
+use cyclops_vrh::motion::{extrapolate_pose, Motion};
 use cyclops_vrh::speeds::pose_speeds;
 use cyclops_vrh::tracking::TrackerConfig;
 use rand::Rng;
@@ -35,6 +38,10 @@ pub struct LinkSimConfig {
     /// operator stops moving ("we stop momentarily and slowly start moving
     /// again") until the SFP re-locks; motion time freezes while down.
     pub pause_on_outage: bool,
+    /// Reliable control plane: fault-injected report channel with optional
+    /// ARQ, dead reckoning and re-acquisition. `None` preserves the legacy
+    /// path (i.i.d. report loss drawn from the deployment RNG), bit-exactly.
+    pub control: Option<ControlPlaneConfig>,
 }
 
 impl Default for LinkSimConfig {
@@ -44,8 +51,27 @@ impl Default for LinkSimConfig {
             tracker: TrackerConfig::default(),
             frame_bits: 12_000,
             pause_on_outage: false,
+            control: None,
         }
     }
+}
+
+/// Per-session fault-handling counters (ARQ retries, dead reckoning,
+/// re-acquisition, outage durations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Control-channel counters (`None` when the legacy path ran).
+    pub control: Option<ControlStats>,
+    /// Dead-reckoned commands issued from extrapolated poses.
+    pub n_extrapolated: u64,
+    /// Re-acquisition spiral probes taken.
+    pub n_reacq_steps: u64,
+    /// Link-down episodes entered.
+    pub n_outages: u64,
+    /// Total link-down time (seconds).
+    pub outage_s: f64,
+    /// Longest single link-down episode (seconds).
+    pub longest_outage_s: f64,
 }
 
 /// Per-slot record of the simulation.
@@ -87,6 +113,27 @@ pub struct LinkSimulator<M: Motion> {
     last_report_t: f64,
     /// Motion-clock time (lags `t` when pause_on_outage freezes motion).
     motion_t: f64,
+    /// Control-plane state (present when `cfg.control` is set). The link
+    /// payload is `(t_sample, reported_pose)`.
+    ctrl_link: Option<ControlLink<(f64, Pose)>>,
+    /// Recent delivered reports `(t_sample, pose)`, newest at the back,
+    /// feeding the dead-reckoning velocity estimate. The velocity anchor is
+    /// the newest entry at least `min_baseline_s` older than the latest, so
+    /// tracker noise isn't amplified by differencing two near-coincident
+    /// samples.
+    deliveries: std::collections::VecDeque<(f64, Pose)>,
+    /// Arrival time of the last delivered report (staleness clock).
+    last_delivery_arrival: Option<f64>,
+    last_dr_t: f64,
+    /// Re-acquisition search state.
+    spiral: Option<ReacqSpiral>,
+    spiral_exhausted: bool,
+    signal_lost_since: Option<f64>,
+    /// Outage accounting.
+    n_outages: u64,
+    outage_s: f64,
+    cur_outage_s: f64,
+    longest_outage_s: f64,
 }
 
 impl<M: Motion> LinkSimulator<M> {
@@ -116,6 +163,9 @@ impl<M: Motion> LinkSimulator<M> {
         // The pre-start alignment above consumed the t = 0 report; the next
         // one arrives a full tracker period later.
         let first_period = cfg.tracker.draw_period(dep.rng());
+        let ctrl_link = cfg
+            .control
+            .map(|cp| ControlLink::new(cp.fault, cp.arq, cfg.tracker.control_channel_latency_s));
         LinkSimulator {
             dep,
             ctl,
@@ -129,6 +179,17 @@ impl<M: Motion> LinkSimulator<M> {
             motion_t: 0.0,
             drift: cyclops_geom::vec3::Vec3::ZERO,
             last_report_t: 0.0,
+            ctrl_link,
+            deliveries: std::collections::VecDeque::new(),
+            last_delivery_arrival: None,
+            last_dr_t: 0.0,
+            spiral: None,
+            spiral_exhausted: false,
+            signal_lost_since: None,
+            n_outages: 0,
+            outage_s: 0.0,
+            cur_outage_s: 0.0,
+            longest_outage_s: 0.0,
         }
     }
 
@@ -156,11 +217,15 @@ impl<M: Motion> LinkSimulator<M> {
                 let rt = self.next_report_t;
                 let period = self.draw_report_period();
                 self.next_report_t = rt + period;
-                // The control channel may lose the report entirely; the TP
-                // then simply waits for the next one.
-                let loss_p = self.cfg.tracker.report_loss_prob;
-                if loss_p > 0.0 && self.dep.rng().gen_bool(loss_p) {
-                    continue;
+                // Legacy path only: the control channel may lose the report
+                // entirely; the TP then simply waits for the next one. With
+                // the control plane enabled, losses (and everything else)
+                // come from the deterministic fault layer instead.
+                if self.ctrl_link.is_none() {
+                    let loss_p = self.cfg.tracker.report_loss_prob;
+                    if loss_p > 0.0 && self.dep.rng().gen_bool(loss_p) {
+                        continue;
+                    }
                 }
                 let pose = self
                     .motion
@@ -182,18 +247,84 @@ impl<M: Motion> LinkSimulator<M> {
                 }
                 self.last_report_t = rt;
                 let reported = noisy_report_of(clean, &self.cfg.tracker, self.dep.rng());
-                let cmd = self.ctl.on_report(&reported);
-                // The command is optically effective only after the control
-                // channel, the DAC conversion AND the mirror settle/slew.
-                let settle = self.dep.settle_estimate(
-                    cmd.voltages[0],
-                    cmd.voltages[1],
-                    cmd.voltages[2],
-                    cmd.voltages[3],
-                );
-                let apply_at =
-                    rt + self.cfg.tracker.control_channel_latency_s + cmd.latency_s + settle;
-                self.pending.push_back((apply_at, cmd.voltages));
+                if let Some(link) = self.ctrl_link.as_mut() {
+                    // Hand the report to the (faulty) control channel; the
+                    // TP acts on deliveries, not submissions.
+                    link.send(rt, (rt, reported));
+                } else {
+                    let cmd = self.ctl.on_report(&reported);
+                    // The command is optically effective only after the
+                    // control channel, the DAC conversion AND the mirror
+                    // settle/slew.
+                    let settle = self.dep.settle_estimate(
+                        cmd.voltages[0],
+                        cmd.voltages[1],
+                        cmd.voltages[2],
+                        cmd.voltages[3],
+                    );
+                    let apply_at =
+                        rt + self.cfg.tracker.control_channel_latency_s + cmd.latency_s + settle;
+                    self.pending.push_back((apply_at, cmd.voltages));
+                }
+            }
+
+            // 1b. Control-plane deliveries and dead reckoning. Delivered
+            // reports already carry the channel latency in their arrival
+            // time; only TP compute + settle remain.
+            if let Some(link) = self.ctrl_link.as_mut() {
+                let delivered = link.poll(t_slot);
+                for (t_arr, (t_sample, rep_pose)) in delivered {
+                    let cmd = self.ctl.on_report(&rep_pose);
+                    let settle = self.dep.settle_estimate(
+                        cmd.voltages[0],
+                        cmd.voltages[1],
+                        cmd.voltages[2],
+                        cmd.voltages[3],
+                    );
+                    self.pending
+                        .push_back((t_arr + cmd.latency_s + settle, cmd.voltages));
+                    self.deliveries.push_back((t_sample, rep_pose));
+                    if self.deliveries.len() > 64 {
+                        self.deliveries.pop_front();
+                    }
+                    self.last_delivery_arrival = Some(t_arr);
+                }
+                if let Some(dr) = self.cfg.control.and_then(|c| c.dead_reckoning) {
+                    if let (Some(&(t1, p1)), Some(arr)) =
+                        (self.deliveries.back(), self.last_delivery_arrival)
+                    {
+                        // Velocity anchor: the newest delivery at least
+                        // `min_baseline_s` older than the latest (falling
+                        // back to the oldest we kept).
+                        let (t0, p0) = self
+                            .deliveries
+                            .iter()
+                            .rev()
+                            .find(|(t, _)| t1 - t >= dr.min_baseline_s)
+                            .or_else(|| self.deliveries.front())
+                            .copied()
+                            .unwrap();
+                        // Reports stale but the velocity estimate still
+                        // fresh: steer on the constant-velocity prediction.
+                        if t0 < t1
+                            && t_slot - arr > dr.stale_after_s
+                            && t_slot - t1 <= dr.max_horizon_s
+                            && t_slot - self.last_dr_t >= dr.interval_s
+                        {
+                            let pred = extrapolate_pose(&p0, t0, &p1, t1, t_slot);
+                            let cmd = self.ctl.on_extrapolated(&pred);
+                            let settle = self.dep.settle_estimate(
+                                cmd.voltages[0],
+                                cmd.voltages[1],
+                                cmd.voltages[2],
+                                cmd.voltages[3],
+                            );
+                            self.pending
+                                .push_back((t_slot + cmd.latency_s + settle, cmd.voltages));
+                            self.last_dr_t = t_slot;
+                        }
+                    }
+                }
             }
 
             // 2. Apply the due commands, in order (at high tracking rates a
@@ -210,13 +341,82 @@ impl<M: Motion> LinkSimulator<M> {
             // 3. True pose & optics at slot end.
             let pose = self.motion.pose_at(motion_t_slot);
             self.dep.set_headset_pose(pose);
-            let power = self.dep.received_power_dbm();
+            let mut power = self.dep.received_power_dbm();
             let (lin, ang) = pose_speeds(&prev_pose, &pose, self.cfg.slot_s);
             prev_pose = pose;
 
+            // 3b. Scheduled SFP flaps force loss-of-signal at the receiver
+            // (the beam is fine; the transceiver isn't), and the
+            // re-acquisition spiral searches for lost *beams*.
+            let flap_forced = self
+                .cfg
+                .control
+                .and_then(|c| c.fault.flap)
+                .is_some_and(|f| f.forced_down(t_slot));
+            let mut signal = !flap_forced && power >= self.channel.sensitivity_dbm;
+            if let Some(rq) = self.cfg.control.and_then(|c| c.reacq) {
+                // The search only rests on *solid* signal: a point at the
+                // bare sensitivity edge flickers under drift, resetting the
+                // SFP hold timer forever.
+                let solid = power >= self.channel.sensitivity_dbm + rq.success_margin_db;
+                if (signal && solid) || flap_forced {
+                    // Solid signal (or the outage is the SFP's, not the
+                    // beam's): no search.
+                    self.signal_lost_since = None;
+                    self.spiral = None;
+                    self.spiral_exhausted = false;
+                } else {
+                    let since = *self.signal_lost_since.get_or_insert(t_slot);
+                    // Only search when tracking can't help: reports stale
+                    // for 2+ periods (else the TP already points better
+                    // than a blind probe would).
+                    let reports_stale = self.last_delivery_arrival.map_or(true, |arr| {
+                        t_slot - arr > 2.0 * self.cfg.tracker.period_max_s
+                    });
+                    if !self.spiral_exhausted
+                        && reports_stale
+                        && t_slot - since >= rq.trigger_after_s
+                    {
+                        let v = self.dep.voltages();
+                        let sp = self.spiral.get_or_insert_with(|| {
+                            ReacqSpiral::new([v.0, v.1, v.2, v.3], rq.step_v, rq.max_steps)
+                        });
+                        match sp.next_voltages() {
+                            Some(nv) => {
+                                self.dep.set_voltages(nv[0], nv[1], nv[2], nv[3]);
+                                self.ctl.note_reacq_step();
+                                power = self.dep.received_power_dbm();
+                                signal = power >= self.channel.sensitivity_dbm;
+                                if power >= self.channel.sensitivity_dbm + rq.success_margin_db {
+                                    self.signal_lost_since = None;
+                                    self.spiral = None;
+                                }
+                            }
+                            None => {
+                                // Budget exhausted: restore the center and
+                                // wait for tracking after all.
+                                let c = sp.center();
+                                self.dep.set_voltages(c[0], c[1], c[2], c[3]);
+                                self.spiral = None;
+                                self.spiral_exhausted = true;
+                            }
+                        }
+                    }
+                }
+            }
+
             // 4. Data plane.
-            let signal = power >= self.channel.sensitivity_dbm;
+            let was_up = self.sfp.is_up();
             let up = self.sfp.step(signal, self.cfg.slot_s);
+            if was_up && !up {
+                self.n_outages += 1;
+                self.cur_outage_s = 0.0;
+            }
+            if !up {
+                self.outage_s += self.cfg.slot_s;
+                self.cur_outage_s += self.cfg.slot_s;
+                self.longest_outage_s = self.longest_outage_s.max(self.cur_outage_s);
+            }
             let goodput = if up {
                 let rate = self.dep.design.sfp.optimal_goodput_gbps;
                 rate * self.channel.frame_success_prob(power, self.cfg.frame_bits)
@@ -236,6 +436,20 @@ impl<M: Motion> LinkSimulator<M> {
             self.motion_t = motion_t_slot;
         }
         out
+    }
+
+    /// Fault-handling counters accumulated across all [`LinkSimulator::run`]
+    /// calls: control-channel stats, dead-reckoning and re-acquisition
+    /// activity, and outage durations.
+    pub fn session_stats(&self) -> SessionStats {
+        SessionStats {
+            control: self.ctrl_link.as_ref().map(|l| l.stats()),
+            n_extrapolated: self.ctl.metrics.n_extrapolated,
+            n_reacq_steps: self.ctl.metrics.n_reacq_steps,
+            n_outages: self.n_outages,
+            outage_s: self.outage_s,
+            longest_outage_s: self.longest_outage_s,
+        }
     }
 }
 
@@ -295,6 +509,7 @@ pub fn windows_50ms(records: &[SlotRecord], slot_s: f64, sensitivity_dbm: f64) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::control::{FaultPlan, FlapSchedule, ReacqConfig};
     use cyclops_core::deployment::DeploymentConfig;
     use cyclops_core::kspace::{train_both, BoardConfig};
     use cyclops_core::mapping::{self, rough_initial_guess};
@@ -473,6 +688,168 @@ mod tests {
             recs[first_down..].iter().any(|r| r.link_up),
             "link should re-lock at least once after the first loss"
         );
+    }
+
+    #[test]
+    fn arq_plus_dead_reckoning_survives_bursty_report_loss() {
+        // Bursty control-channel loss (~6-report blackouts) at a speed the
+        // clean channel tolerates: unprotected, one blackout mid-stroke lets
+        // the beam walk off the aperture and the SFP's multi-second re-lock
+        // eats the run; with ARQ + dead reckoning the link must ride it out
+        // at (near-)clean availability. The run stays within a single rail
+        // stroke: a velocity *reversal* inside a total blackout is beyond
+        // any constant-velocity predictor and is not the claim under test.
+        let (dep, ctl) = commissioned(607);
+        let bursty = FaultPlan {
+            loss_prob: 0.05,
+            burst_enter_prob: 0.08,
+            burst_exit_prob: 0.15,
+            burst_loss_prob: 1.0,
+            ..FaultPlan::clean(71)
+        };
+        let run =
+            |control: Option<ControlPlaneConfig>, dep: &Deployment, ctl: &TpController| -> f64 {
+                let base = Pose::translation(v3(0.0, 0.0, 1.75));
+                let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+                // 0.15 m/s over the 0.40 m rail: the first stroke lasts 2.67 s,
+                // longer than the 2.5 s run. One ~84 ms blackout costs ~13 mm of
+                // unrealigned drift — past the ~8.6 mm lateral tolerance.
+                rail.v0 = 0.15;
+                rail.dv = 0.0;
+                let cfg = LinkSimConfig {
+                    control,
+                    ..Default::default()
+                };
+                let mut sim = LinkSimulator::new(dep.clone(), ctl.clone(), rail, cfg);
+                let recs = sim.run(2.5);
+                recs.iter().filter(|r| r.link_up).count() as f64 / recs.len() as f64
+            };
+        let clean = run(
+            Some(ControlPlaneConfig::hardened(FaultPlan::clean(71))),
+            &dep,
+            &ctl,
+        );
+        let unprotected = run(Some(ControlPlaneConfig::unprotected(bursty)), &dep, &ctl);
+        let hardened = run(Some(ControlPlaneConfig::hardened(bursty)), &dep, &ctl);
+        assert!(clean > 0.95, "clean control plane should hold: {clean}");
+        assert!(
+            unprotected < 0.7,
+            "bursty loss without mitigation should collapse: {unprotected}"
+        );
+        assert!(
+            hardened > clean - 0.05,
+            "ARQ+DR should ride out bursts: clean {clean}, hardened {hardened}, \
+             unprotected {unprotected}"
+        );
+    }
+
+    #[test]
+    fn reacq_spiral_recovers_a_lost_beam_without_reports() {
+        // Total report blackout AND a badly mispointed beam: without the
+        // spiral the link can never come back (no reports, no search); with
+        // it the beam is re-found within the probe budget and the SFP
+        // re-locks after its hysteresis.
+        let (dep, ctl) = commissioned(608);
+        let run = |reacq: Option<ReacqConfig>, dep: &Deployment, ctl: &TpController| {
+            let motion = StaticPose(Pose::translation(v3(0.0, 0.0, 1.75)));
+            let cfg = LinkSimConfig {
+                control: Some(ControlPlaneConfig {
+                    fault: FaultPlan::iid_loss(5, 1.0),
+                    arq: None,
+                    dead_reckoning: None,
+                    reacq,
+                }),
+                ..Default::default()
+            };
+            let mut sim = LinkSimulator::new(dep.clone(), ctl.clone(), motion, cfg);
+            // Knock the TX aim well off the aperture (0.64 V ≈ 24 mm at the
+            // RX plane — far outside the ~10 mm lateral tolerance).
+            let v = sim.dep.voltages();
+            sim.dep.set_voltages(v.0 + 0.5, v.1 - 0.4, v.2, v.3);
+            let recs = sim.run(5.0);
+            let up_at_end = recs[recs.len() - 1].link_up;
+            (up_at_end, sim.session_stats())
+        };
+        let (up_without, st_without) = run(None, &dep, &ctl);
+        assert!(!up_without, "no search, no reports: must stay down");
+        assert_eq!(st_without.n_reacq_steps, 0);
+        let reacq = ReacqConfig {
+            trigger_after_s: 0.03,
+            step_v: 0.02,
+            max_steps: 1500,
+            ..Default::default()
+        };
+        let (up_with, st_with) = run(Some(reacq), &dep, &ctl);
+        assert!(
+            up_with,
+            "spiral should recover the beam and re-lock ({st_with:?})"
+        );
+        assert!(st_with.n_reacq_steps > 0, "{st_with:?}");
+        assert!(
+            st_with.longest_outage_s < 4.0,
+            "outage should end within the run: {st_with:?}"
+        );
+    }
+
+    #[test]
+    fn scheduled_flaps_force_counted_outages() {
+        let (dep, ctl) = commissioned(609);
+        let motion = StaticPose(Pose::translation(v3(0.0, 0.0, 1.75)));
+        let cfg = LinkSimConfig {
+            control: Some(ControlPlaneConfig::hardened(FaultPlan {
+                flap: Some(FlapSchedule {
+                    first_s: 1.0,
+                    period_s: 30.0,
+                    down_s: 0.1,
+                }),
+                ..FaultPlan::clean(3)
+            })),
+            ..Default::default()
+        };
+        let mut sim = LinkSimulator::new(dep, ctl, motion, cfg);
+        let recs = sim.run(5.0);
+        let st = sim.session_stats();
+        // One flap at t=1: down for 0.1 s forced + ~2.5 s re-lock.
+        assert_eq!(st.n_outages, 1, "{st:?}");
+        assert!(
+            (2.0..3.5).contains(&st.longest_outage_s),
+            "outage {} s should be flap + re-lock",
+            st.longest_outage_s
+        );
+        // Beam itself never moved: no spiral probes should have fired.
+        assert_eq!(st.n_reacq_steps, 0, "{st:?}");
+        let up_frac = recs.iter().filter(|r| r.link_up).count() as f64 / recs.len() as f64;
+        assert!((0.3..0.6).contains(&up_frac), "up fraction {up_frac}");
+        assert!(st.control.is_some());
+    }
+
+    #[test]
+    fn control_plane_runs_are_bit_identical_per_seed() {
+        let (dep, ctl) = commissioned(610);
+        let run = |dep: &Deployment, ctl: &TpController| {
+            let base = Pose::translation(v3(0.0, 0.0, 1.75));
+            let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+            rail.v0 = 0.2;
+            rail.dv = 0.0;
+            let cfg = LinkSimConfig {
+                control: Some(ControlPlaneConfig::hardened(FaultPlan::stress(17))),
+                ..Default::default()
+            };
+            let mut sim = LinkSimulator::new(dep.clone(), ctl.clone(), rail, cfg);
+            let recs = sim.run(3.0);
+            (recs, sim.session_stats())
+        };
+        let (a, sa) = run(&dep, &ctl);
+        let (b, sb) = run(&dep, &ctl);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.power_dbm.to_bits(), y.power_dbm.to_bits());
+            assert_eq!(x.goodput_gbps.to_bits(), y.goodput_gbps.to_bits());
+            assert_eq!(x.link_up, y.link_up);
+        }
+        assert_eq!(sa.control, sb.control);
+        assert_eq!(sa.n_extrapolated, sb.n_extrapolated);
+        assert_eq!(sa.n_reacq_steps, sb.n_reacq_steps);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! lateral drift is more than the link's angular (8.73 mrad) or lateral
 //! (6 mm) tolerance, the link is marked as disconnected in that timeslot."
 
+use crate::control::unit;
 use cyclops_vrh::traces::HeadTrace;
 
 /// Parameters of the §5.4 simulation — defaults are the paper's 25G values.
@@ -29,6 +30,21 @@ pub struct TraceSimParams {
     pub tol_lat_m: f64,
     /// Angular tolerance (rad) — §5.3.1's 8.73 mrad.
     pub tol_ang_rad: f64,
+    /// Probability a position report is lost on the control channel
+    /// (0 = the paper's reliable-channel assumption). Decisions are keyed
+    /// `mix64(loss_seed, report_index)`, so results are reproducible and
+    /// identical at any thread count.
+    pub report_loss_prob: f64,
+    /// Seed of the report-loss decisions.
+    pub loss_seed: u64,
+    /// Dead reckoning: on a lost report, realign anyway from the
+    /// constant-velocity extrapolation — with the residual error inflated by
+    /// [`TraceSimParams::dr_residual_scale`]. Without it a lost report
+    /// simply skips the realignment and drift keeps accruing.
+    pub dead_reckoning: bool,
+    /// Residual-error multiplier for dead-reckoned realignments (the
+    /// extrapolated pose is less accurate than a measured one).
+    pub dr_residual_scale: f64,
 }
 
 impl Default for TraceSimParams {
@@ -40,6 +56,10 @@ impl Default for TraceSimParams {
             residual_ang_rad: 4.54e-3 / 1.75,
             tol_lat_m: 6.0e-3,
             tol_ang_rad: 8.73e-3,
+            report_loss_prob: 0.0,
+            loss_seed: 0,
+            dead_reckoning: false,
+            dr_residual_scale: 2.0,
         }
     }
 }
@@ -93,8 +113,9 @@ pub fn simulate_trace(trace: &HeadTrace, p: &TraceSimParams) -> TraceSimResult {
     // Drift rates (per ms), from the most recent report pair.
     let mut lat_rate = 0.0f64;
     let mut ang_rate = 0.0f64;
-    // Pending realignment completion time (ms), if any.
-    let mut realign_at: Option<f64> = None;
+    // Pending realignment completion time (ms) and whether it is a
+    // dead-reckoned (extrapolated) one.
+    let mut realign_at: Option<(f64, bool)> = None;
 
     let mut report_idx = 0usize;
     for k in 0..n_slots {
@@ -106,16 +127,28 @@ pub fn simulate_trace(trace: &HeadTrace, p: &TraceSimParams) -> TraceSimResult {
             let a = &trace.samples[report_idx - 1];
             let b = &trace.samples[report_idx];
             let dt = b.t_ms - a.t_ms;
+            // Drift tracks true motion regardless of report delivery.
             lat_rate = (b.pos - a.pos).norm() / dt;
             ang_rate = a.quat.angle_to(&b.quat) / dt;
-            realign_at = Some(b.t_ms + p.realign_latency_ms);
+            let lost = p.report_loss_prob > 0.0
+                && unit(cyclops_par::mix64(p.loss_seed, report_idx as u64)) < p.report_loss_prob;
+            if !lost {
+                realign_at = Some((b.t_ms + p.realign_latency_ms, false));
+            } else if p.dead_reckoning {
+                // The TP realigns on the extrapolated pose instead — same
+                // latency, degraded residual.
+                realign_at = Some((b.t_ms + p.realign_latency_ms, true));
+            }
+            // Lost without DR: no realignment; drift keeps accruing until
+            // the next delivered report.
         }
 
         // Realignment completion.
-        if let Some(when) = realign_at {
+        if let Some((when, dr)) = realign_at {
             if when <= t_ms {
-                lat = p.residual_lat_m;
-                ang = p.residual_ang_rad;
+                let scale = if dr { p.dr_residual_scale } else { 1.0 };
+                lat = p.residual_lat_m * scale;
+                ang = p.residual_ang_rad * scale;
                 realign_at = None;
             }
         }
@@ -247,6 +280,68 @@ mod tests {
             slots_on: scattered,
         };
         assert_eq!(r2.off_slot_scatter_fraction(30, 10), 1.0);
+    }
+
+    #[test]
+    fn report_loss_degrades_availability_and_dead_reckoning_recovers_it() {
+        // Rotation at 0.45 rad/s: 4.5 mrad per 10 ms interval — inside the
+        // clean angular budget (8.73 − 2.59 = 6.14 mrad) and still inside
+        // the dead-reckoned one (8.73 − 1.2·2.59 = 5.62 mrad), but a single
+        // skipped realignment doubles the drift past tolerance.
+        let tr = uniform_trace(0.0, 0.45, 20.0);
+        let clean = simulate_trace(&tr, &TraceSimParams::default());
+        let lossy = simulate_trace(
+            &tr,
+            &TraceSimParams {
+                report_loss_prob: 0.30,
+                loss_seed: 41,
+                ..Default::default()
+            },
+        );
+        let dr = simulate_trace(
+            &tr,
+            &TraceSimParams {
+                report_loss_prob: 0.30,
+                loss_seed: 41,
+                dead_reckoning: true,
+                dr_residual_scale: 1.2,
+                ..Default::default()
+            },
+        );
+        assert!(
+            lossy.on_fraction < clean.on_fraction - 0.02,
+            "loss must hurt: clean {} lossy {}",
+            clean.on_fraction,
+            lossy.on_fraction
+        );
+        assert!(
+            dr.on_fraction > lossy.on_fraction,
+            "DR must recover: lossy {} dr {}",
+            lossy.on_fraction,
+            dr.on_fraction
+        );
+        // DR recovers most of the gap.
+        let gap = clean.on_fraction - lossy.on_fraction;
+        let recovered = dr.on_fraction - lossy.on_fraction;
+        assert!(recovered > 0.5 * gap, "recovered {recovered} of gap {gap}");
+    }
+
+    #[test]
+    fn lossy_trace_sim_is_deterministic_per_seed() {
+        let tr = uniform_trace(0.14, 0.4, 10.0);
+        let p = TraceSimParams {
+            report_loss_prob: 0.2,
+            loss_seed: 1234,
+            dead_reckoning: true,
+            ..Default::default()
+        };
+        let a = simulate_trace(&tr, &p);
+        let b = simulate_trace(&tr, &p);
+        assert_eq!(a.slots_on, b.slots_on);
+        assert_eq!(a.on_fraction.to_bits(), b.on_fraction.to_bits());
+        // And a different seed actually changes the loss pattern.
+        let c = simulate_trace(&tr, &TraceSimParams { loss_seed: 77, ..p });
+        assert_ne!(a.slots_on, c.slots_on, "seed must matter");
     }
 
     #[test]

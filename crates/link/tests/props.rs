@@ -22,6 +22,30 @@ proptest! {
         prop_assert!(b_hi <= b_lo + 1e-15);
     }
 
+    /// The power→BER→frame-success chain is total: any input — finite,
+    /// ±∞ or NaN, as a corrupted report could inject — yields BER in
+    /// [0, 0.5] and frame success in [0, 1], never NaN.
+    #[test]
+    fn channel_total_on_any_input(
+        finite in -1e308..1e308f64,
+        pick in 0u8..4,
+        n in 1u64..100_000,
+    ) {
+        let p = match pick {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => finite,
+        };
+        let ch = FsoChannel::new(-25.0, 7.0);
+        let q = ch.q_factor(p);
+        prop_assert!(q.is_finite() && q >= 0.0, "q({p}) = {q}");
+        let b = ch.ber(p);
+        prop_assert!((0.0..=0.5).contains(&b), "ber({p}) = {b}");
+        let f = ch.frame_success_prob(p, n);
+        prop_assert!((0.0..=1.0).contains(&f), "fsp({p}) = {f}");
+    }
+
     /// Frame survival decreases with frame size.
     #[test]
     fn bigger_frames_survive_less(p in -30.0..-24.0f64, n1 in 100u64..5_000, n2 in 5_000u64..50_000) {

@@ -77,6 +77,17 @@ pub struct CouplingModel {
     /// Fiber-overfill penalty per (mrad of half-divergence)² (dB, positive
     /// number; applied as a loss).
     pub div_loss_db_per_mrad2: f64,
+    /// Focal-spot *cross-blur* penalty per (mm lateral offset × mrad
+    /// incidence angle) (dB, positive number; applied as a loss). A ray
+    /// bundle that is both displaced (δ) and tilted (φ) couples through the
+    /// edge of the collimator lens, where aberrations smear the focal spot
+    /// beyond what either misalignment causes alone. The term vanishes for
+    /// pure TX steering of a diverging beam (φ ≈ 0 — the rays still come
+    /// from the virtual source) and for pure RX rotation (δ ≈ 0), so it
+    /// specifically narrows the *lateral translation* tolerance — the §5.3.1
+    /// measurement this model is calibrated against (≈ 6 mm on the 25G
+    /// link, ≈ 8.5 mm on the 10G link).
+    pub cross_blur_db_per_mm_mrad: f64,
 }
 
 impl CouplingModel {
@@ -90,6 +101,7 @@ impl CouplingModel {
             sigma_phi_gain: 2.31e-3,
             sigma_phi_sat: 9.0e-3,
             div_loss_db_per_mrad2: 0.152,
+            cross_blur_db_per_mm_mrad: 0.116,
         }
     }
 
@@ -105,6 +117,7 @@ impl CouplingModel {
             sigma_phi_gain: 7.0e-3,
             sigma_phi_sat: 9.0e-3,
             div_loss_db_per_mrad2: 0.118,
+            cross_blur_db_per_mm_mrad: 0.17,
         }
     }
 
@@ -127,7 +140,9 @@ impl CouplingModel {
         let sp = self.sigma_phi(theta_half);
         // 10·log10(exp(−φ²/2σ²)) = −10·log10(e)·φ²/(2σ²).
         let ang_db = -10.0 * std::f64::consts::LOG10_E * (phi * phi) / (2.0 * sp * sp);
-        let fixed = ang_db + self.divergence_loss_db(theta_half) + self.base_insertion_db;
+        let cross_db = -self.cross_blur_db_per_mm_mrad * (delta.abs() * 1e3) * (phi.abs() * 1e3);
+        let fixed =
+            ang_db + cross_db + self.divergence_loss_db(theta_half) + self.base_insertion_db;
         if fixed < -90.0 {
             // Already ~60 dB below any receiver sensitivity at any launch
             // power in this system: skip the (expensive) capture integral and
@@ -323,6 +338,57 @@ mod tests {
         assert!(
             (pc - 15.0).abs() < 3.0,
             "collimated peak {pc}, Table 1 reports 15 dBm"
+        );
+    }
+
+    #[test]
+    fn lateral_tolerance_matches_sec531() {
+        // §5.3.1's bench measurements: the link survives ≈8.5 mm of pure
+        // lateral offset on the 10G link and ≈6 mm on the 25G link. The
+        // focal-spot cross-blur term is what narrows these (a displaced
+        // *and* tilted bundle couples through the lens edge); this test
+        // pins that calibration so the tolerated-linear-speed figures stay
+        // anchored to the paper's.
+        let tol_mm = |d: &LinkDesign| {
+            let mut last = 0.0;
+            for k in 0..400 {
+                let delta = k as f64 * 0.05e-3;
+                let rx = ReceiverGeometry::new(v3(delta, 0.0, R), -Vec3::Z);
+                if d.received_power_dbm(chief(), &rx) < d.sfp.rx_sensitivity_dbm {
+                    break;
+                }
+                last = delta;
+            }
+            last * 1e3
+        };
+        let t10 = tol_mm(&LinkDesign::ten_g_diverging(20.0e-3, R));
+        let t25 = tol_mm(&LinkDesign::twenty_five_g(20.0e-3, R));
+        assert!((8.0..=9.5).contains(&t10), "10G lateral tolerance {t10} mm");
+        assert!((5.5..=7.0).contains(&t25), "25G lateral tolerance {t25} mm");
+    }
+
+    #[test]
+    fn cross_blur_spares_pure_misalignments() {
+        // The cross term must vanish for pure offset (φ=0) and pure tilt
+        // (δ=0): Table 1's angular tolerances are calibrated without it.
+        let with = CouplingModel::adjustable_25g();
+        let without = CouplingModel {
+            cross_blur_db_per_mm_mrad: 0.0,
+            ..with
+        };
+        let (w, th) = (0.02, 0.0114);
+        assert_eq!(
+            with.efficiency_db(w, 0.006, 0.0, th),
+            without.efficiency_db(w, 0.006, 0.0, th)
+        );
+        assert_eq!(
+            with.efficiency_db(w, 0.0, 0.004, th),
+            without.efficiency_db(w, 0.0, 0.004, th)
+        );
+        // But a combined misalignment pays extra.
+        assert!(
+            with.efficiency_db(w, 0.006, 0.004, th)
+                < without.efficiency_db(w, 0.006, 0.004, th) - 1.0
         );
     }
 

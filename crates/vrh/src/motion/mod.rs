@@ -43,6 +43,43 @@ impl Motion for StaticPose {
     }
 }
 
+/// Constant-velocity pose extrapolation — the dead-reckoning primitive the
+/// TP loop uses when control-channel reports go stale. Given the last two
+/// delivered poses `(t0, p0)` and `(t1, p1)` (`t1 > t0`), predicts the pose
+/// at `t ≥ t1`: translation continues linearly, orientation continues at
+/// the constant angular velocity of the `p0 → p1` rotation (axis fixed,
+/// angle scaled — i.e. slerp extrapolated past 1).
+pub fn extrapolate_pose(p0: &Pose, t0: f64, p1: &Pose, t1: f64, t: f64) -> Pose {
+    let dt = t1 - t0;
+    if dt <= 0.0 || !dt.is_finite() {
+        return *p1;
+    }
+    let s = (t - t1) / dt;
+    let trans = p1.trans + (p1.trans - p0.trans) * s;
+    let q0 = p0.quat();
+    let q1 = p1.quat();
+    // Rotation vector of the step q0 → q1, in world frame. Canonicalize to
+    // w ≥ 0 so the extracted axis matches the short-arc angle.
+    let mut delta = q1 * q0.conjugate();
+    if delta.w < 0.0 {
+        delta = cyclops_geom::quat::Quat {
+            w: -delta.w,
+            x: -delta.x,
+            y: -delta.y,
+            z: -delta.z,
+        };
+    }
+    let angle = delta.angle();
+    let rot = if angle < 1e-12 {
+        q1
+    } else {
+        let sv = cyclops_geom::vec3::v3(delta.x, delta.y, delta.z);
+        let axis = sv / sv.norm();
+        cyclops_geom::quat::Quat::from_axis_angle(axis, angle * s) * q1
+    };
+    Pose::from_quat(rot, trans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +91,40 @@ mod tests {
         let mut m = StaticPose(pose);
         assert_eq!(m.pose_at(0.0).trans, pose.trans);
         assert_eq!(m.pose_at(100.0).trans, pose.trans);
+    }
+
+    #[test]
+    fn extrapolation_continues_constant_velocity() {
+        use cyclops_geom::quat::Quat;
+        use cyclops_geom::vec3::Vec3;
+        // 0.1 m/s along x, 0.5 rad/s about y, sampled at t=0 and t=0.0125.
+        let make = |t: f64| {
+            Pose::from_quat(
+                Quat::from_axis_angle(Vec3::Y, 0.5 * t),
+                v3(0.1 * t, 0.0, 1.75),
+            )
+        };
+        let (p0, p1) = (make(0.0), make(0.0125));
+        let got = extrapolate_pose(&p0, 0.0, &p1, 0.0125, 0.05);
+        let want = make(0.05);
+        assert!((got.trans - want.trans).norm() < 1e-12);
+        assert!(got.quat().angle_to(&want.quat()) < 1e-12);
+    }
+
+    #[test]
+    fn extrapolation_at_t1_is_identity() {
+        let p0 = Pose::translation(v3(0.0, 0.0, 1.75));
+        let p1 = Pose::translation(v3(0.002, 0.0, 1.75));
+        let got = extrapolate_pose(&p0, 0.0, &p1, 0.0125, 0.0125);
+        assert!((got.trans - p1.trans).norm() < 1e-15);
+    }
+
+    #[test]
+    fn extrapolation_degenerate_interval_returns_latest() {
+        let p0 = Pose::translation(v3(0.0, 0.0, 1.0));
+        let p1 = Pose::translation(v3(0.5, 0.0, 1.0));
+        // Zero (and negative) dt must not divide by zero.
+        let got = extrapolate_pose(&p0, 0.0125, &p1, 0.0125, 0.05);
+        assert!((got.trans - p1.trans).norm() < 1e-15);
     }
 }

@@ -90,11 +90,11 @@ impl TraceGenConfig {
     /// ~19 deg/s, with no fast reorientation tail.
     pub fn normal_use() -> TraceGenConfig {
         TraceGenConfig {
-            yaw_rms: deg_to_rad(3.5),
-            pitch_rms: deg_to_rad(1.8),
+            yaw_rms: deg_to_rad(3.2),
+            pitch_rms: deg_to_rad(1.6),
             sway_rms: 0.026,
             saccade_rate: 0.05,
-            saccade_peak: deg_to_rad(14.0),
+            saccade_peak: deg_to_rad(11.0),
             saccade_dur: 0.35,
             ..Default::default()
         }
@@ -326,17 +326,28 @@ mod tests {
 
     #[test]
     fn speeds_match_fig3_envelope() {
-        // Normal-use envelope (Fig 3): linear mostly under 14 cm/s, angular
-        // mostly under 19 deg/s — i.e. those are high-percentile values, not
-        // means.
-        let tr = HeadTrace::generate(&TraceGenConfig::normal_use(), 7);
-        let lin = linear_speeds(&tr);
-        let ang = angular_speeds(&tr);
-        let frac_lin = lin.iter().filter(|&&v| v <= 0.14).count() as f64 / lin.len() as f64;
-        let frac_ang =
-            ang.iter().filter(|&&v| rad_to_deg(v) <= 19.0).count() as f64 / ang.len() as f64;
-        assert!(frac_lin > 0.95, "linear under 14 cm/s: {frac_lin}");
-        assert!(frac_ang > 0.95, "angular under 19 deg/s: {frac_ang}");
+        // Normal-use envelope (Fig 3): "at most 19 deg/s and 14 cm/s". The
+        // *maximum* over a many-trace sample must bracket the paper's caps —
+        // close below them, neither exceeding (the old profile peaked at
+        // 21+ deg/s) nor sandbagging far under (which would make every
+        // downstream tolerance look better than the paper's).
+        let mut lin_max = 0.0f64;
+        let mut ang_max = 0.0f64;
+        for seed in 0..20 {
+            let tr = HeadTrace::generate(&TraceGenConfig::normal_use(), 300 + seed);
+            lin_max = linear_speeds(&tr).iter().fold(lin_max, |a, &v| a.max(v));
+            ang_max = angular_speeds(&tr).iter().fold(ang_max, |a, &v| a.max(v));
+        }
+        let ang_max_deg = rad_to_deg(ang_max);
+        assert!(
+            (10.0..=14.5).contains(&(lin_max * 100.0)),
+            "linear envelope {:.1} cm/s vs paper's ~14",
+            lin_max * 100.0
+        );
+        assert!(
+            (14.0..=19.5).contains(&ang_max_deg),
+            "angular envelope {ang_max_deg:.1} deg/s vs paper's ~19"
+        );
     }
 
     #[test]
