@@ -18,7 +18,7 @@ fn bench_kspace_fit(c: &mut Criterion) {
     let init = rig.cad_initial_guess();
     let samples = rig.collect_samples(&BoardConfig::default());
     c.bench_function("training: K-space fit (266 samples, 25 params)", |b| {
-        b.iter(|| kspace::fit(&samples, &init).train_error.mean)
+        b.iter(|| kspace::fit(&samples, &init).expect("fit").train_error.mean)
     });
 }
 
@@ -40,7 +40,8 @@ fn bench_mapping_fit(c: &mut Criterion) {
     // Prepare one full training context, then benchmark only the 12-param fit.
     let seed = 3u64;
     let mut dep = Deployment::new(&DeploymentConfig::paper_10g(seed));
-    let (tx_tr, tx_rig, rx_tr, rx_rig) = kspace::train_both(&dep, &BoardConfig::default(), seed);
+    let (tx_tr, tx_rig, rx_tr, rx_rig) =
+        kspace::train_both(&dep, &BoardConfig::default(), seed).expect("stage-1 training");
     let (init_tx, init_rx) =
         mapping::rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
     let samples = mapping::collect_samples(&mut dep, 30, seed + 9);

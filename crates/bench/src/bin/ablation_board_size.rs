@@ -49,11 +49,11 @@ fn commission_with(board: BoardConfig, use_prior: bool, seed: u64) -> CyclopsSys
     let mut tx_rig = KspaceRig::standard(dep.tx.clone(), seed + 1);
     let tx_init = tx_rig.cad_initial_guess();
     let tx_samples = tx_rig.collect_samples(&board);
-    let tx_tr = kspace::fit_with_options(&tx_samples, &tx_init, use_prior);
+    let tx_tr = kspace::fit_with_options(&tx_samples, &tx_init, use_prior).expect("stage-1 fit");
     let mut rx_rig = KspaceRig::standard(dep.rx.clone(), seed + 2);
     let rx_init = rx_rig.cad_initial_guess();
     let rx_samples = rx_rig.collect_samples(&board);
-    let rx_tr = kspace::fit_with_options(&rx_samples, &rx_init, use_prior);
+    let rx_tr = kspace::fit_with_options(&rx_samples, &rx_init, use_prior).expect("stage-1 fit");
     let (init_tx, init_rx) = mapping::rough_initial_guess(
         &dep,
         &tx_rig.true_rig_pose(),

@@ -47,7 +47,8 @@ fn main() {
     section("Ablation: mapping-placement budget vs accuracy (10G)");
     println!("running stage 1 (two 266-point boards, shared across all rows) ...\n");
     let base = Deployment::new(&DeploymentConfig::paper_10g(seed));
-    let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&base, &BoardConfig::default(), seed);
+    let (tx_tr, tx_rig, rx_tr, rx_rig) =
+        train_both(&base, &BoardConfig::default(), seed).expect("stage-1 training");
     let tracker = TrackerConfig::default();
 
     // Held-out evaluation set, shared across all budgets.

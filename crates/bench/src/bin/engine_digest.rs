@@ -1,0 +1,270 @@
+//! **Engine digest** — the bit-identity fingerprint of every slot-loop
+//! simulator, for the `engine-digest` CI job.
+//!
+//! Runs a fixed set of workloads spanning all simulator code paths — the
+//! legacy single-TX loop, the chaos control plane (ARQ + dead reckoning +
+//! re-acquisition under the stress fault plan), pause-on-outage, the
+//! full-physics multi-TX handover, the geometric handover model, and the
+//! §5.4 trace corpus — and folds every public output field into one `mix64`
+//! digest per workload.
+//!
+//! The digests are pure functions of the seeds: they must match the golden
+//! file `goldens/engine_digest.txt` bit-for-bit on every platform, thread
+//! count and build configuration (default and `--no-default-features`).
+//! A mismatch means a refactor changed simulation semantics.
+//!
+//! ```sh
+//! cargo run --release -p cyclops-bench --bin engine_digest            # print
+//! cargo run --release -p cyclops-bench --bin engine_digest -- --write # regen golden
+//! ```
+
+use cyclops::link::handover::{HandoverSystem, Occluder, TxUnit};
+use cyclops::link::multi_tx::{MultiTxSimulator, TxInstallation};
+use cyclops::link::simulator::SessionStats;
+use cyclops::link::trace_sim::{simulate_corpus, simulate_trace, TraceSimParams};
+use cyclops::prelude::*;
+use cyclops::vrh::motion::ArbitraryMotionConfig;
+
+const GOLDEN_PATH: &str = "goldens/engine_digest.txt";
+
+/// Folds a stream of f64 bit patterns into a running `mix64` digest (the
+/// same discipline as `cyclops_bench::digest_ladder`).
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0x0063_7963_6c6f_7073_u64) // "cyclops"
+    }
+    fn f64(&mut self, x: f64) {
+        self.0 = cyclops_par::mix64(self.0 ^ x.to_bits(), 0x9e37_79b9_7f4a_7c15);
+    }
+    fn u64(&mut self, x: u64) {
+        self.0 = cyclops_par::mix64(self.0 ^ x, 0x9e37_79b9_7f4a_7c15);
+    }
+    fn bool(&mut self, b: bool) {
+        self.u64(b as u64);
+    }
+    fn slots(&mut self, recs: &[SlotRecord]) {
+        for r in recs {
+            self.f64(r.t);
+            self.f64(r.power_dbm);
+            self.bool(r.link_up);
+            self.f64(r.goodput_gbps);
+            self.f64(r.lin_speed);
+            self.f64(r.ang_speed);
+        }
+    }
+    fn session_stats(&mut self, s: &SessionStats) {
+        if let Some(c) = s.control {
+            for n in [
+                c.sent,
+                c.delivered,
+                c.retransmits,
+                c.channel_losses,
+                c.dup_frames,
+                c.stale_drops,
+                c.acks_lost,
+                c.gave_up,
+            ] {
+                self.u64(n);
+            }
+        }
+        self.u64(s.n_extrapolated);
+        self.u64(s.n_reacq_steps);
+        self.u64(s.n_outages);
+        self.f64(s.outage_s);
+        self.f64(s.longest_outage_s);
+    }
+}
+
+/// Two fully-trained ceiling installations sharing one headset world (the
+/// multi-TX fixture, fast board).
+fn two_units(seed: u64) -> Vec<TxInstallation> {
+    use cyclops::core::deployment::DeploymentConfig;
+    use cyclops::core::kspace::{train_both, BoardConfig};
+    use cyclops::core::mapping::{self, rough_initial_guess};
+    use cyclops::core::tp::{TpConfig, TpController};
+    let board = BoardConfig {
+        cols: 10,
+        rows: 8,
+        cell_m: 0.0508,
+    };
+    [Vec3::new(-0.35, 0.0, 0.0), Vec3::new(0.35, 0.0, 0.0)]
+        .into_iter()
+        .map(|pos| {
+            let mut cfg = DeploymentConfig::paper_10g(seed);
+            cfg.tx_position = pos;
+            let mut dep = Deployment::new(&cfg);
+            let (tx_tr, tx_rig, rx_tr, rx_rig) =
+                train_both(&dep, &board, seed).expect("stage-1 training");
+            let (itx, irx) = rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
+            let mt = mapping::train(
+                &mut dep,
+                &tx_tr.fitted,
+                &rx_tr.fitted,
+                itx,
+                irx,
+                12,
+                seed + 9,
+            );
+            let v = dep.voltages();
+            let ctl = TpController::new(mt.trained, TpConfig::default(), [v.0, v.1, v.2, v.3]);
+            TxInstallation { dep, ctl }
+        })
+        .collect()
+}
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write");
+    let mut lines: Vec<String> = Vec::new();
+    let mut emit = |name: &str, d: Digest| {
+        let line = format!("{name}: {:016x}", d.0);
+        println!("{line}");
+        lines.push(line);
+    };
+
+    // --- Single-TX: legacy path (i.i.d. report loss from the deployment
+    // RNG, no control plane), with tracker drift.
+    {
+        let sys = CyclopsSystem::commission(&SystemConfig::fast_10g(9_007));
+        let mut cfg = LinkSimConfig {
+            tracker: sys.tracker,
+            ..Default::default()
+        };
+        cfg.tracker.report_loss_prob = 0.3;
+        cfg.tracker.drift_sigma_per_sqrt_s = 1e-3;
+        let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+        let motion = ArbitraryMotion::new(base, ArbitraryMotionConfig::default(), 611);
+        let mut sim = LinkSimulator::new(sys.dep, sys.ctl, motion, cfg);
+        let recs = sim.run(3.0);
+        let mut d = Digest::new();
+        d.slots(&recs);
+        d.session_stats(&sim.session_stats());
+        emit("link_legacy", d);
+    }
+
+    // --- Single-TX: chaos control plane (ARQ + DR + re-acquisition under
+    // the stress fault plan), hand-held motion.
+    {
+        let mut sys = CyclopsSystem::commission(&SystemConfig::fast_10g(9_007));
+        sys.control = Some(ControlPlaneConfig::hardened(FaultPlan::stress(17)));
+        let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+        let motion = ArbitraryMotion::new(base, ArbitraryMotionConfig::default(), 613);
+        let mut sim = sys.into_simulator(motion);
+        let recs = sim.run(3.0);
+        let mut d = Digest::new();
+        d.slots(&recs);
+        d.session_stats(&sim.session_stats());
+        emit("link_chaos", d);
+    }
+
+    // --- Single-TX: pause-on-outage operator protocol on a too-fast rail.
+    {
+        let sys = CyclopsSystem::commission(&SystemConfig::fast_10g(9_007));
+        let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+        let mut rail = LinearRail::paper_protocol(base, Vec3::X);
+        rail.v0 = 1.0;
+        rail.dv = 0.0;
+        let cfg = LinkSimConfig {
+            tracker: sys.tracker,
+            pause_on_outage: true,
+            ..Default::default()
+        };
+        let mut sim = LinkSimulator::new(sys.dep, sys.ctl, rail, cfg);
+        let recs = sim.run(4.0);
+        let mut d = Digest::new();
+        d.slots(&recs);
+        d.session_stats(&sim.session_stats());
+        emit("link_pause", d);
+    }
+
+    // --- Multi-TX full-physics handover under a parked occluder.
+    {
+        let units = two_units(902);
+        let tx0 = units[0].dep.tx_world_params().q2;
+        let rx = Vec3::new(0.0, 0.0, 1.75);
+        let mid = tx0.lerp(rx, 0.5);
+        let occ = Occluder::new(mid, 0.12, 0.4, 1);
+        let motion = StaticPose(Pose::translation(rx));
+        let mut sim = MultiTxSimulator::new(units, motion, vec![occ]);
+        let recs = sim.run(4.0);
+        let mut d = Digest::new();
+        for r in &recs {
+            d.f64(r.t);
+            d.u64(r.active as u64);
+            d.bool(r.los);
+            d.f64(r.power_dbm);
+            d.bool(r.link_up);
+        }
+        d.u64(sim.active() as u64);
+        emit("multi_tx", d);
+    }
+
+    // --- Geometric handover model under a roaming occluder.
+    {
+        let txs: Vec<TxUnit> = (0..3)
+            .map(|i| TxUnit {
+                pos: Vec3::new(-0.8 + 0.8 * i as f64, 2.0, 0.0),
+            })
+            .collect();
+        let mut hs = HandoverSystem::new(txs, LinkDesign::ten_g_diverging(20e-3, 2.0), 0.05);
+        let mut occ = Occluder::new(Vec3::new(-0.4, 1.0, 0.0), 0.25, 1.5, 7);
+        let rx = Vec3::new(0.0, 0.0, 0.0);
+        let mut d = Digest::new();
+        for _ in 0..20_000 {
+            occ.step(1e-3);
+            d.bool(hs.step(rx, std::slice::from_ref(&occ), 1e-3));
+            d.u64(hs.active() as u64);
+        }
+        emit("handover_geom", d);
+    }
+
+    // --- §5.4 trace corpus with loss + dead reckoning.
+    {
+        let traces: Vec<HeadTrace> = (0..40)
+            .map(|i| HeadTrace::generate(&TraceGenConfig::default(), 9_100 + i))
+            .collect();
+        let p = TraceSimParams {
+            report_loss_prob: 0.2,
+            loss_seed: 41,
+            dead_reckoning: true,
+            ..Default::default()
+        };
+        let fracs = simulate_corpus(&traces, &p);
+        let mut d = Digest::new();
+        for f in &fracs {
+            d.f64(*f);
+        }
+        // Per-slot connectivity + the scatter metric of one trace.
+        let r = simulate_trace(&traces[0], &p);
+        for &b in &r.slots_on {
+            d.bool(b);
+        }
+        d.f64(r.on_fraction);
+        d.f64(r.off_slot_scatter_fraction(30, 10));
+        emit("trace_corpus", d);
+    }
+
+    let body = lines.join("\n") + "\n";
+    if write {
+        std::fs::create_dir_all("goldens").expect("mkdir goldens");
+        std::fs::write(GOLDEN_PATH, &body).expect("write golden");
+        println!("wrote {GOLDEN_PATH}");
+        return;
+    }
+    match std::fs::read_to_string(GOLDEN_PATH) {
+        Ok(golden) => {
+            if golden == body {
+                println!("engine digests match {GOLDEN_PATH}");
+            } else {
+                eprintln!("engine digest MISMATCH against {GOLDEN_PATH}:");
+                eprintln!("--- golden ---\n{golden}--- got ---\n{body}");
+                std::process::exit(1);
+            }
+        }
+        Err(_) => {
+            eprintln!("no {GOLDEN_PATH}; run with --write to create it");
+            std::process::exit(1);
+        }
+    }
+}

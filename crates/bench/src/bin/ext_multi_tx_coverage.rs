@@ -38,7 +38,7 @@ fn commission_unit(pos: Vec3, seed: u64) -> TxInstallation {
     let mut cfg = DeploymentConfig::paper_10g(seed);
     cfg.tx_position = pos;
     let mut dep = Deployment::new(&cfg);
-    let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &board, seed);
+    let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &board, seed).expect("stage-1 training");
     let (itx, irx) = rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
     let mt = mapping::train(
         &mut dep,
@@ -65,7 +65,7 @@ fn run_with_trajectory(
     let mut slots = Vec::new();
     let mut t = 0.0;
     while t < dur_s - 1e-9 {
-        sim.occluders[0].center = traj(t);
+        sim.occluders_mut()[0].center = traj(t);
         slots.extend(sim.run(seg));
         t += seg;
     }

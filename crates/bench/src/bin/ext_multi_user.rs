@@ -1,0 +1,157 @@
+//! **Extension: multi-user fleets** — N independently-seeded headsets
+//! sharing M ceiling TX installations, on the unified simulation engine.
+//!
+//! The paper measures one headset; its §3 deployment sketch ("multiple TXs
+//! on the ceiling with appropriate handover techniques") implies several
+//! users sharing an installed base. This bin runs the engine's native
+//! multi-session workload twice — a clean fleet and a hostile one (roaming
+//! occluders + the stress fault plan on the control channel) — and prints
+//! per-session rows plus the fleet rollup.
+//!
+//! ```sh
+//! cargo run --release -p cyclops-bench --bin ext_multi_user
+//! ```
+
+use cyclops::core::kspace::train_both;
+use cyclops::core::mapping::{self, rough_initial_guess};
+use cyclops::link::engine::FleetSummary;
+use cyclops::link::handover::Occluder;
+use cyclops::prelude::*;
+
+/// Two fully-trained ceiling installations sharing one headset world
+/// (full-size board and mapping budget, as in the paper's prototype).
+fn two_units(seed: u64) -> Vec<TxInstallation> {
+    let board = BoardConfig::default();
+    [Vec3::new(-0.35, 0.0, 0.0), Vec3::new(0.35, 0.0, 0.0)]
+        .into_iter()
+        .map(|pos| {
+            let mut cfg = DeploymentConfig::paper_10g(seed);
+            cfg.tx_position = pos;
+            let mut dep = Deployment::new(&cfg);
+            let (tx_tr, tx_rig, rx_tr, rx_rig) =
+                train_both(&dep, &board, seed).expect("stage-1 training");
+            let (itx, irx) = rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
+            let mt = mapping::train(
+                &mut dep,
+                &tx_tr.fitted,
+                &rx_tr.fitted,
+                itx,
+                irx,
+                30,
+                seed + 9,
+            );
+            let v = dep.voltages();
+            let ctl = TpController::new(mt.trained, TpConfig::default(), [v.0, v.1, v.2, v.3]);
+            TxInstallation { dep, ctl }
+        })
+        .collect()
+}
+
+fn print_fleet(title: &str, fleet: &FleetSummary) {
+    println!("\n{title}");
+    println!(
+        "{:>3} {:>10} {:>8} {:>8} {:>9} {:>10} {:>5} {:>7} {:>9} {:>7} {:>7}",
+        "s",
+        "seed",
+        "signal",
+        "up_frac",
+        "gbps",
+        "power_dBm",
+        "hand",
+        "outages",
+        "worst_s",
+        "dr",
+        "reacq"
+    );
+    for s in &fleet.sessions {
+        println!(
+            "{:>3} {:>10x} {:>8.4} {:>8.4} {:>9.3} {:>10.2} {:>5} {:>7} {:>9.3} {:>7} {:>7}",
+            s.session,
+            s.seed & 0xffff_ffff,
+            s.signal_frac,
+            s.up_frac,
+            s.mean_goodput_gbps,
+            s.mean_power_dbm,
+            s.handovers,
+            s.stats.n_outages,
+            s.stats.longest_outage_s,
+            s.stats.n_extrapolated,
+            s.stats.n_reacq_steps
+        );
+    }
+    let r = fleet.rollup();
+    println!(
+        "fleet: {} sessions x {} slots  mean signal {:.4}, mean up {:.4} (min {:.4})  \
+         aggregate {:.2} Gbps  {} handovers  {} outages (worst {:.3} s)",
+        r.n_sessions,
+        r.total_slots / r.n_sessions.max(1),
+        r.mean_signal_frac,
+        r.mean_up_frac,
+        r.min_up_frac,
+        r.sum_goodput_gbps,
+        r.total_handovers,
+        r.total_outages,
+        r.worst_outage_s
+    );
+    if r.ctrl_sent > 0 {
+        println!(
+            "control: {} sent, {} delivered, {} retransmits  \
+             ({} dead-reckoned cmds, {} re-acq probes)",
+            r.ctrl_sent,
+            r.ctrl_delivered,
+            r.ctrl_retransmits,
+            r.total_extrapolated,
+            r.total_reacq_steps
+        );
+    }
+}
+
+fn main() {
+    println!("ext_multi_user: training 2 ceiling installations ...");
+    let units = two_units(911);
+    let tx0 = units[0].dep.tx_world_params().q2;
+    let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+
+    // Clean fleet: 8 users, perfect control channel, unobstructed room.
+    // 6 s per session leaves room to recover from an outage (the SFP relink
+    // alone takes ~2.5 s).
+    let clean = FleetConfig {
+        n_sessions: 8,
+        duration_s: 6.0,
+        seed: 424,
+        ..FleetConfig::default()
+    };
+    let fleet_clean = run_fleet(&units, &clean);
+    print_fleet("clean fleet (8 users, 2 TX units, no faults)", &fleet_clean);
+
+    // Hostile fleet: per-session roaming occluder plus the stress fault plan
+    // on a hardened control plane (ARQ + dead reckoning + re-acquisition).
+    let hostile = FleetConfig {
+        control: Some(ControlPlaneConfig::hardened(FaultPlan::stress(5))),
+        occluders: vec![Occluder::new(tx0.lerp(base.trans, 0.5), 0.12, 0.4, 0)],
+        ..clean
+    };
+    let fleet_hostile = run_fleet(&units, &hostile);
+    print_fleet(
+        "hostile fleet (roaming occluders, stress fault plan, hardened control)",
+        &fleet_hostile,
+    );
+
+    let rc = fleet_clean.rollup();
+    let rh = fleet_hostile.rollup();
+    println!(
+        "\nsummary: clean signal {:.4} / up {:.4} vs hostile signal {:.4} / up {:.4}; \
+         hostile paid {} handovers and {} dead-reckoned commands across {} sessions",
+        rc.mean_signal_frac,
+        rc.mean_up_frac,
+        rh.mean_signal_frac,
+        rh.mean_up_frac,
+        rh.total_handovers,
+        rh.total_extrapolated,
+        rh.n_sessions
+    );
+    assert!(
+        rc.mean_up_frac >= rh.mean_up_frac,
+        "clean fleet cannot be worse than the hostile one"
+    );
+}

@@ -1,5 +1,6 @@
-//! **Perf snapshot** — machine-readable timing of the five hot paths the
-//! `parallel` feature accelerates, written to `BENCH_<date>.json`.
+//! **Perf snapshot** — machine-readable timing of the parallel hot paths
+//! (training, alignment, trace corpus, chaos suite, and the multi-session
+//! engine fleet), written to `BENCH_<date>.json`.
 //!
 //! Each workload runs twice over identical inputs: once pinned to 1 thread
 //! and once at the configured pool width (`CYCLOPS_THREADS` env var, else
@@ -14,6 +15,7 @@
 use cyclops::core::alignment::exhaustive_align;
 use cyclops::core::kspace::{self, BoardConfig, KspaceRig};
 use cyclops::core::mapping;
+use cyclops::link::handover::Occluder;
 use cyclops::link::simulator::SessionStats;
 use cyclops::link::trace_sim::{simulate_corpus, TraceSimParams};
 use cyclops::prelude::*;
@@ -115,6 +117,87 @@ fn chaos_session(sys: &CyclopsSystem, seed: u64, dur_s: f64) -> (Vec<f64>, Sessi
     (sig, stats)
 }
 
+/// Two fully-trained ceiling installations sharing one headset world — the
+/// TX side of the multi-session fleet workload (fast board).
+fn fleet_units(seed: u64) -> Vec<TxInstallation> {
+    use cyclops::core::kspace::train_both;
+    use cyclops::core::mapping::rough_initial_guess;
+    let board = BoardConfig {
+        cols: 10,
+        rows: 8,
+        cell_m: 0.0508,
+    };
+    [Vec3::new(-0.35, 0.0, 0.0), Vec3::new(0.35, 0.0, 0.0)]
+        .into_iter()
+        .map(|pos| {
+            let mut cfg = DeploymentConfig::paper_10g(seed);
+            cfg.tx_position = pos;
+            let mut dep = Deployment::new(&cfg);
+            let (tx_tr, tx_rig, rx_tr, rx_rig) =
+                train_both(&dep, &board, seed).expect("stage-1 training");
+            let (itx, irx) = rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
+            let mt = mapping::train(
+                &mut dep,
+                &tx_tr.fitted,
+                &rx_tr.fitted,
+                itx,
+                irx,
+                12,
+                seed + 9,
+            );
+            let v = dep.voltages();
+            let ctl = TpController::new(mt.trained, TpConfig::default(), [v.0, v.1, v.2, v.3]);
+            TxInstallation { dep, ctl }
+        })
+        .collect()
+}
+
+/// The multi-session workload: 8 independently-seeded headsets sharing the
+/// two ceiling installations, hardened control plane under the stress fault
+/// plan, one roaming occluder per session.
+fn fleet_config(units: &[TxInstallation]) -> FleetConfig {
+    let tx0 = units[0].dep.tx_world_params().q2;
+    let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+    let mid = tx0.lerp(base.trans, 0.5);
+    // 4 s per session: long enough to hand over away from the occluded
+    // unit 0 and complete the ~2.5 s SFP relink on unit 1 within the run.
+    FleetConfig {
+        n_sessions: 8,
+        duration_s: 4.0,
+        seed: 424,
+        control: Some(ControlPlaneConfig::hardened(FaultPlan::stress(5))),
+        occluders: vec![Occluder::new(mid, 0.12, 0.4, 0)],
+        ..FleetConfig::default()
+    }
+}
+
+/// Flattens a fleet run into the bit-identity signature vector.
+fn fleet_signature(summary: &cyclops::link::engine::FleetSummary) -> Vec<f64> {
+    let mut sig = Vec::new();
+    for s in &summary.sessions {
+        sig.extend([
+            s.seed as f64,
+            s.slots as f64,
+            s.up_frac,
+            s.signal_frac,
+            s.mean_goodput_gbps,
+            s.mean_power_dbm,
+            s.handovers as f64,
+            s.tp_reports as f64,
+            s.tp_failures as f64,
+            s.stats.n_extrapolated as f64,
+            s.stats.n_reacq_steps as f64,
+            s.stats.n_outages as f64,
+            s.stats.outage_s,
+            s.stats.longest_outage_s,
+        ]);
+        if let Some(c) = s.stats.control {
+            sig.extend([c.sent, c.delivered, c.retransmits, c.channel_losses].map(|n| n as f64));
+        }
+    }
+    sig
+}
+
 /// Proleptic-Gregorian civil date from days since 1970-01-01 (Howard
 /// Hinnant's `civil_from_days`). Avoids a date-time dependency.
 fn civil_from_days(z: i64) -> (i64, u64, u64) {
@@ -156,7 +239,8 @@ fn main() {
     let dep_k = Deployment::new(&DeploymentConfig::paper_10g(71));
     let dep_m = Deployment::new(&DeploymentConfig::paper_10g(73));
     println!("fixtures: stage-1 K-space models for the mapping workload ...");
-    let (tx_tr, tx_rig, rx_tr, rx_rig) = kspace::train_both(&dep_m, &BoardConfig::default(), 73);
+    let (tx_tr, tx_rig, rx_tr, rx_rig) =
+        kspace::train_both(&dep_m, &BoardConfig::default(), 73).expect("stage-1 training");
     let (init_tx, init_rx) = mapping::rough_initial_guess(&dep_m, &tx_rig, &rx_rig, 0.05, 0.08, 80);
     let traces: Vec<HeadTrace> = (0..200)
         .map(|i| HeadTrace::generate(&TraceGenConfig::default(), 9_100 + i))
@@ -164,6 +248,9 @@ fn main() {
     println!("fixtures: fast-profile system for the chaos workload ...");
     let sys_chaos = CyclopsSystem::commission(&SystemConfig::fast_10g(9_007));
     let chaos_seeds: Vec<u64> = (0..6).collect();
+    println!("fixtures: two ceiling installations for the fleet workload ...");
+    let units = fleet_units(911);
+    let fleet_cfg = fleet_config(&units);
 
     println!("running workloads (each twice: 1 thread, then {threads}) ...");
     let results = [
@@ -173,7 +260,7 @@ fn main() {
             let mut rig = KspaceRig::standard(dep_k.tx.clone(), 72);
             let init = rig.cad_initial_guess();
             let samples = rig.collect_samples(&BoardConfig::default());
-            let tr = kspace::fit(&samples, &init);
+            let tr = kspace::fit(&samples, &init).expect("stage-1 fit");
             let mut sig = tr.fitted.to_vec();
             sig.push(tr.report.cost);
             sig
@@ -217,6 +304,13 @@ fn main() {
                 .into_iter()
                 .flatten()
                 .collect()
+        }),
+        // Multi-session engine workload: 8 independently-seeded headsets
+        // over 2 TX installations, one session per work item. The signature
+        // covers every per-session counter, so a thread-count-dependent
+        // divergence anywhere in the engine fails the bit-identical check.
+        run_workload("fleet_multi_session", threads, || {
+            fleet_signature(&run_fleet(&units, &fleet_cfg))
         }),
     ];
 
@@ -315,6 +409,75 @@ fn main() {
         chaos.iter().map(|s| s.outage_s).sum::<f64>(),
         chaos.iter().map(|s| s.longest_outage_s).fold(0.0, f64::max)
     ));
+    // Multi-session fleet counters: one canonical (deterministic) pass —
+    // per-session rows plus the fleet rollup, the ISSUE's multi-user health
+    // record.
+    let fleet = run_fleet(&units, &fleet_cfg);
+    json.push_str("  \"fleet\": {\n    \"sessions\": [\n");
+    for (i, s) in fleet.sessions.iter().enumerate() {
+        let c = s
+            .stats
+            .control
+            .expect("fleet runs the hardened control plane");
+        json.push_str(&format!(
+            "      {{\"session\": {}, \"seed\": {}, \"slots\": {}, \
+             \"up_frac\": {:.6}, \"signal_frac\": {:.6}, \
+             \"mean_goodput_gbps\": {:.6}, \
+             \"mean_power_dbm\": {:.4}, \"handovers\": {}, \"outages\": {}, \
+             \"longest_outage_s\": {:.4}, \"extrapolated\": {}, \
+             \"reacq_steps\": {}, \"tp_reports\": {}, \"tp_failures\": {}, \
+             \"ctrl_sent\": {}, \"ctrl_delivered\": {}, \
+             \"ctrl_retransmits\": {}}}{}\n",
+            s.session,
+            s.seed,
+            s.slots,
+            s.up_frac,
+            s.signal_frac,
+            s.mean_goodput_gbps,
+            s.mean_power_dbm,
+            s.handovers,
+            s.stats.n_outages,
+            s.stats.longest_outage_s,
+            s.stats.n_extrapolated,
+            s.stats.n_reacq_steps,
+            s.tp_reports,
+            s.tp_failures,
+            c.sent,
+            c.delivered,
+            c.retransmits,
+            if i + 1 < fleet.sessions.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    let roll = fleet.rollup();
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"rollup\": {{\"n_sessions\": {}, \"total_slots\": {}, \
+         \"mean_up_frac\": {:.6}, \"mean_signal_frac\": {:.6}, \
+         \"min_up_frac\": {:.6}, \
+         \"sum_goodput_gbps\": {:.6}, \"total_handovers\": {}, \
+         \"total_outages\": {}, \"worst_outage_s\": {:.4}, \
+         \"total_extrapolated\": {}, \"total_reacq_steps\": {}, \
+         \"ctrl_sent\": {}, \"ctrl_delivered\": {}, \"ctrl_retransmits\": {}}}\n",
+        roll.n_sessions,
+        roll.total_slots,
+        roll.mean_up_frac,
+        roll.mean_signal_frac,
+        roll.min_up_frac,
+        roll.sum_goodput_gbps,
+        roll.total_handovers,
+        roll.total_outages,
+        roll.worst_outage_s,
+        roll.total_extrapolated,
+        roll.total_reacq_steps,
+        roll.ctrl_sent,
+        roll.ctrl_delivered,
+        roll.ctrl_retransmits
+    ));
+    json.push_str("  },\n");
     json.push_str(&format!("  \"total_serial_s\": {total_serial:.6},\n"));
     json.push_str(&format!("  \"total_parallel_s\": {total_parallel:.6},\n"));
     json.push_str(&format!(

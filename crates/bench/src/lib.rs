@@ -79,7 +79,7 @@ pub fn linear_ladder(sys: &CyclopsSystem, speeds_mps: &[f64], dur_s: f64) -> Vec
         rail.v0 = v;
         rail.dv = 0.0;
         let mut sim = sys.clone().into_simulator(rail);
-        let slot_s = sim.cfg.slot_s;
+        let slot_s = sim.cfg().slot_s;
         let recs = sim.run(dur_s);
         eval_windows(
             &recs,
@@ -107,7 +107,7 @@ pub fn angular_ladder(sys: &CyclopsSystem, speeds_rps: &[f64], dur_s: f64) -> Ve
         stage.w0 = w;
         stage.dw = 0.0;
         let mut sim = sys.clone().into_simulator(stage);
-        let slot_s = sim.cfg.slot_s;
+        let slot_s = sim.cfg().slot_s;
         let recs = sim.run(dur_s);
         eval_windows(
             &recs,
@@ -144,8 +144,8 @@ pub fn arbitrary_run(
     let mut sim = sys.clone().into_simulator(motion);
     // The paper's §5.3 protocol: after a link loss the operator pauses and
     // resumes once the link is back.
-    sim.cfg.pause_on_outage = true;
-    let slot_s = sim.cfg.slot_s;
+    sim.cfg_mut().pause_on_outage = true;
+    let slot_s = sim.cfg().slot_s;
     let recs = sim.run(dur_s);
     cyclops::link::simulator::windows_50ms(&recs, slot_s, sys.dep.design.sfp.rx_sensitivity_dbm)
 }

@@ -18,7 +18,9 @@ use cyclops_geom::plane::Plane;
 use cyclops_geom::pose::Pose;
 use cyclops_geom::rotation::axis_angle;
 use cyclops_geom::vec3::{v3, Vec3};
-use cyclops_optics::galvo::{GalvoParams, GalvoSim, N_PARAMS, VOLT_MAX, VOLT_MIN};
+use cyclops_optics::galvo::{
+    check_volts, GalvoError, GalvoParams, GalvoSim, N_PARAMS, VOLT_MAX, VOLT_MIN,
+};
 use cyclops_solver::lm::{levenberg_marquardt, LmOptions, LmReport};
 use cyclops_solver::stats::ResidualStats;
 use cyclops_vrh::rand_util::gauss;
@@ -51,6 +53,44 @@ impl BoardConfig {
     /// ((cols−1)×(rows−1); 19×14 = 266 for the paper's board).
     pub fn n_interior(&self) -> usize {
         (self.cols - 1) * (self.rows - 1)
+    }
+}
+
+/// Errors of the stage-1 training pipeline, surfaced as values instead of
+/// panics so a mis-assembled rig degrades gracefully.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KspaceError {
+    /// The training set is empty: the rest beam missed the board entirely,
+    /// or the operator could not land the beam on a single grid point.
+    EmptyTrainingSet,
+    /// A training sample carries an invalid voltage pair (propagated from
+    /// the galvo layer's validation).
+    Galvo(GalvoError),
+}
+
+impl std::fmt::Display for KspaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KspaceError::EmptyTrainingSet => {
+                write!(f, "K-space training set is empty (no board hits)")
+            }
+            KspaceError::Galvo(e) => write!(f, "K-space training sample invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KspaceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KspaceError::Galvo(e) => Some(e),
+            KspaceError::EmptyTrainingSet => None,
+        }
+    }
+}
+
+impl From<GalvoError> for KspaceError {
+    fn from(e: GalvoError) -> KspaceError {
+        KspaceError::Galvo(e)
     }
 }
 
@@ -298,19 +338,29 @@ pub fn eval_error(params: &GalvoParams, samples: &[KspaceSample]) -> ResidualSta
 /// releases all [`N_PARAMS`] geometric parameters. Fitting all 25 parameters
 /// directly from the raw guess stalls in the flat placement valley for some
 /// geometries — the staging makes the §4.1 procedure robust.
-pub fn fit(samples: &[KspaceSample], initial: &GalvoParams) -> KspaceTraining {
+pub fn fit(samples: &[KspaceSample], initial: &GalvoParams) -> Result<KspaceTraining, KspaceError> {
     fit_with_options(samples, initial, true)
 }
 
 /// [`fit`] with the CAD prior optionally disabled — used by the board-size
 /// ablation to quantify what the prior buys.
+///
+/// Fails with [`KspaceError::EmptyTrainingSet`] when there is nothing to fit
+/// (formerly a panic) and with [`KspaceError::Galvo`] when a sample records
+/// a voltage outside the driver range — a sample no real bench could have
+/// produced.
 pub fn fit_with_options(
     samples: &[KspaceSample],
     initial: &GalvoParams,
     use_prior: bool,
-) -> KspaceTraining {
+) -> Result<KspaceTraining, KspaceError> {
     use cyclops_geom::pose::Pose6;
-    assert!(!samples.is_empty());
+    if samples.is_empty() {
+        return Err(KspaceError::EmptyTrainingSet);
+    }
+    for s in samples {
+        check_volts(s.v1, s.v2)?;
+    }
     let samples_owned: Vec<KspaceSample> = samples.to_vec();
 
     // Phase A: 6-DoF rigid correction on top of the initial guess.
@@ -374,33 +424,34 @@ pub fn fit_with_options(
     let report = levenberg_marquardt(f, &x0, &opts);
     let fitted = GalvoParams::from_vec(&report.params);
     let train_error = eval_error(&fitted, samples);
-    KspaceTraining {
+    Ok(KspaceTraining {
         fitted,
         report,
         train_error,
-    }
+    })
 }
 
 /// Convenience: run the whole stage-1 pipeline for the TX and RX assemblies
 /// of a deployment, as the manufacturer would pre-deployment. Returns
 /// `(tx_training, tx_rig_pose_truth, rx_training, rx_rig_pose_truth)` —
-/// the rig poses are needed by white-box tests only.
+/// the rig poses are needed by white-box tests only. Fails (instead of
+/// panicking) when either rig yields no usable training samples.
 pub fn train_both(
     dep: &Deployment,
     board: &BoardConfig,
     seed: u64,
-) -> (KspaceTraining, Pose, KspaceTraining, Pose) {
+) -> Result<(KspaceTraining, Pose, KspaceTraining, Pose), KspaceError> {
     let mut tx_rig = KspaceRig::standard(dep.tx.clone(), seed.wrapping_add(1));
     let tx_init = tx_rig.cad_initial_guess();
     let tx_samples = tx_rig.collect_samples(board);
-    let tx_tr = fit(&tx_samples, &tx_init);
+    let tx_tr = fit(&tx_samples, &tx_init)?;
 
     let mut rx_rig = KspaceRig::standard(dep.rx.clone(), seed.wrapping_add(2));
     let rx_init = rx_rig.cad_initial_guess();
     let rx_samples = rx_rig.collect_samples(board);
-    let rx_tr = fit(&rx_samples, &rx_init);
+    let rx_tr = fit(&rx_samples, &rx_init)?;
 
-    (tx_tr, tx_rig.true_rig_pose(), rx_tr, rx_rig.true_rig_pose())
+    Ok((tx_tr, tx_rig.true_rig_pose(), rx_tr, rx_rig.true_rig_pose()))
 }
 
 #[cfg(test)]
@@ -417,6 +468,27 @@ mod tests {
     #[test]
     fn board_has_266_interior_points() {
         assert_eq!(BoardConfig::default().n_interior(), 266);
+    }
+
+    #[test]
+    fn empty_or_invalid_training_sets_are_typed_errors() {
+        let init = GalvoParams::nominal();
+        // Formerly a panic: an operator who landed zero grid points.
+        assert_eq!(fit(&[], &init).err(), Some(KspaceError::EmptyTrainingSet));
+        // A sample no real bench could record: voltage past the driver rail.
+        let bad = KspaceSample {
+            x: 0.0,
+            y: 0.0,
+            v1: 42.0,
+            v2: 0.0,
+        };
+        assert!(matches!(
+            fit(&[bad], &init),
+            Err(KspaceError::Galvo(GalvoError::VoltageOutOfRange {
+                mirror: 1,
+                ..
+            }))
+        ));
     }
 
     #[test]
@@ -454,7 +526,7 @@ mod tests {
         let init = rig.cad_initial_guess();
         let samples = rig.collect_samples(&BoardConfig::default());
         assert!(samples.len() >= 250, "collected {} samples", samples.len());
-        let tr = fit(&samples, &init);
+        let tr = fit(&samples, &init).expect("stage-1 fit");
         let avg_mm = tr.train_error.mean * 1e3;
         let max_mm = tr.train_error.max * 1e3;
         // Table 2 stage-1: avg 1.24–1.90 mm, max 5.3–5.4 mm. Accept the
@@ -472,7 +544,7 @@ mod tests {
         let mut rig = test_rig(4);
         let init = rig.cad_initial_guess();
         let samples = rig.collect_samples(&BoardConfig::default());
-        let tr = fit(&samples, &init);
+        let tr = fit(&samples, &init).expect("stage-1 fit");
         let mut held_out = Vec::new();
         let (cx, cy) = rig.measure_hit(0.0, 0.0).unwrap();
         for k in 0..20 {
@@ -495,7 +567,7 @@ mod tests {
         rig.board_noise_m = 0.0;
         let init = rig.cad_initial_guess();
         let samples = rig.collect_samples(&BoardConfig::default());
-        let tr = fit(&samples, &init);
+        let tr = fit(&samples, &init).expect("stage-1 fit");
         assert!(
             tr.train_error.mean * 1e3 < 0.35,
             "noise-free avg error {} mm",

@@ -42,7 +42,7 @@ pub mod tp;
 pub use alignment::{exhaustive_align, AlignResult};
 pub use deployment::{Deployment, DeploymentConfig};
 pub use gprime::{gprime, GPrimeResult};
-pub use kspace::{KspaceRig, KspaceTraining};
+pub use kspace::{KspaceError, KspaceRig, KspaceTraining};
 pub use mapping::{MappingTraining, TrainedMapping};
 pub use pointing::{pointing, PointingResult};
 pub use recalib::{recalibrate_mapping, DriftMonitor};

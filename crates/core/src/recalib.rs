@@ -196,7 +196,8 @@ mod tests {
         // Full commissioning.
         let seed = 7100u64;
         let mut dep = Deployment::new(&DeploymentConfig::paper_10g(seed));
-        let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &BoardConfig::default(), seed);
+        let (tx_tr, tx_rig, rx_tr, rx_rig) =
+            train_both(&dep, &BoardConfig::default(), seed).expect("stage-1 training");
         let (itx, irx) = rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
         let mt = mapping::train(
             &mut dep,

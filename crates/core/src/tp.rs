@@ -199,7 +199,8 @@ mod tests {
     /// Builds a fully-trained controller plus its deployment.
     fn trained_controller(seed: u64) -> (Deployment, TpController) {
         let mut dep = Deployment::new(&DeploymentConfig::paper_10g(seed));
-        let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &BoardConfig::default(), seed);
+        let (tx_tr, tx_rig, rx_tr, rx_rig) =
+            train_both(&dep, &BoardConfig::default(), seed).expect("stage-1 training");
         let (init_tx, init_rx) =
             rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed.wrapping_add(7));
         let mt = mapping::train(

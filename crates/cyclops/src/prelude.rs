@@ -14,11 +14,12 @@ pub use cyclops_geom::vec3::Vec3;
 pub use cyclops_optics::amplifier::Edfa;
 pub use cyclops_optics::beam::BeamState;
 pub use cyclops_optics::coupling::{CouplingModel, LinkDesign, ReceiverGeometry};
-pub use cyclops_optics::galvo::{GalvoParams, GalvoSim, GalvoSimConfig};
+pub use cyclops_optics::galvo::{GalvoError, GalvoParams, GalvoSim, GalvoSimConfig};
 pub use cyclops_optics::sfp::SfpSpec;
 
 pub use cyclops_core::deployment::{Deployment, DeploymentConfig};
 pub use cyclops_core::gprime::{gprime, gprime_default};
+pub use cyclops_core::kspace::{BoardConfig, KspaceError};
 pub use cyclops_core::pointing::{pointing, pointing_default};
 pub use cyclops_core::tolerance::{lateral_tolerance, rx_angular_tolerance, tx_angular_tolerance};
 pub use cyclops_core::tp::{TpConfig, TpController};
@@ -33,6 +34,10 @@ pub use cyclops_link::control::{
     ArqConfig, ControlLink, ControlPlaneConfig, ControlStats, DeadReckoningConfig, FaultPlan,
     FlapSchedule, ReacqConfig,
 };
+pub use cyclops_link::engine::{
+    run_fleet, EngineConfig, FleetConfig, FleetRollup, FleetSummary, LinkSession, SessionReport,
+};
+pub use cyclops_link::handover::{HandoverSystem, Occluder, TxUnit};
 pub use cyclops_link::multi_tx::{MultiTxSimulator, TxInstallation};
 pub use cyclops_link::simulator::{LinkSimConfig, LinkSimulator, SessionStats, SlotRecord};
 pub use cyclops_link::trace_sim::{simulate_trace, TraceSimParams};

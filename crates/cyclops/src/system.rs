@@ -119,7 +119,8 @@ impl CyclopsSystem {
     /// [`SystemConfig::paper_10g`]-scale training.
     pub fn commission(cfg: &SystemConfig) -> CyclopsSystem {
         let mut dep = Deployment::new(&cfg.deployment);
-        let (tx_tr, tx_rig, rx_tr, rx_rig) = kspace::train_both(&dep, &cfg.board, cfg.seed);
+        let (tx_tr, tx_rig, rx_tr, rx_rig) =
+            kspace::train_both(&dep, &cfg.board, cfg.seed).expect("stage-1 K-space training");
         let (init_tx, init_rx) = mapping::rough_initial_guess(
             &dep,
             &tx_rig,

@@ -1,0 +1,1636 @@
+//! The unified simulation engine: one slot-clocked scheduler driving
+//! pluggable components behind small traits.
+//!
+//! Every fixed-step simulation in the repo — the single-TX link simulator
+//! (Figs 13–15), the full-physics multi-TX handover, the §5.4 trace drift
+//! model, and the geometric handover sketch — is a *configuration* of this
+//! engine rather than a bespoke loop:
+//!
+//! ```text
+//!                      ┌────────────────────────────┐
+//!                      │   run_slots (slot clock)   │
+//!                      └─────────────┬──────────────┘
+//!                                    │ step_slot(k)
+//!                      ┌─────────────▼──────────────┐
+//!   MotionSource ────▶ │                            │ ◀──── ControlPlane
+//!   (vrh motion /      │     LinkSession<M, S>      │       (perfect or
+//!    trace playback)   │                            │        ARQ + faults)
+//!                      │  report → TP → optics →    │
+//!   TxSelector ──────▶ │  channel → SFP → record    │ ◀──── ChannelModel
+//!   (single / dark-    │                            │       (power → BER →
+//!    debounce / margin)└─────────────┬──────────────┘        frame loss)
+//!                                    │ TpPolicy (pending commands,
+//!                                    ▼  dead reckoning, re-acq spiral)
+//!                               EngineSlot
+//! ```
+//!
+//! The components:
+//!
+//! * [`MotionSource`] — where the headset truly is (`vrh` motion models and
+//!   trace playback);
+//! * [`TpPolicy`] — what the TP does with reports: scheduled command queue,
+//!   dead reckoning on stale channels, re-acquisition spiral on lost beams;
+//! * [`ControlPlane`] — how reports travel: a perfect channel or the
+//!   sequence-numbered ARQ stack over the deterministic fault layer;
+//! * [`ChannelModel`] — what the photons deliver: received power → BER →
+//!   frame-success (an alias of [`FsoChannel`]);
+//! * [`TxSelector`] — which ceiling unit serves the headset: pinned
+//!   ([`SingleTx`]), dark-time debounced nearest sibling ([`DarkDebounce`]),
+//!   or margin-based ([`BestMargin`], [`MarginSelector`]).
+//!
+//! Determinism is the engine's core contract: every random draw comes from a
+//! seeded per-deployment RNG or a `mix64` stream, and the slot loop touches
+//! them in a fixed order, so any configuration replays bit-identically for a
+//! given seed — on any platform, thread count and build configuration. The
+//! `engine_digest` bench bin pins this against committed goldens.
+//!
+//! On top of single sessions the engine runs **multi-session workloads**
+//! ([`run_fleet`]): N independently-seeded headsets, each against its own
+//! clone of M TX installations, reduced in session-index order into a
+//! [`FleetSummary`].
+
+use crate::channel::FsoChannel;
+use crate::control::{unit, ControlLink, ControlPlaneConfig, ControlStats};
+use crate::handover::Occluder;
+use crate::sfp_state::SfpLinkState;
+use cyclops_core::deployment::Deployment;
+use cyclops_core::mapping::noisy_report_of;
+use cyclops_core::pointing::ReacqSpiral;
+use cyclops_core::tp::{TpController, TpMetrics};
+use cyclops_geom::pose::Pose;
+use cyclops_geom::ray::Ray;
+use cyclops_geom::vec3::Vec3;
+use cyclops_optics::coupling::{LinkDesign, ReceiverGeometry};
+use cyclops_vrh::motion::{extrapolate_pose, ArbitraryMotion, ArbitraryMotionConfig, Motion};
+use cyclops_vrh::speeds::pose_speeds;
+use cyclops_vrh::traces::HeadTrace;
+use cyclops_vrh::tracking::TrackerConfig;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Where the headset truly is: the engine's motion component. This is the
+/// `vrh` [`Motion`] trait under its engine-facing name — every motion model
+/// (rails, rotation stages, hand-held OU processes, trace playback) plugs in
+/// here.
+pub use cyclops_vrh::motion::Motion as MotionSource;
+
+/// What the photons deliver: received power → BER → frame success. The
+/// engine's channel component is exactly the [`FsoChannel`] model.
+pub type ChannelModel = FsoChannel;
+
+// ---------------------------------------------------------------------------
+// Slot clock
+// ---------------------------------------------------------------------------
+
+/// A simulation that advances in fixed slots under [`run_slots`].
+///
+/// The driver hands each session its slot *index*; the session derives its
+/// own clock from it (sessions differ in how they accumulate time — the
+/// full-physics session accumulates `t + slot_s` while the trace session
+/// computes `(k + 1) · slot_ms` — and those float streams must be preserved
+/// bit-exactly).
+pub trait SlotSession {
+    /// Per-slot output record.
+    type Record;
+    /// Advances one slot (index `k`, counted from 0 at the start of the
+    /// current [`run_slots`] call) and returns its record.
+    fn step_slot(&mut self, k: usize) -> Self::Record;
+}
+
+/// The engine's slot clock: drives `session` for `n_slots` slots and
+/// collects the records in slot order.
+pub fn run_slots<S: SlotSession>(session: &mut S, n_slots: usize) -> Vec<S::Record> {
+    let mut out = Vec::with_capacity(n_slots);
+    for k in 0..n_slots {
+        out.push(session.step_slot(k));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Session configuration
+// ---------------------------------------------------------------------------
+
+/// When a TP command becomes optically effective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandTiming {
+    /// Queued and applied after control-channel latency + TP compute + DAC
+    /// and mirror settle — the single-TX simulator's timing model.
+    Scheduled,
+    /// Applied the moment the report is processed — the multi-TX
+    /// simulator's simplification (its outages are dominated by the SFP
+    /// re-lock, not steering latency).
+    Immediate,
+}
+
+/// When the true headset pose is sampled and written into the unit worlds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoseTiming {
+    /// Sampled per report, backdated to the report time, on the active
+    /// unit; plus once at slot end on every unit — the single-TX model.
+    AtReport,
+    /// Sampled once at slot start and synced to every unit — the multi-TX
+    /// model.
+    SlotStart,
+}
+
+/// Full configuration of a [`LinkSession`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Slot length (seconds); the paper's studies use 1 ms.
+    pub slot_s: f64,
+    /// Tracking system timing/noise.
+    pub tracker: TrackerConfig,
+    /// Frame size for loss accounting (bits).
+    pub frame_bits: u64,
+    /// The §5.3 operator protocol: motion time freezes while the link is
+    /// down.
+    pub pause_on_outage: bool,
+    /// Reliable control plane (fault-injected channel, optional ARQ, dead
+    /// reckoning, re-acquisition). `None` preserves the legacy path —
+    /// i.i.d. report loss drawn from the deployment RNG — bit-exactly.
+    pub control: Option<ControlPlaneConfig>,
+    /// Command timing model.
+    pub command_timing: CommandTiming,
+    /// Pose sampling model.
+    pub pose_timing: PoseTiming,
+    /// Account goodput through the BER channel (single-TX records use it;
+    /// the multi-TX records don't).
+    pub goodput: bool,
+    /// Gate received power on occluder line of sight.
+    pub los_gating: bool,
+    /// Track per-slot true linear/angular speeds (costs one extra motion
+    /// sample at the start of each run).
+    pub track_speeds: bool,
+}
+
+impl Default for EngineConfig {
+    /// The single-TX profile: 1 ms slots, scheduled commands, per-report
+    /// pose sampling, goodput accounting, no occluder gating.
+    fn default() -> Self {
+        EngineConfig {
+            slot_s: 1e-3,
+            tracker: TrackerConfig::default(),
+            frame_bits: 12_000,
+            pause_on_outage: false,
+            control: None,
+            command_timing: CommandTiming::Scheduled,
+            pose_timing: PoseTiming::AtReport,
+            goodput: true,
+            los_gating: false,
+            track_speeds: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The multi-TX profile: slot-start pose sync to every unit, immediate
+    /// commands, line-of-sight gating, no goodput/speed accounting.
+    pub fn multi_tx(tracker: TrackerConfig) -> EngineConfig {
+        EngineConfig {
+            tracker,
+            command_timing: CommandTiming::Immediate,
+            pose_timing: PoseTiming::SlotStart,
+            goodput: false,
+            los_gating: true,
+            track_speeds: false,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Components: control plane, TP policy
+// ---------------------------------------------------------------------------
+
+/// How reports travel from the VRH tracker to the TP: either the perfect
+/// channel (reports act instantly, losses drawn i.i.d. from the deployment
+/// RNG by the session) or the PR 2 ARQ/fault stack ([`ControlLink`]).
+#[derive(Debug)]
+pub struct ControlPlane {
+    /// The faulty/ARQ link; `None` = perfect channel.
+    link: Option<ControlLink<(f64, Pose)>>,
+}
+
+impl ControlPlane {
+    /// Builds the plane from the optional config; `latency_s` is the base
+    /// control-channel latency carried by every frame.
+    pub fn new(cfg: Option<ControlPlaneConfig>, latency_s: f64) -> ControlPlane {
+        ControlPlane {
+            link: cfg.map(|cp| ControlLink::new(cp.fault, cp.arq, latency_s)),
+        }
+    }
+
+    /// Whether the faulty/ARQ stack is active (vs the perfect channel).
+    pub fn is_faulty(&self) -> bool {
+        self.link.is_some()
+    }
+
+    /// Channel counters, when the faulty stack is active.
+    pub fn stats(&self) -> Option<ControlStats> {
+        self.link.as_ref().map(|l| l.stats())
+    }
+}
+
+/// What the TP does with reports: the scheduled-command queue, the
+/// dead-reckoning state (recent deliveries + velocity anchor), and the
+/// re-acquisition spiral. One instance per session.
+#[derive(Debug, Default)]
+pub struct TpPolicy {
+    /// Commands awaiting their apply time `(when, voltages)`.
+    pending: VecDeque<(f64, [f64; 4])>,
+    /// Recent delivered reports `(t_sample, pose)`, newest at the back,
+    /// feeding the dead-reckoning velocity estimate. The velocity anchor is
+    /// the newest entry at least `min_baseline_s` older than the latest, so
+    /// tracker noise isn't amplified by differencing two near-coincident
+    /// samples.
+    deliveries: VecDeque<(f64, Pose)>,
+    /// Arrival time of the last delivered report (staleness clock).
+    last_delivery_arrival: Option<f64>,
+    last_dr_t: f64,
+    /// Re-acquisition search state.
+    spiral: Option<ReacqSpiral>,
+    spiral_exhausted: bool,
+    signal_lost_since: Option<f64>,
+}
+
+impl TpPolicy {
+    /// Applies every command whose time has come, in order (at high
+    /// tracking rates a command can still be in the DAC pipeline when the
+    /// next report arrives).
+    fn apply_due(&mut self, t_slot: f64, dep: &mut Deployment) {
+        while let Some(&(when, v)) = self.pending.front() {
+            if when > t_slot {
+                break;
+            }
+            dep.set_voltages(v[0], v[1], v[2], v[3]);
+            self.pending.pop_front();
+        }
+    }
+
+    /// Records a control-plane delivery into the dead-reckoning window.
+    fn on_delivery(&mut self, t_arr: f64, t_sample: f64, pose: Pose) {
+        self.deliveries.push_back((t_sample, pose));
+        if self.deliveries.len() > 64 {
+            self.deliveries.pop_front();
+        }
+        self.last_delivery_arrival = Some(t_arr);
+    }
+
+    /// Issues a dead-reckoned command when reports are stale but the
+    /// velocity estimate is still fresh.
+    fn dead_reckon(
+        &mut self,
+        t_slot: f64,
+        dr: crate::control::DeadReckoningConfig,
+        unit: &mut TxInstallation,
+    ) {
+        if let (Some(&(t1, p1)), Some(arr)) = (self.deliveries.back(), self.last_delivery_arrival) {
+            // Velocity anchor: the newest delivery at least `min_baseline_s`
+            // older than the latest (falling back to the oldest we kept).
+            let (t0, p0) = self
+                .deliveries
+                .iter()
+                .rev()
+                .find(|(t, _)| t1 - t >= dr.min_baseline_s)
+                .or_else(|| self.deliveries.front())
+                .copied()
+                .unwrap();
+            // Reports stale but the velocity estimate still fresh: steer on
+            // the constant-velocity prediction.
+            if t0 < t1
+                && t_slot - arr > dr.stale_after_s
+                && t_slot - t1 <= dr.max_horizon_s
+                && t_slot - self.last_dr_t >= dr.interval_s
+            {
+                let pred = extrapolate_pose(&p0, t0, &p1, t1, t_slot);
+                let cmd = unit.ctl.on_extrapolated(&pred);
+                let settle = unit.dep.settle_estimate(
+                    cmd.voltages[0],
+                    cmd.voltages[1],
+                    cmd.voltages[2],
+                    cmd.voltages[3],
+                );
+                self.pending
+                    .push_back((t_slot + cmd.latency_s + settle, cmd.voltages));
+                self.last_dr_t = t_slot;
+            }
+        }
+    }
+
+    /// The re-acquisition spiral: probes voltages around the last aim when
+    /// the beam is lost and tracking can't help. May re-evaluate `power` and
+    /// `signal` in place.
+    #[allow(clippy::too_many_arguments)]
+    fn reacq(
+        &mut self,
+        t_slot: f64,
+        rq: crate::control::ReacqConfig,
+        period_max_s: f64,
+        flap_forced: bool,
+        unit: &mut TxInstallation,
+        channel: &ChannelModel,
+        power: &mut f64,
+        signal: &mut bool,
+    ) {
+        // The search only rests on *solid* signal: a point at the bare
+        // sensitivity edge flickers under drift, resetting the SFP hold
+        // timer forever.
+        let solid = *power >= channel.sensitivity_dbm + rq.success_margin_db;
+        if (*signal && solid) || flap_forced {
+            // Solid signal (or the outage is the SFP's, not the beam's): no
+            // search.
+            self.signal_lost_since = None;
+            self.spiral = None;
+            self.spiral_exhausted = false;
+        } else {
+            let since = *self.signal_lost_since.get_or_insert(t_slot);
+            // Only search when tracking can't help: reports stale for 2+
+            // periods (else the TP already points better than a blind probe
+            // would).
+            let reports_stale = self
+                .last_delivery_arrival
+                .map_or(true, |arr| t_slot - arr > 2.0 * period_max_s);
+            if !self.spiral_exhausted && reports_stale && t_slot - since >= rq.trigger_after_s {
+                let v = unit.dep.voltages();
+                let sp = self.spiral.get_or_insert_with(|| {
+                    ReacqSpiral::new([v.0, v.1, v.2, v.3], rq.step_v, rq.max_steps)
+                });
+                match sp.next_voltages() {
+                    Some(nv) => {
+                        unit.dep.set_voltages(nv[0], nv[1], nv[2], nv[3]);
+                        unit.ctl.note_reacq_step();
+                        *power = unit.dep.received_power_dbm();
+                        *signal = *power >= channel.sensitivity_dbm;
+                        if *power >= channel.sensitivity_dbm + rq.success_margin_db {
+                            self.signal_lost_since = None;
+                            self.spiral = None;
+                        }
+                    }
+                    None => {
+                        // Budget exhausted: restore the center and wait for
+                        // tracking after all.
+                        let c = sp.center();
+                        unit.dep.set_voltages(c[0], c[1], c[2], c[3]);
+                        self.spiral = None;
+                        self.spiral_exhausted = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops in-flight state that belonged to the previous active unit
+    /// (its command queue and search state are meaningless on the new
+    /// unit's mapping).
+    fn clear_inflight(&mut self) {
+        self.pending.clear();
+        self.deliveries.clear();
+        self.spiral = None;
+        self.signal_lost_since = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Components: TX selection
+// ---------------------------------------------------------------------------
+
+/// Per-slot context handed to a [`TxSelector`].
+#[derive(Debug)]
+pub struct SelectCtx<'a> {
+    /// Currently active unit index.
+    pub active: usize,
+    /// Whether the active unit has optical signal this slot.
+    pub signal: bool,
+    /// Slot length (seconds).
+    pub slot_s: f64,
+    /// RX aperture position (world, metres).
+    pub rx_pos: Vec3,
+    /// TX aperture positions (world, metres), one per unit.
+    pub tx_positions: &'a [Vec3],
+    /// The occluders currently in the room.
+    pub occluders: &'a [Occluder],
+}
+
+impl SelectCtx<'_> {
+    /// Whether unit `i` has line of sight to the RX.
+    pub fn los(&self, i: usize) -> bool {
+        let tx_pos = self.tx_positions[i];
+        !self.occluders.iter().any(|o| o.blocks(tx_pos, self.rx_pos))
+    }
+}
+
+/// Which ceiling unit serves the headset. Called once per slot after
+/// channel evaluation; returning `Some(i)` switches the session to unit `i`
+/// (the session then fires one immediate TP shot on it).
+pub trait TxSelector {
+    /// Decides this slot's handover, if any.
+    fn on_slot(&mut self, ctx: &SelectCtx<'_>) -> Option<usize>;
+}
+
+/// The single-TX selector: unit 0, forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleTx;
+
+impl TxSelector for SingleTx {
+    fn on_slot(&mut self, _ctx: &SelectCtx<'_>) -> Option<usize> {
+        None
+    }
+}
+
+/// The multi-TX simulator's policy: after the active unit has been dark for
+/// a debounce interval, switch to the nearest unoccluded sibling.
+#[derive(Debug, Clone)]
+pub struct DarkDebounce {
+    /// Dark time on the active unit before a handover is attempted (s).
+    pub debounce_s: f64,
+    dark_s: f64,
+}
+
+impl DarkDebounce {
+    /// Creates the selector with the given debounce.
+    pub fn new(debounce_s: f64) -> DarkDebounce {
+        DarkDebounce {
+            debounce_s,
+            dark_s: 0.0,
+        }
+    }
+}
+
+impl TxSelector for DarkDebounce {
+    fn on_slot(&mut self, ctx: &SelectCtx<'_>) -> Option<usize> {
+        if ctx.signal {
+            self.dark_s = 0.0;
+        } else {
+            self.dark_s += ctx.slot_s;
+        }
+        if self.dark_s < self.debounce_s || ctx.tx_positions.len() <= 1 {
+            return None;
+        }
+        let best = (0..ctx.tx_positions.len())
+            .filter(|&i| i != ctx.active && ctx.los(i))
+            .min_by(|&a, &b| {
+                let da = ctx.tx_positions[a].distance(ctx.rx_pos);
+                let db = ctx.tx_positions[b].distance(ctx.rx_pos);
+                da.partial_cmp(&db).unwrap()
+            });
+        if best.is_some() {
+            self.dark_s = 0.0;
+        }
+        best
+    }
+}
+
+/// Margin-based selection for full-physics sessions: after the dark-time
+/// debounce, switch to the unoccluded sibling with the best *aligned link
+/// margin* (not merely the nearest).
+#[derive(Debug, Clone)]
+pub struct BestMargin {
+    /// Dark time on the active unit before a handover is attempted (s).
+    pub debounce_s: f64,
+    /// Link design shared by the units (margins are evaluated on it).
+    pub design: LinkDesign,
+    dark_s: f64,
+}
+
+impl BestMargin {
+    /// Creates the selector.
+    pub fn new(design: LinkDesign, debounce_s: f64) -> BestMargin {
+        BestMargin {
+            debounce_s,
+            design,
+            dark_s: 0.0,
+        }
+    }
+}
+
+impl TxSelector for BestMargin {
+    fn on_slot(&mut self, ctx: &SelectCtx<'_>) -> Option<usize> {
+        if ctx.signal {
+            self.dark_s = 0.0;
+        } else {
+            self.dark_s += ctx.slot_s;
+        }
+        if self.dark_s < self.debounce_s || ctx.tx_positions.len() <= 1 {
+            return None;
+        }
+        let margin = |i: usize| aligned_margin_db(&self.design, ctx.tx_positions[i], ctx.rx_pos);
+        let best = (0..ctx.tx_positions.len())
+            .filter(|&i| i != ctx.active && ctx.los(i) && margin(i) >= 0.0)
+            .max_by(|&a, &b| margin(a).partial_cmp(&margin(b)).unwrap());
+        if best.is_some() {
+            self.dark_s = 0.0;
+        }
+        best
+    }
+}
+
+/// Aligned link margin (dB) a unit at `tx_pos` would give at `rx_pos`: the
+/// design's margin re-evaluated at that range. Negative when the link
+/// cannot close; `-inf` when the geometry degenerates.
+pub fn aligned_margin_db(design: &LinkDesign, tx_pos: Vec3, rx_pos: Vec3) -> f64 {
+    let dir = (rx_pos - tx_pos).try_normalized(1e-9);
+    let Some(dir) = dir else {
+        return f64::NEG_INFINITY;
+    };
+    let chief = Ray::new(tx_pos, dir);
+    let rx = ReceiverGeometry::new(rx_pos, -dir);
+    design.received_power_dbm(chief, &rx) - design.sfp.rx_sensitivity_dbm
+}
+
+/// The geometric margin-based handover state machine behind
+/// [`crate::handover::HandoverSystem`] (and usable standalone): pays a
+/// switch delay on every handover, and — when `hysteresis_db` is set — also
+/// upgrades away from a *working* unit once a sibling's margin beats it by
+/// more than the hysteresis. A tie never triggers a switch, so two equal
+/// units cannot flip-flop.
+#[derive(Debug, Clone, Copy)]
+pub struct MarginSelector {
+    /// Time a switch takes (re-steer + re-lock), seconds.
+    pub switch_time_s: f64,
+    /// Greedy-upgrade hysteresis (dB): `None` switches only when the active
+    /// unit is unusable (the legacy behavior); `Some(h)` also switches when
+    /// a sibling's margin exceeds the active unit's by more than `h`.
+    pub hysteresis_db: Option<f64>,
+    switch_remaining_s: f64,
+}
+
+impl MarginSelector {
+    /// Creates the state machine (no greedy upgrades).
+    pub fn new(switch_time_s: f64) -> MarginSelector {
+        MarginSelector {
+            switch_time_s,
+            hysteresis_db: None,
+            switch_remaining_s: 0.0,
+        }
+    }
+
+    /// Whether a switch is currently in progress.
+    pub fn switching(&self) -> bool {
+        self.switch_remaining_s > 0.0
+    }
+
+    /// Advances one step. `margin(i)` must return unit `i`'s link margin in
+    /// dB, `NEG_INFINITY` when it is occluded or otherwise unusable; a unit
+    /// is selectable iff its margin is ≥ 0. Returns whether the link
+    /// delivers data this step and the (possibly new) active unit.
+    pub fn step(
+        &mut self,
+        active: usize,
+        n: usize,
+        margin: impl Fn(usize) -> f64,
+        dt: f64,
+    ) -> (bool, usize) {
+        if self.switch_remaining_s > 0.0 {
+            self.switch_remaining_s -= dt;
+            return (false, active);
+        }
+        let m_active = margin(active);
+        if m_active >= 0.0 {
+            if let Some(h) = self.hysteresis_db {
+                // Greedy upgrade: only on a *strict* improvement beyond the
+                // hysteresis — equal margins never switch.
+                let best = (0..n)
+                    .filter(|&i| i != active && margin(i) >= 0.0)
+                    .max_by(|&a, &b| margin(a).partial_cmp(&margin(b)).unwrap());
+                if let Some(b) = best {
+                    if margin(b) > m_active + h {
+                        self.switch_remaining_s = self.switch_time_s;
+                        return (false, b);
+                    }
+                }
+            }
+            return (true, active);
+        }
+        // Pick the usable unit with the highest margin.
+        let best = (0..n)
+            .filter(|&i| margin(i) >= 0.0)
+            .max_by(|&a, &b| margin(a).partial_cmp(&margin(b)).unwrap());
+        match best {
+            Some(i) => {
+                self.switch_remaining_s = self.switch_time_s;
+                (false, i)
+            }
+            None => (false, active), // everything blocked or out of reach
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The full-physics session
+// ---------------------------------------------------------------------------
+
+/// One ceiling unit: its world (with its TX) plus its trained controller.
+#[derive(Debug, Clone)]
+pub struct TxInstallation {
+    /// The unit's deployment (shares the headset world with its siblings).
+    pub dep: Deployment,
+    /// The unit's trained TP controller.
+    pub ctl: TpController,
+}
+
+/// Per-session fault-handling counters (ARQ retries, dead reckoning,
+/// re-acquisition, outage durations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Control-channel counters (`None` when the legacy path ran).
+    pub control: Option<ControlStats>,
+    /// Dead-reckoned commands issued from extrapolated poses.
+    pub n_extrapolated: u64,
+    /// Re-acquisition spiral probes taken.
+    pub n_reacq_steps: u64,
+    /// Link-down episodes entered.
+    pub n_outages: u64,
+    /// Total link-down time (seconds).
+    pub outage_s: f64,
+    /// Longest single link-down episode (seconds).
+    pub longest_outage_s: f64,
+}
+
+/// Per-slot record of a [`LinkSession`] — the union of every wrapper's
+/// record fields (wrappers project it onto their public record types).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineSlot {
+    /// Slot end time (seconds).
+    pub t: f64,
+    /// Index of the active unit (after any handover this slot).
+    pub active: usize,
+    /// Whether the active unit had line of sight this slot (always true
+    /// without LOS gating).
+    pub los: bool,
+    /// Received optical power on the active unit (dBm).
+    pub power_dbm: f64,
+    /// Whether the SFP link is up.
+    pub link_up: bool,
+    /// Goodput delivered this slot (Gbps; 0 when not accounted).
+    pub goodput_gbps: f64,
+    /// True linear speed over the slot (m/s; 0 when not tracked).
+    pub lin_speed: f64,
+    /// True angular speed over the slot (rad/s; 0 when not tracked).
+    pub ang_speed: f64,
+}
+
+/// The full-physics slot session: motion × tracking × TP × optics × data
+/// plane against one or more TX installations. Every behavioral axis —
+/// command timing, pose timing, control plane, LOS gating, TX selection —
+/// is a configuration, so the single-TX simulator, the multi-TX handover
+/// simulator and the fleet workloads are all this one type.
+#[derive(Debug)]
+pub struct LinkSession<M: Motion, S: TxSelector> {
+    units: Vec<TxInstallation>,
+    motion: M,
+    occluders: Vec<Occluder>,
+    selector: S,
+    cfg: EngineConfig,
+    channel: ChannelModel,
+    control: ControlPlane,
+    tp: TpPolicy,
+    sfp: SfpLinkState,
+    active: usize,
+    next_report_t: f64,
+    t: f64,
+    /// Motion-clock time (lags `t` when pause_on_outage freezes motion).
+    motion_t: f64,
+    /// Accumulated tracker random-walk drift (applied to report positions
+    /// when `tracker.drift_sigma_per_sqrt_s` is set).
+    drift: Vec3,
+    last_report_t: f64,
+    prev_pose: Pose,
+    /// Cached TX aperture positions (ceiling units do not move).
+    tx_positions: Vec<Vec3>,
+    n_handovers: u64,
+    /// Outage accounting.
+    n_outages: u64,
+    outage_s: f64,
+    cur_outage_s: f64,
+    longest_outage_s: f64,
+}
+
+impl<M: Motion> LinkSession<M, SingleTx> {
+    /// Creates a single-TX session. Per the paper's methodology the link
+    /// "starts with a perfectly aligned beam": one TP step is run against
+    /// the motion's initial pose and applied before time zero, consuming
+    /// the t = 0 report; the next report arrives a full tracker period
+    /// later.
+    pub fn single(dep: Deployment, ctl: TpController, motion: M, cfg: EngineConfig) -> Self {
+        let mut dep = dep;
+        let mut ctl = ctl;
+        let mut motion = motion;
+        let pose0 = motion.pose_at(0.0);
+        dep.set_headset_pose(pose0);
+        let clean = dep.headset.true_reported_pose();
+        let report = noisy_report_of(clean, &cfg.tracker, dep.rng());
+        let cmd = ctl.on_report(&report);
+        dep.set_voltages(
+            cmd.voltages[0],
+            cmd.voltages[1],
+            cmd.voltages[2],
+            cmd.voltages[3],
+        );
+        let channel = FsoChannel::new(
+            dep.design.sfp.rx_sensitivity_dbm,
+            dep.design.sfp.rx_overload_dbm,
+        );
+        let sfp = SfpLinkState::new_up(dep.design.sfp.relink_time_s);
+        // The pre-start alignment above consumed the t = 0 report; the next
+        // one arrives a full tracker period later.
+        let first_period = cfg.tracker.draw_period(dep.rng());
+        let control = ControlPlane::new(cfg.control, cfg.tracker.control_channel_latency_s);
+        let tx_positions = vec![dep.tx_world_params().q2];
+        LinkSession {
+            units: vec![TxInstallation { dep, ctl }],
+            motion,
+            occluders: Vec::new(),
+            selector: SingleTx,
+            cfg,
+            channel,
+            control,
+            tp: TpPolicy::default(),
+            sfp,
+            active: 0,
+            next_report_t: first_period,
+            t: 0.0,
+            motion_t: 0.0,
+            drift: Vec3::ZERO,
+            last_report_t: 0.0,
+            prev_pose: Pose::IDENTITY,
+            tx_positions,
+            n_handovers: 0,
+            n_outages: 0,
+            outage_s: 0.0,
+            cur_outage_s: 0.0,
+            longest_outage_s: 0.0,
+        }
+    }
+}
+
+impl<M: Motion, S: TxSelector> LinkSession<M, S> {
+    /// Creates a multi-unit session; unit 0 starts active and aligned to
+    /// the motion's initial pose, and the first report fires at t = 0.
+    pub fn with_units(
+        mut units: Vec<TxInstallation>,
+        mut motion: M,
+        occluders: Vec<Occluder>,
+        selector: S,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert!(!units.is_empty());
+        let relink = units[0].dep.design.sfp.relink_time_s;
+        let pose0 = motion.pose_at(0.0);
+        for u in units.iter_mut() {
+            u.dep.set_headset_pose(pose0);
+        }
+        // Align unit 0.
+        let clean = units[0].dep.headset.true_reported_pose();
+        let rep = noisy_report_of(clean, &cfg.tracker, units[0].dep.rng());
+        let cmd = units[0].ctl.on_report(&rep);
+        units[0].dep.set_voltages(
+            cmd.voltages[0],
+            cmd.voltages[1],
+            cmd.voltages[2],
+            cmd.voltages[3],
+        );
+        let channel = FsoChannel::new(
+            units[0].dep.design.sfp.rx_sensitivity_dbm,
+            units[0].dep.design.sfp.rx_overload_dbm,
+        );
+        let control = ControlPlane::new(cfg.control, cfg.tracker.control_channel_latency_s);
+        let tx_positions = units.iter().map(|u| u.dep.tx_world_params().q2).collect();
+        LinkSession {
+            units,
+            motion,
+            occluders,
+            selector,
+            cfg,
+            channel,
+            control,
+            tp: TpPolicy::default(),
+            sfp: SfpLinkState::new_up(relink),
+            active: 0,
+            next_report_t: 0.0,
+            t: 0.0,
+            motion_t: 0.0,
+            drift: Vec3::ZERO,
+            last_report_t: 0.0,
+            prev_pose: Pose::IDENTITY,
+            tx_positions,
+            n_handovers: 0,
+            n_outages: 0,
+            outage_s: 0.0,
+            cur_outage_s: 0.0,
+            longest_outage_s: 0.0,
+        }
+    }
+
+    /// The installed units.
+    pub fn units(&self) -> &[TxInstallation] {
+        &self.units
+    }
+
+    /// Mutable access to the installed units.
+    pub fn units_mut(&mut self) -> &mut [TxInstallation] {
+        &mut self.units
+    }
+
+    /// The motion source.
+    pub fn motion_mut(&mut self) -> &mut M {
+        &mut self.motion
+    }
+
+    /// The occluders.
+    pub fn occluders_mut(&mut self) -> &mut [Occluder] {
+        &mut self.occluders
+    }
+
+    /// The TX selector.
+    pub fn selector_mut(&mut self) -> &mut S {
+        &mut self.selector
+    }
+
+    /// The session configuration.
+    pub fn cfg(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the session configuration. Note the control-plane
+    /// stack is built at construction; changing `cfg.control` afterwards
+    /// only affects the DR/re-acquisition/flap policies, not the channel.
+    pub fn cfg_mut(&mut self) -> &mut EngineConfig {
+        &mut self.cfg
+    }
+
+    /// Index of the currently active unit.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Handovers performed so far.
+    pub fn n_handovers(&self) -> u64 {
+        self.n_handovers
+    }
+
+    fn unit_los(&self, i: usize, rx_pos: Vec3) -> bool {
+        let tx_pos = self.tx_positions[i];
+        !self.occluders.iter().any(|o| o.blocks(tx_pos, rx_pos))
+    }
+
+    /// Runs for `duration_s`, returning one record per slot.
+    pub fn run(&mut self, duration_s: f64) -> Vec<EngineSlot> {
+        let n_slots = (duration_s / self.cfg.slot_s).round() as usize;
+        if self.cfg.track_speeds {
+            self.prev_pose = self.motion.pose_at(self.motion_t);
+        }
+        run_slots(self, n_slots)
+    }
+
+    /// Fault-handling counters accumulated across all [`LinkSession::run`]
+    /// calls: control-channel stats, dead-reckoning and re-acquisition
+    /// activity, and outage durations.
+    pub fn session_stats(&self) -> SessionStats {
+        SessionStats {
+            control: self.control.stats(),
+            n_extrapolated: self
+                .units
+                .iter()
+                .map(|u| u.ctl.metrics.n_extrapolated)
+                .sum(),
+            n_reacq_steps: self.units.iter().map(|u| u.ctl.metrics.n_reacq_steps).sum(),
+            n_outages: self.n_outages,
+            outage_s: self.outage_s,
+            longest_outage_s: self.longest_outage_s,
+        }
+    }
+
+    /// TP metrics merged across all units.
+    pub fn tp_metrics(&self) -> TpMetrics {
+        let mut m = TpMetrics::default();
+        for u in &self.units {
+            let um = &u.ctl.metrics;
+            m.n_reports += um.n_reports;
+            m.n_failures += um.n_failures;
+            m.sum_iters += um.sum_iters;
+            m.max_iters = m.max_iters.max(um.max_iters);
+            m.sum_latency_s += um.sum_latency_s;
+            m.max_latency_s = m.max_latency_s.max(um.max_latency_s);
+            m.n_extrapolated += um.n_extrapolated;
+            m.n_reacq_steps += um.n_reacq_steps;
+        }
+        m
+    }
+}
+
+impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
+    type Record = EngineSlot;
+
+    fn step_slot(&mut self, _k: usize) -> EngineSlot {
+        let slot_s = self.cfg.slot_s;
+        let t_slot = self.t + slot_s;
+        let moving = !self.cfg.pause_on_outage || self.sfp.is_up();
+        let motion_t_slot = if moving {
+            self.motion_t + slot_s
+        } else {
+            self.motion_t
+        };
+
+        // 0. Environment: occluders wander.
+        for o in self.occluders.iter_mut() {
+            o.step(slot_s);
+        }
+
+        // 0b. Slot-start pose sync (multi-TX timing model).
+        let need_rx = self.cfg.los_gating || self.tx_positions.len() > 1;
+        let mut rx_pos = Vec3::ZERO;
+        let mut slot_pose: Option<Pose> = None;
+        if self.cfg.pose_timing == PoseTiming::SlotStart {
+            let pose = self.motion.pose_at(motion_t_slot);
+            for u in self.units.iter_mut() {
+                u.dep.set_headset_pose(pose);
+            }
+            if need_rx {
+                rx_pos = self.units[self.active].dep.rx_world_params().q2;
+            }
+            slot_pose = Some(pose);
+        }
+
+        // 1. Tracking reports due within this slot.
+        while self.next_report_t <= t_slot {
+            let rt = self.next_report_t;
+            let period = self
+                .cfg
+                .tracker
+                .draw_period(self.units[self.active].dep.rng());
+            self.next_report_t = rt + period;
+            // Legacy path only: the control channel may lose the report
+            // entirely; the TP then simply waits for the next one. With the
+            // control plane enabled, losses (and everything else) come from
+            // the deterministic fault layer instead.
+            if !self.control.is_faulty() {
+                let loss_p = self.cfg.tracker.report_loss_prob;
+                if loss_p > 0.0 && self.units[self.active].dep.rng().gen_bool(loss_p) {
+                    continue;
+                }
+            }
+            if self.cfg.pose_timing == PoseTiming::AtReport {
+                // Backdate the sampled pose to the report time.
+                let pose = self
+                    .motion
+                    .pose_at(motion_t_slot.min(self.motion_t.max(motion_t_slot - (t_slot - rt))));
+                self.units[self.active].dep.set_headset_pose(pose);
+            }
+            let ds = self.cfg.tracker.drift_sigma_per_sqrt_s;
+            let u = &mut self.units[self.active];
+            let mut clean = u.dep.headset.true_reported_pose();
+            // Tracker random-walk drift (the §4 re-calibration trigger).
+            if ds > 0.0 {
+                let dt = (rt - self.last_report_t).max(0.0);
+                let step = ds * dt.sqrt();
+                let rng = u.dep.rng();
+                self.drift += cyclops_geom::vec3::v3(
+                    cyclops_vrh::rand_util::gauss(rng) * step,
+                    cyclops_vrh::rand_util::gauss(rng) * step,
+                    cyclops_vrh::rand_util::gauss(rng) * step,
+                );
+                clean.trans += self.drift;
+            }
+            self.last_report_t = rt;
+            let reported = noisy_report_of(clean, &self.cfg.tracker, u.dep.rng());
+            if let Some(link) = self.control.link.as_mut() {
+                // Hand the report to the (faulty) control channel; the TP
+                // acts on deliveries, not submissions.
+                link.send(rt, (rt, reported));
+            } else {
+                let cmd = u.ctl.on_report(&reported);
+                match self.cfg.command_timing {
+                    CommandTiming::Scheduled => {
+                        // The command is optically effective only after the
+                        // control channel, the DAC conversion AND the mirror
+                        // settle/slew.
+                        let settle = u.dep.settle_estimate(
+                            cmd.voltages[0],
+                            cmd.voltages[1],
+                            cmd.voltages[2],
+                            cmd.voltages[3],
+                        );
+                        let apply_at = rt
+                            + self.cfg.tracker.control_channel_latency_s
+                            + cmd.latency_s
+                            + settle;
+                        self.tp.pending.push_back((apply_at, cmd.voltages));
+                    }
+                    CommandTiming::Immediate => {
+                        u.dep.set_voltages(
+                            cmd.voltages[0],
+                            cmd.voltages[1],
+                            cmd.voltages[2],
+                            cmd.voltages[3],
+                        );
+                    }
+                }
+            }
+        }
+
+        // 1b. Control-plane deliveries and dead reckoning. Delivered
+        // reports already carry the channel latency in their arrival time;
+        // only TP compute + settle remain.
+        if let Some(link) = self.control.link.as_mut() {
+            let delivered = link.poll(t_slot);
+            for (t_arr, (t_sample, rep_pose)) in delivered {
+                let u = &mut self.units[self.active];
+                let cmd = u.ctl.on_report(&rep_pose);
+                let settle = u.dep.settle_estimate(
+                    cmd.voltages[0],
+                    cmd.voltages[1],
+                    cmd.voltages[2],
+                    cmd.voltages[3],
+                );
+                self.tp
+                    .pending
+                    .push_back((t_arr + cmd.latency_s + settle, cmd.voltages));
+                self.tp.on_delivery(t_arr, t_sample, rep_pose);
+            }
+            if let Some(dr) = self.cfg.control.and_then(|c| c.dead_reckoning) {
+                self.tp
+                    .dead_reckon(t_slot, dr, &mut self.units[self.active]);
+            }
+        }
+
+        // 2. Apply the due commands.
+        self.tp.apply_due(t_slot, &mut self.units[self.active].dep);
+
+        // 3. True pose & optics at slot end.
+        let pose = match slot_pose {
+            Some(p) => p,
+            None => {
+                let p = self.motion.pose_at(motion_t_slot);
+                for u in self.units.iter_mut() {
+                    u.dep.set_headset_pose(p);
+                }
+                if need_rx {
+                    rx_pos = self.units[self.active].dep.rx_world_params().q2;
+                }
+                p
+            }
+        };
+        let los = if self.cfg.los_gating {
+            self.unit_los(self.active, rx_pos)
+        } else {
+            true
+        };
+        let mut power = if los {
+            self.units[self.active].dep.received_power_dbm()
+        } else {
+            Deployment::POWER_METER_FLOOR_DBM
+        };
+        let (lin, ang) = if self.cfg.track_speeds {
+            pose_speeds(&self.prev_pose, &pose, slot_s)
+        } else {
+            (0.0, 0.0)
+        };
+        self.prev_pose = pose;
+
+        // 3b. Scheduled SFP flaps force loss-of-signal at the receiver (the
+        // beam is fine; the transceiver isn't), and the re-acquisition
+        // spiral searches for lost *beams*.
+        let flap_forced = self
+            .cfg
+            .control
+            .and_then(|c| c.fault.flap)
+            .is_some_and(|f| f.forced_down(t_slot));
+        let mut signal = !flap_forced && power >= self.channel.sensitivity_dbm;
+        if let Some(rq) = self.cfg.control.and_then(|c| c.reacq) {
+            self.tp.reacq(
+                t_slot,
+                rq,
+                self.cfg.tracker.period_max_s,
+                flap_forced,
+                &mut self.units[self.active],
+                &self.channel,
+                &mut power,
+                &mut signal,
+            );
+        }
+
+        // 3c. TX selection (handover).
+        let switch_to = self.selector.on_slot(&SelectCtx {
+            active: self.active,
+            signal,
+            slot_s,
+            rx_pos,
+            tx_positions: &self.tx_positions,
+            occluders: &self.occluders,
+        });
+        if let Some(best) = switch_to {
+            self.active = best;
+            self.n_handovers += 1;
+            self.tp.clear_inflight();
+            // One immediate TP shot on the new unit.
+            let u = &mut self.units[best];
+            let clean = u.dep.headset.true_reported_pose();
+            let rep = noisy_report_of(clean, &self.cfg.tracker, u.dep.rng());
+            let cmd = u.ctl.on_report(&rep);
+            u.dep.set_voltages(
+                cmd.voltages[0],
+                cmd.voltages[1],
+                cmd.voltages[2],
+                cmd.voltages[3],
+            );
+        }
+
+        // 4. Data plane.
+        let was_up = self.sfp.is_up();
+        let up = self.sfp.step(signal, slot_s);
+        if was_up && !up {
+            self.n_outages += 1;
+            self.cur_outage_s = 0.0;
+        }
+        if !up {
+            self.outage_s += slot_s;
+            self.cur_outage_s += slot_s;
+            self.longest_outage_s = self.longest_outage_s.max(self.cur_outage_s);
+        }
+        let goodput = if self.cfg.goodput && up {
+            let rate = self.units[self.active].dep.design.sfp.optimal_goodput_gbps;
+            rate * self.channel.frame_success_prob(power, self.cfg.frame_bits)
+        } else {
+            0.0
+        };
+
+        let rec = EngineSlot {
+            t: t_slot,
+            active: self.active,
+            los,
+            power_dbm: power,
+            link_up: up,
+            goodput_gbps: goodput,
+            lin_speed: lin,
+            ang_speed: ang,
+        };
+        self.t = t_slot;
+        self.motion_t = motion_t_slot;
+        rec
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The §5.4 trace session
+// ---------------------------------------------------------------------------
+
+/// The §5.4 drift-model session: plays a head trace against the paper's
+/// realignment/drift/tolerance rules, one boolean (connected?) per slot.
+/// [`crate::trace_sim::simulate_trace`] is this session under [`run_slots`].
+#[derive(Debug)]
+pub struct TraceSession<'a> {
+    trace: &'a HeadTrace,
+    p: crate::trace_sim::TraceSimParams,
+    // Misalignment state, starting perfectly aligned.
+    lat: f64,
+    ang: f64,
+    // Drift rates (per ms), from the most recent report pair.
+    lat_rate: f64,
+    ang_rate: f64,
+    // Pending realignment completion time (ms) and whether it is a
+    // dead-reckoned (extrapolated) one.
+    realign_at: Option<(f64, bool)>,
+    report_idx: usize,
+}
+
+impl<'a> TraceSession<'a> {
+    /// Creates the session over a trace (which must have ≥ 2 samples).
+    pub fn new(trace: &'a HeadTrace, p: crate::trace_sim::TraceSimParams) -> TraceSession<'a> {
+        assert!(trace.len() >= 2, "need at least two samples");
+        TraceSession {
+            trace,
+            p,
+            lat: 0.0,
+            ang: 0.0,
+            lat_rate: 0.0,
+            ang_rate: 0.0,
+            realign_at: None,
+            report_idx: 0,
+        }
+    }
+}
+
+impl SlotSession for TraceSession<'_> {
+    type Record = bool;
+
+    fn step_slot(&mut self, k: usize) -> bool {
+        let p = &self.p;
+        let t_ms = (k as f64 + 1.0) * p.slot_ms;
+
+        // Reports that arrived by this slot.
+        while self.report_idx + 1 < self.trace.len()
+            && self.trace.samples[self.report_idx + 1].t_ms <= t_ms
+        {
+            self.report_idx += 1;
+            let a = &self.trace.samples[self.report_idx - 1];
+            let b = &self.trace.samples[self.report_idx];
+            let dt = b.t_ms - a.t_ms;
+            // Drift tracks true motion regardless of report delivery.
+            self.lat_rate = (b.pos - a.pos).norm() / dt;
+            self.ang_rate = a.quat.angle_to(&b.quat) / dt;
+            let lost = p.report_loss_prob > 0.0
+                && unit(cyclops_par::mix64(p.loss_seed, self.report_idx as u64))
+                    < p.report_loss_prob;
+            if !lost {
+                self.realign_at = Some((b.t_ms + p.realign_latency_ms, false));
+            } else if p.dead_reckoning {
+                // The TP realigns on the extrapolated pose instead — same
+                // latency, degraded residual.
+                self.realign_at = Some((b.t_ms + p.realign_latency_ms, true));
+            }
+            // Lost without DR: no realignment; drift keeps accruing until
+            // the next delivered report.
+        }
+
+        // Realignment completion.
+        if let Some((when, dr)) = self.realign_at {
+            if when <= t_ms {
+                let scale = if dr { p.dr_residual_scale } else { 1.0 };
+                self.lat = p.residual_lat_m * scale;
+                self.ang = p.residual_ang_rad * scale;
+                self.realign_at = None;
+            }
+        }
+
+        // Drift accrues every slot.
+        self.lat += self.lat_rate * p.slot_ms;
+        self.ang += self.ang_rate * p.slot_ms;
+
+        self.lat <= p.tol_lat_m && self.ang <= p.tol_ang_rad
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-session (fleet) workloads
+// ---------------------------------------------------------------------------
+
+/// Configuration of a multi-session workload: N independently-seeded
+/// headsets, each served by its own clone of the M TX installations.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of concurrent sessions (headsets).
+    pub n_sessions: usize,
+    /// Duration of each session (seconds).
+    pub duration_s: f64,
+    /// Master seed; session `i` draws its motion and fault streams from
+    /// `mix64(seed, 1 + i)` — independent per session, reproducible, and
+    /// identical at any thread count.
+    pub seed: u64,
+    /// Hand-held motion model applied per session (seeded per session).
+    pub motion: ArbitraryMotionConfig,
+    /// Base pose each session starts from.
+    pub base_pose: Pose,
+    /// Control-plane template; each session re-keys the fault seed by its
+    /// session stream.
+    pub control: Option<ControlPlaneConfig>,
+    /// Occluder templates; each session rebuilds them with per-session walk
+    /// seeds.
+    pub occluders: Vec<Occluder>,
+    /// Handover debounce for multi-unit fleets (seconds).
+    pub debounce_s: f64,
+    /// The paper's §5.3 operator protocol: on a link loss the user pauses
+    /// and resumes once the link is back. Without it a hand-held session
+    /// rarely holds the signal through the multi-second SFP relink.
+    pub pause_on_outage: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_sessions: 8,
+            duration_s: 2.0,
+            seed: 1,
+            motion: ArbitraryMotionConfig::default(),
+            base_pose: Pose::translation(Vec3::new(0.0, 0.0, 1.75)),
+            control: None,
+            occluders: Vec::new(),
+            debounce_s: 0.03,
+            pause_on_outage: true,
+        }
+    }
+}
+
+/// Per-session outcome of a fleet run.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionReport {
+    /// Session index.
+    pub session: usize,
+    /// The session's derived seed.
+    pub seed: u64,
+    /// Slots simulated.
+    pub slots: usize,
+    /// Fraction of slots with the link up.
+    pub up_frac: f64,
+    /// Fraction of slots with received power above the SFP sensitivity —
+    /// the paper's Fig. 14 "availability", which ignores the relink dead
+    /// time that `up_frac` pays after every dip.
+    pub signal_frac: f64,
+    /// Mean goodput over the run (Gbps).
+    pub mean_goodput_gbps: f64,
+    /// Mean received power over the run (dBm).
+    pub mean_power_dbm: f64,
+    /// Handovers performed.
+    pub handovers: u64,
+    /// Fault-handling counters.
+    pub stats: SessionStats,
+    /// TP reports processed (across units).
+    pub tp_reports: u64,
+    /// TP pointing failures (across units).
+    pub tp_failures: u64,
+}
+
+/// Fleet-level rollup of the per-session counters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRollup {
+    /// Sessions run.
+    pub n_sessions: usize,
+    /// Total slots simulated across the fleet.
+    pub total_slots: usize,
+    /// Mean of the per-session up fractions.
+    pub mean_up_frac: f64,
+    /// Mean of the per-session signal-availability fractions.
+    pub mean_signal_frac: f64,
+    /// Worst session's up fraction.
+    pub min_up_frac: f64,
+    /// Sum of the per-session mean goodputs (aggregate offered load, Gbps).
+    pub sum_goodput_gbps: f64,
+    /// Total handovers.
+    pub total_handovers: u64,
+    /// Total link-down episodes.
+    pub total_outages: u64,
+    /// Longest outage across the fleet (seconds).
+    pub worst_outage_s: f64,
+    /// Total dead-reckoned commands.
+    pub total_extrapolated: u64,
+    /// Total re-acquisition probes.
+    pub total_reacq_steps: u64,
+    /// Total control frames sent (0 when the fleet ran the legacy path).
+    pub ctrl_sent: u64,
+    /// Total control frames delivered.
+    pub ctrl_delivered: u64,
+    /// Total ARQ retransmissions.
+    pub ctrl_retransmits: u64,
+}
+
+/// Outcome of [`run_fleet`]: per-session reports (in session order) plus
+/// the rollup.
+#[derive(Debug, Clone)]
+pub struct FleetSummary {
+    /// Per-session reports, indexed by session.
+    pub sessions: Vec<SessionReport>,
+}
+
+impl FleetSummary {
+    /// Aggregates the per-session counters.
+    pub fn rollup(&self) -> FleetRollup {
+        let n = self.sessions.len();
+        let mut r = FleetRollup {
+            n_sessions: n,
+            total_slots: 0,
+            mean_up_frac: 0.0,
+            mean_signal_frac: 0.0,
+            min_up_frac: f64::INFINITY,
+            sum_goodput_gbps: 0.0,
+            total_handovers: 0,
+            total_outages: 0,
+            worst_outage_s: 0.0,
+            total_extrapolated: 0,
+            total_reacq_steps: 0,
+            ctrl_sent: 0,
+            ctrl_delivered: 0,
+            ctrl_retransmits: 0,
+        };
+        for s in &self.sessions {
+            r.total_slots += s.slots;
+            r.mean_up_frac += s.up_frac;
+            r.mean_signal_frac += s.signal_frac;
+            r.min_up_frac = r.min_up_frac.min(s.up_frac);
+            r.sum_goodput_gbps += s.mean_goodput_gbps;
+            r.total_handovers += s.handovers;
+            r.total_outages += s.stats.n_outages;
+            r.worst_outage_s = r.worst_outage_s.max(s.stats.longest_outage_s);
+            r.total_extrapolated += s.stats.n_extrapolated;
+            r.total_reacq_steps += s.stats.n_reacq_steps;
+            if let Some(c) = s.stats.control {
+                r.ctrl_sent += c.sent;
+                r.ctrl_delivered += c.delivered;
+                r.ctrl_retransmits += c.retransmits;
+            }
+        }
+        if n > 0 {
+            r.mean_up_frac /= n as f64;
+            r.mean_signal_frac /= n as f64;
+        } else {
+            r.min_up_frac = 0.0;
+        }
+        r
+    }
+}
+
+/// Runs one fleet session (index `i`) against a private clone of `units`.
+fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> SessionReport {
+    let seed = cyclops_par::mix64(cfg.seed, 1 + i as u64);
+    let motion = ArbitraryMotion::new(cfg.base_pose, cfg.motion, seed);
+    let mut control = cfg.control;
+    if let Some(c) = control.as_mut() {
+        c.fault.seed = cyclops_par::mix64(c.fault.seed, 1 + i as u64);
+    }
+    let occluders: Vec<Occluder> = cfg
+        .occluders
+        .iter()
+        .enumerate()
+        .map(|(j, o)| {
+            Occluder::new(
+                o.center,
+                o.radius,
+                o.speed,
+                cyclops_par::mix64(seed, 0x0cc1 + j as u64),
+            )
+        })
+        .collect();
+    let ecfg = EngineConfig {
+        control,
+        los_gating: !occluders.is_empty(),
+        pause_on_outage: cfg.pause_on_outage,
+        ..EngineConfig::default()
+    };
+    let selector = BestMargin::new(units[0].dep.design, cfg.debounce_s);
+    let mut session = LinkSession::with_units(units.to_vec(), motion, occluders, selector, ecfg);
+    let recs = session.run(cfg.duration_s);
+    let n = recs.len().max(1) as f64;
+    let up = recs.iter().filter(|r| r.link_up).count() as f64 / n;
+    let sens = units[0].dep.design.sfp.rx_sensitivity_dbm;
+    let sig = recs.iter().filter(|r| r.power_dbm >= sens).count() as f64 / n;
+    let goodput = recs.iter().map(|r| r.goodput_gbps).sum::<f64>() / n;
+    let power = recs.iter().map(|r| r.power_dbm).sum::<f64>() / n;
+    let tp = session.tp_metrics();
+    SessionReport {
+        session: i,
+        seed,
+        slots: recs.len(),
+        up_frac: up,
+        signal_frac: sig,
+        mean_goodput_gbps: goodput,
+        mean_power_dbm: power,
+        handovers: session.n_handovers(),
+        stats: session.session_stats(),
+        tp_reports: tp.n_reports,
+        tp_failures: tp.n_failures,
+    }
+}
+
+/// Runs `cfg.n_sessions` independently-seeded sessions, each against its
+/// own clone of `units`, and collects the reports in session-index order.
+///
+/// Sessions are independent, so under the `parallel` feature they run on
+/// worker threads and are collected in index order — bit-identical to the
+/// serial loop at any thread count.
+pub fn run_fleet(units: &[TxInstallation], cfg: &FleetConfig) -> FleetSummary {
+    let idx: Vec<usize> = (0..cfg.n_sessions).collect();
+    let one = |&i: &usize| run_fleet_session(units, cfg, i);
+    #[cfg(feature = "parallel")]
+    let sessions = cyclops_par::par_map(&idx, 1, one);
+    #[cfg(not(feature = "parallel"))]
+    let sessions: Vec<SessionReport> = idx.iter().map(one).collect();
+    FleetSummary { sessions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclops_geom::vec3::v3;
+
+    #[test]
+    fn single_tx_selector_never_switches() {
+        let mut s = SingleTx;
+        let ctx = SelectCtx {
+            active: 0,
+            signal: false,
+            slot_s: 1e-3,
+            rx_pos: Vec3::ZERO,
+            tx_positions: &[Vec3::ZERO, v3(1.0, 0.0, 0.0)],
+            occluders: &[],
+        };
+        for _ in 0..100 {
+            assert_eq!(s.on_slot(&ctx), None);
+        }
+    }
+
+    #[test]
+    fn dark_debounce_waits_then_picks_nearest_visible() {
+        let mut s = DarkDebounce::new(0.03);
+        let tx = [v3(-1.0, 2.0, 0.0), v3(0.4, 2.0, 0.0), v3(3.0, 2.0, 0.0)];
+        let dark = |sel: &mut DarkDebounce| {
+            sel.on_slot(&SelectCtx {
+                active: 0,
+                signal: false,
+                slot_s: 1e-3,
+                rx_pos: Vec3::ZERO,
+                tx_positions: &tx,
+                occluders: &[],
+            })
+        };
+        // 29 dark ms: still debouncing.
+        for _ in 0..29 {
+            assert_eq!(dark(&mut s), None);
+        }
+        // 30th dark slot: nearest sibling (unit 1) wins.
+        assert_eq!(dark(&mut s), Some(1));
+    }
+
+    #[test]
+    fn dark_debounce_resets_on_signal() {
+        let mut s = DarkDebounce::new(0.03);
+        let tx = [v3(-1.0, 2.0, 0.0), v3(0.4, 2.0, 0.0)];
+        let slot = |sel: &mut DarkDebounce, signal: bool| {
+            sel.on_slot(&SelectCtx {
+                active: 0,
+                signal,
+                slot_s: 1e-3,
+                rx_pos: Vec3::ZERO,
+                tx_positions: &tx,
+                occluders: &[],
+            })
+        };
+        for _ in 0..29 {
+            assert_eq!(slot(&mut s, false), None);
+        }
+        assert_eq!(slot(&mut s, true), None); // signal resets the clock
+        for _ in 0..29 {
+            assert_eq!(slot(&mut s, false), None);
+        }
+        assert_eq!(slot(&mut s, false), Some(1));
+    }
+
+    #[test]
+    fn margin_selector_without_hysteresis_matches_legacy_semantics() {
+        let mut sel = MarginSelector::new(0.05);
+        // Active usable: deliver, never switch.
+        let (d, a) = sel.step(0, 2, |i| if i == 0 { 1.0 } else { 10.0 }, 1e-3);
+        assert!(d);
+        assert_eq!(a, 0);
+        // Active dead: switch to the best usable, pay the delay.
+        let (d, a) = sel.step(0, 2, |i| if i == 0 { -1.0 } else { 3.0 }, 1e-3);
+        assert!(!d);
+        assert_eq!(a, 1);
+        assert!(sel.switching());
+    }
+
+    #[test]
+    fn margin_selector_hysteresis_upgrades_only_past_threshold() {
+        let mut sel = MarginSelector::new(0.0);
+        sel.hysteresis_db = Some(2.0);
+        // 1 dB better: below hysteresis, stay.
+        let (d, a) = sel.step(0, 2, |i| if i == 0 { 5.0 } else { 6.0 }, 1e-3);
+        assert!(d);
+        assert_eq!(a, 0);
+        // 3 dB better: upgrade.
+        let (_, a) = sel.step(0, 2, |i| if i == 0 { 5.0 } else { 8.0 }, 1e-3);
+        assert_eq!(a, 1);
+    }
+
+    #[test]
+    fn trace_session_matches_simulate_trace() {
+        use crate::trace_sim::{simulate_trace, TraceSimParams};
+        use cyclops_vrh::traces::TraceGenConfig;
+        let tr = HeadTrace::generate(&TraceGenConfig::default(), 4242);
+        let p = TraceSimParams {
+            report_loss_prob: 0.25,
+            loss_seed: 9,
+            dead_reckoning: true,
+            ..Default::default()
+        };
+        let r = simulate_trace(&tr, &p);
+        let n_slots = ((tr.duration_s() * 1e3) / p.slot_ms).floor() as usize;
+        let mut s = TraceSession::new(&tr, p);
+        let slots = run_slots(&mut s, n_slots);
+        assert_eq!(r.slots_on, slots);
+    }
+
+    #[test]
+    fn fleet_reports_are_deterministic_and_per_session_seeded() {
+        let units = crate::multi_tx::tests::two_units(911);
+        let cfg = FleetConfig {
+            n_sessions: 3,
+            duration_s: 0.5,
+            seed: 77,
+            ..Default::default()
+        };
+        let a = run_fleet(&units, &cfg);
+        let b = run_fleet(&units, &cfg);
+        assert_eq!(a.sessions.len(), 3);
+        for (x, y) in a.sessions.iter().zip(&b.sessions) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.up_frac.to_bits(), y.up_frac.to_bits());
+            assert_eq!(x.mean_goodput_gbps.to_bits(), y.mean_goodput_gbps.to_bits());
+            assert_eq!(x.stats.n_outages, y.stats.n_outages);
+        }
+        // Sessions are independently seeded: their streams must differ.
+        assert_ne!(a.sessions[0].seed, a.sessions[1].seed);
+        let r = a.rollup();
+        assert_eq!(r.n_sessions, 3);
+        assert_eq!(r.total_slots, a.sessions.iter().map(|s| s.slots).sum());
+        assert!(r.min_up_frac <= r.mean_up_frac + 1e-12);
+    }
+}

@@ -7,7 +7,12 @@
 //! occlusion model (a sphere — e.g. a raised arm — wandering through the
 //! room), and a controller that re-points to the best unoccluded TX, paying
 //! a switch penalty (steering + SFP re-lock on the new unit).
+//!
+//! Since the engine refactor the selection state machine lives in
+//! [`crate::engine::MarginSelector`]; [`HandoverSystem`] binds it to a set
+//! of [`TxUnit`]s and an occlusion model.
 
+use crate::engine::{aligned_margin_db, MarginSelector};
 use cyclops_geom::vec3::Vec3;
 use cyclops_optics::coupling::LinkDesign;
 use rand::rngs::StdRng;
@@ -80,7 +85,7 @@ pub struct HandoverSystem {
     /// Time to switch to another TX (re-steer + re-lock), seconds.
     pub switch_time_s: f64,
     active: usize,
-    switch_remaining_s: f64,
+    selector: MarginSelector,
 }
 
 impl HandoverSystem {
@@ -92,7 +97,7 @@ impl HandoverSystem {
             design,
             switch_time_s,
             active: 0,
-            switch_remaining_s: 0.0,
+            selector: MarginSelector::new(switch_time_s),
         }
     }
 
@@ -101,19 +106,19 @@ impl HandoverSystem {
         self.active
     }
 
+    /// Greedy-upgrade hysteresis: with `Some(h)` the system also switches
+    /// away from a *working* unit once a sibling's margin beats the active
+    /// unit's by strictly more than `h` dB (a tie never switches). `None`
+    /// (the default) only switches when the active unit is unusable.
+    pub fn set_hysteresis_db(&mut self, h: Option<f64>) {
+        self.selector.hysteresis_db = h;
+    }
+
     /// Aligned link margin (dB) unit `i` would give at the RX position:
     /// the design's margin re-evaluated at that unit's actual range. Units
     /// further away than the design closes for return negative margin.
     pub fn unit_margin_db(&self, i: usize, rx_pos: Vec3) -> f64 {
-        use cyclops_geom::ray::Ray;
-        use cyclops_optics::coupling::ReceiverGeometry;
-        let dir = (rx_pos - self.txs[i].pos).try_normalized(1e-9);
-        let Some(dir) = dir else {
-            return f64::NEG_INFINITY;
-        };
-        let chief = Ray::new(self.txs[i].pos, dir);
-        let rx = ReceiverGeometry::new(rx_pos, -dir);
-        self.design.received_power_dbm(chief, &rx) - self.design.sfp.rx_sensitivity_dbm
+        aligned_margin_db(&self.design, self.txs[i].pos, rx_pos)
     }
 
     /// Advances one step: given the RX position and the occluders, decide
@@ -122,33 +127,19 @@ impl HandoverSystem {
     /// Returns whether the link delivers data this step (false while
     /// blocked, out of margin, or mid-switch).
     pub fn step(&mut self, rx_pos: Vec3, occluders: &[Occluder], dt: f64) -> bool {
-        if self.switch_remaining_s > 0.0 {
-            self.switch_remaining_s -= dt;
-            return false;
-        }
-        let usable = |i: usize, txs: &[TxUnit]| {
-            !occluders.iter().any(|o| o.blocks(txs[i].pos, rx_pos))
-                && self.unit_margin_db(i, rx_pos) >= 0.0
-        };
-        if usable(self.active, &self.txs) {
-            return true;
-        }
-        // Pick the usable unit with the highest margin.
-        let best = (0..self.txs.len())
-            .filter(|&i| usable(i, &self.txs))
-            .max_by(|&a, &b| {
-                self.unit_margin_db(a, rx_pos)
-                    .partial_cmp(&self.unit_margin_db(b, rx_pos))
-                    .unwrap()
-            });
-        match best {
-            Some(i) => {
-                self.active = i;
-                self.switch_remaining_s = self.switch_time_s;
-                false
+        self.selector.switch_time_s = self.switch_time_s;
+        let txs = &self.txs;
+        let design = &self.design;
+        let margin = |i: usize| {
+            if occluders.iter().any(|o| o.blocks(txs[i].pos, rx_pos)) {
+                f64::NEG_INFINITY
+            } else {
+                aligned_margin_db(design, txs[i].pos, rx_pos)
             }
-            None => false, // everything blocked or out of reach
-        }
+        };
+        let (delivering, active) = self.selector.step(self.active, txs.len(), margin, dt);
+        self.active = active;
+        delivering
     }
 }
 
@@ -278,5 +269,24 @@ mod tests {
         let single = run(1);
         let dual = run(2);
         assert!(dual > single, "dual {dual} vs single {single}");
+    }
+
+    #[test]
+    fn hysteresis_upgrades_to_a_much_better_unit() {
+        // RX parked far off-centre: unit 1 is much closer (higher margin)
+        // but unit 0 still closes. Without hysteresis the system never
+        // leaves unit 0; with it, it upgrades after the switch delay.
+        let rx = v3(0.7, 0.0, 0.0);
+        let mut plain = two_tx_system(0.01);
+        for _ in 0..100 {
+            plain.step(rx, &[], 1e-3);
+        }
+        assert_eq!(plain.active(), 0, "no hysteresis: never upgrade");
+        let mut greedy = two_tx_system(0.01);
+        greedy.set_hysteresis_db(Some(0.5));
+        for _ in 0..100 {
+            greedy.step(rx, &[], 1e-3);
+        }
+        assert_eq!(greedy.active(), 1, "hysteresis: upgrade to better unit");
     }
 }

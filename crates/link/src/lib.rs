@@ -16,15 +16,20 @@
 //!   seconds to regain", §5.3);
 //! * [`iperf`] — 50 ms-window goodput measurement, the paper's iperf \[42\]
 //!   methodology;
+//! * [`engine`] — the unified slot-clocked simulation engine: one scheduler
+//!   driving pluggable components (motion source, TP policy, control plane,
+//!   channel model, TX selector), plus multi-session fleet workloads;
 //! * [`simulator`] — the end-to-end 1 ms-slot simulator joining motion,
-//!   tracking, TP and optics: the engine behind Figs 13–15;
+//!   tracking, TP and optics (Figs 13–15) — a single-TX engine session;
 //! * [`trace_sim`] — the §5.4 user-trace connectivity simulation (Fig 16),
-//!   implemented with exactly the paper's drift/tolerance methodology;
+//!   implemented with exactly the paper's drift/tolerance methodology — a
+//!   trace engine session;
 //! * [`handover`] — the multi-TX occlusion/handover extension sketched in
 //!   §3 ("to circumvent occasional occlusions ... multiple TXs on the
 //!   ceiling with appropriate handover techniques") — geometric model;
 //! * [`multi_tx`] — the same extension on the full physical pipeline
-//!   (per-unit trained TP, real optics, real SFP re-lock).
+//!   (per-unit trained TP, real optics, real SFP re-lock) — a multi-unit
+//!   engine session.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -32,6 +37,7 @@
 pub mod channel;
 pub mod control;
 pub mod crc;
+pub mod engine;
 pub mod framing;
 pub mod handover;
 pub mod iperf;
@@ -45,6 +51,11 @@ pub use channel::FsoChannel;
 pub use control::{
     ArqConfig, ControlLink, ControlPlaneConfig, ControlStats, DeadReckoningConfig, FaultPlan,
     FlapSchedule, ReacqConfig,
+};
+pub use engine::{
+    run_fleet, run_slots, BestMargin, DarkDebounce, EngineConfig, EngineSlot, FleetConfig,
+    FleetRollup, FleetSummary, LinkSession, MarginSelector, SessionReport, SingleTx, SlotSession,
+    TxSelector,
 };
 pub use framing::Frame;
 pub use iperf::ThroughputMeter;

@@ -3,37 +3,20 @@
 //! genuine SFP re-lock), rather than the geometric sketch in
 //! [`crate::handover`].
 //!
-//! Construction: several [`Deployment`]s built from the **same seed** (one
-//! physical headset/RX world) with different `tx_position`s, each with its
-//! own trained [`TpController`]. Per slot the simulator:
-//!
-//! 1. advances the occluders and the headset motion (pose synced to every
-//!    unit);
-//! 2. lets the active unit's TP act on tracking reports;
-//! 3. computes the active unit's received power, gated by line-of-sight
-//!    through the occluders;
-//! 4. hands over when the active unit has been dark for a debounce interval:
-//!    picks the best unoccluded unit, re-points it once from the latest
-//!    report, and lets the SFP state machine pay the re-lock on the new
-//!    unit.
+//! Since the engine refactor this module is a thin façade:
+//! [`MultiTxSimulator`] is a [`LinkSession`]
+//! with the multi-TX profile — slot-start pose sync to every unit, immediate
+//! TP commands, line-of-sight gating through the occluders, and the
+//! [`DarkDebounce`] selector (after a dark debounce, hand over to the
+//! nearest unoccluded sibling and pay the SFP re-lock there). Outputs are
+//! bit-identical to the pre-refactor loop per seed.
 
+use crate::engine::{DarkDebounce, EngineConfig, LinkSession};
 use crate::handover::Occluder;
-use crate::sfp_state::SfpLinkState;
-use cyclops_core::deployment::Deployment;
-use cyclops_core::mapping::noisy_report_of;
-use cyclops_core::tp::TpController;
 use cyclops_vrh::motion::Motion;
 use cyclops_vrh::tracking::TrackerConfig;
-use rand::Rng;
 
-/// One ceiling unit: its world (with its TX) plus its trained controller.
-#[derive(Debug, Clone)]
-pub struct TxInstallation {
-    /// The unit's deployment (shares the headset world with its siblings).
-    pub dep: Deployment,
-    /// The unit's trained TP controller.
-    pub ctl: TpController,
-}
+pub use crate::engine::TxInstallation;
 
 /// Per-slot record of the multi-TX simulation.
 #[derive(Debug, Clone, Copy)]
@@ -50,189 +33,74 @@ pub struct MultiTxSlot {
     pub link_up: bool,
 }
 
-/// The multi-TX simulator.
+/// The multi-TX simulator: a [`LinkSession`] over several installations
+/// with the dark-debounce nearest-sibling selector.
 #[derive(Debug)]
 pub struct MultiTxSimulator<M: Motion> {
-    /// The installed units.
-    pub units: Vec<TxInstallation>,
-    /// Headset motion.
-    pub motion: M,
-    /// Moving occluders.
-    pub occluders: Vec<Occluder>,
-    /// Tracker timing config (shared).
-    pub tracker: TrackerConfig,
-    /// Dark time on the active unit before a handover is attempted (s).
-    pub handover_debounce_s: f64,
-    active: usize,
-    sfp: SfpLinkState,
-    dark_s: f64,
-    next_report_t: f64,
-    t: f64,
-    /// Cached TX aperture positions (ceiling units do not move).
-    tx_positions: Vec<cyclops_geom::vec3::Vec3>,
+    session: LinkSession<M, DarkDebounce>,
 }
 
 impl<M: Motion> MultiTxSimulator<M> {
     /// Creates the simulator; unit 0 starts active and aligned to the
     /// motion's initial pose.
     pub fn new(
-        mut units: Vec<TxInstallation>,
-        mut motion: M,
+        units: Vec<TxInstallation>,
+        motion: M,
         occluders: Vec<Occluder>,
     ) -> MultiTxSimulator<M> {
-        assert!(!units.is_empty());
-        let relink = units[0].dep.design.sfp.relink_time_s;
-        let pose0 = motion.pose_at(0.0);
-        for u in units.iter_mut() {
-            u.dep.set_headset_pose(pose0);
-        }
-        // Align unit 0.
-        let tracker = TrackerConfig::default();
-        let clean = units[0].dep.headset.true_reported_pose();
-        let rep = noisy_report_of(clean, &tracker, units[0].dep.rng());
-        let cmd = units[0].ctl.on_report(&rep);
-        units[0].dep.set_voltages(
-            cmd.voltages[0],
-            cmd.voltages[1],
-            cmd.voltages[2],
-            cmd.voltages[3],
-        );
-        let tx_positions = units.iter().map(|u| u.dep.tx_world_params().q2).collect();
+        let cfg = EngineConfig::multi_tx(TrackerConfig::default());
         MultiTxSimulator {
-            units,
-            motion,
-            occluders,
-            tracker,
-            handover_debounce_s: 0.03,
-            active: 0,
-            sfp: SfpLinkState::new_up(relink),
-            dark_s: 0.0,
-            next_report_t: 0.0,
-            t: 0.0,
-            tx_positions,
+            session: LinkSession::with_units(
+                units,
+                motion,
+                occluders,
+                DarkDebounce::new(0.03),
+                cfg,
+            ),
         }
     }
 
     /// Index of the currently active unit.
     pub fn active(&self) -> usize {
-        self.active
+        self.session.active()
     }
 
-    fn unit_los(&self, i: usize, rx_pos: cyclops_geom::vec3::Vec3) -> bool {
-        let tx_pos = self.tx_positions[i];
-        !self.occluders.iter().any(|o| o.blocks(tx_pos, rx_pos))
+    /// The installed units.
+    pub fn units(&self) -> &[TxInstallation] {
+        self.session.units()
+    }
+
+    /// The moving occluders (mutable, e.g. to script a trajectory).
+    pub fn occluders_mut(&mut self) -> &mut [Occluder] {
+        self.session.occluders_mut()
     }
 
     /// Runs for `duration_s` at 1 ms slots.
     pub fn run(&mut self, duration_s: f64) -> Vec<MultiTxSlot> {
-        let slot = 1e-3;
-        let n = (duration_s / slot).round() as usize;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let t_slot = self.t + slot;
-
-            // Occluders wander.
-            for o in self.occluders.iter_mut() {
-                o.step(slot);
-            }
-
-            // Headset pose, synced to every unit's world.
-            let pose = self.motion.pose_at(t_slot);
-            for u in self.units.iter_mut() {
-                u.dep.set_headset_pose(pose);
-            }
-            let rx_pos = self.units[self.active].dep.rx_world_params().q2;
-
-            // Tracking reports drive the active unit's TP.
-            while self.next_report_t <= t_slot {
-                let rt = self.next_report_t;
-                let c = self.tracker;
-                let period = c.draw_period(self.units[self.active].dep.rng());
-                self.next_report_t = rt + period;
-                if c.report_loss_prob > 0.0
-                    && self.units[self.active]
-                        .dep
-                        .rng()
-                        .gen_bool(c.report_loss_prob)
-                {
-                    continue; // lost in the control channel
-                }
-                let u = &mut self.units[self.active];
-                let clean = u.dep.headset.true_reported_pose();
-                let rep = noisy_report_of(clean, &self.tracker, u.dep.rng());
-                let cmd = u.ctl.on_report(&rep);
-                u.dep.set_voltages(
-                    cmd.voltages[0],
-                    cmd.voltages[1],
-                    cmd.voltages[2],
-                    cmd.voltages[3],
-                );
-            }
-
-            // Active unit's optics, gated by line of sight.
-            let los = self.unit_los(self.active, rx_pos);
-            let power = if los {
-                self.units[self.active].dep.received_power_dbm()
-            } else {
-                Deployment::POWER_METER_FLOOR_DBM
-            };
-            let sens = self.units[self.active].dep.design.sfp.rx_sensitivity_dbm;
-            let signal = power >= sens;
-            if signal {
-                self.dark_s = 0.0;
-            } else {
-                self.dark_s += slot;
-            }
-
-            // Handover after the debounce: best unoccluded sibling.
-            if self.dark_s >= self.handover_debounce_s && self.units.len() > 1 {
-                if let Some(best) = (0..self.units.len())
-                    .filter(|&i| i != self.active && self.unit_los(i, rx_pos))
-                    .min_by(|&a, &b| {
-                        let da = self.tx_positions[a].distance(rx_pos);
-                        let db = self.tx_positions[b].distance(rx_pos);
-                        da.partial_cmp(&db).unwrap()
-                    })
-                {
-                    self.active = best;
-                    self.dark_s = 0.0;
-                    // One immediate TP shot on the new unit.
-                    let u = &mut self.units[best];
-                    let clean = u.dep.headset.true_reported_pose();
-                    let rep = noisy_report_of(clean, &self.tracker, u.dep.rng());
-                    let cmd = u.ctl.on_report(&rep);
-                    u.dep.set_voltages(
-                        cmd.voltages[0],
-                        cmd.voltages[1],
-                        cmd.voltages[2],
-                        cmd.voltages[3],
-                    );
-                }
-            }
-
-            let up = self.sfp.step(signal, slot);
-            out.push(MultiTxSlot {
-                t: t_slot,
-                active: self.active,
-                los,
-                power_dbm: power,
-                link_up: up,
-            });
-            self.t = t_slot;
-        }
-        out
+        self.session
+            .run(duration_s)
+            .into_iter()
+            .map(|r| MultiTxSlot {
+                t: r.t,
+                active: r.active,
+                los: r.los,
+                power_dbm: r.power_dbm,
+                link_up: r.link_up,
+            })
+            .collect()
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
+    use cyclops_core::deployment::Deployment;
     use cyclops_geom::pose::Pose;
     use cyclops_geom::vec3::v3;
     use cyclops_vrh::motion::StaticPose;
 
     /// Two fully-trained installations sharing one headset world.
-    fn two_units(seed: u64) -> Vec<TxInstallation> {
+    pub(crate) fn two_units(seed: u64) -> Vec<TxInstallation> {
         use cyclops_core::deployment::DeploymentConfig;
         use cyclops_core::kspace::{train_both, BoardConfig};
         use cyclops_core::mapping::{self, rough_initial_guess};
@@ -248,7 +116,8 @@ mod tests {
                 let mut cfg = DeploymentConfig::paper_10g(seed);
                 cfg.tx_position = pos;
                 let mut dep = Deployment::new(&cfg);
-                let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &board, seed);
+                let (tx_tr, tx_rig, rx_tr, rx_rig) =
+                    train_both(&dep, &board, seed).expect("stage-1 training");
                 let (itx, irx) = rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
                 let mt = mapping::train(
                     &mut dep,

@@ -1,29 +1,22 @@
 //! End-to-end 1 ms-slot link simulator: motion × tracking × TP × optics ×
-//! data plane — the engine behind the throughput evaluations (Figs 13–15).
+//! data plane — the configuration behind the throughput evaluations
+//! (Figs 13–15).
 //!
-//! Each slot:
-//!
-//! 1. deliver any VRH-T reports that fell due (the tracker fires every
-//!    12–13 ms), run the TP controller on them, and schedule the resulting
-//!    galvo command after the TP latency (~1–2 ms);
-//! 2. apply commands whose time has come;
-//! 3. move the headset to its true pose and evaluate received power through
-//!    the full optical chain;
-//! 4. advance the SFP state machine (instant loss-of-signal, multi-second
-//!    re-lock) and account goodput through the BER channel.
+//! Since the engine refactor this module is a thin façade: the slot loop
+//! lives in [`crate::engine`], and [`LinkSimulator`] is a
+//! [`LinkSession`] with the single-TX profile
+//! (scheduled commands, per-report pose sampling, goodput accounting, no
+//! occluders). Outputs are bit-identical to the pre-refactor loop per seed.
 
-use crate::channel::FsoChannel;
-use crate::control::{ControlLink, ControlPlaneConfig, ControlStats};
-use crate::sfp_state::SfpLinkState;
+use crate::engine::{EngineConfig, LinkSession, SingleTx};
 use cyclops_core::deployment::Deployment;
-use cyclops_core::mapping::noisy_report_of;
-use cyclops_core::pointing::ReacqSpiral;
 use cyclops_core::tp::TpController;
-use cyclops_geom::pose::Pose;
-use cyclops_vrh::motion::{extrapolate_pose, Motion};
-use cyclops_vrh::speeds::pose_speeds;
+use cyclops_vrh::motion::Motion;
 use cyclops_vrh::tracking::TrackerConfig;
-use rand::Rng;
+
+pub use crate::engine::SessionStats;
+
+use crate::control::ControlPlaneConfig;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -56,28 +49,24 @@ impl Default for LinkSimConfig {
     }
 }
 
-/// Per-session fault-handling counters (ARQ retries, dead reckoning,
-/// re-acquisition, outage durations).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SessionStats {
-    /// Control-channel counters (`None` when the legacy path ran).
-    pub control: Option<ControlStats>,
-    /// Dead-reckoned commands issued from extrapolated poses.
-    pub n_extrapolated: u64,
-    /// Re-acquisition spiral probes taken.
-    pub n_reacq_steps: u64,
-    /// Link-down episodes entered.
-    pub n_outages: u64,
-    /// Total link-down time (seconds).
-    pub outage_s: f64,
-    /// Longest single link-down episode (seconds).
-    pub longest_outage_s: f64,
+impl From<LinkSimConfig> for EngineConfig {
+    /// The single-TX engine profile carrying this config's knobs.
+    fn from(c: LinkSimConfig) -> EngineConfig {
+        EngineConfig {
+            slot_s: c.slot_s,
+            tracker: c.tracker,
+            frame_bits: c.frame_bits,
+            pause_on_outage: c.pause_on_outage,
+            control: c.control,
+            ..EngineConfig::default()
+        }
+    }
 }
 
 /// Per-slot record of the simulation.
 #[derive(Debug, Clone, Copy)]
 pub struct SlotRecord {
-    /// Slot start time (seconds).
+    /// Slot end time (seconds).
     pub t: f64,
     /// Received optical power (dBm).
     pub power_dbm: f64,
@@ -91,49 +80,10 @@ pub struct SlotRecord {
     pub ang_speed: f64,
 }
 
-/// The simulator. Owns the world, the trained controller, and a motion.
+/// The single-TX simulator: a [`LinkSession`] pinned to one unit.
 #[derive(Debug)]
 pub struct LinkSimulator<M: Motion> {
-    /// The physical bench.
-    pub dep: Deployment,
-    /// The trained TP controller.
-    pub ctl: TpController,
-    /// The RX assembly's motion.
-    pub motion: M,
-    /// Configuration.
-    pub cfg: LinkSimConfig,
-    channel: FsoChannel,
-    sfp: SfpLinkState,
-    next_report_t: f64,
-    pending: std::collections::VecDeque<(f64, [f64; 4])>,
-    t: f64,
-    /// Accumulated tracker random-walk drift (applied to report positions
-    /// when `tracker.drift_sigma_per_sqrt_s` is set).
-    drift: cyclops_geom::vec3::Vec3,
-    last_report_t: f64,
-    /// Motion-clock time (lags `t` when pause_on_outage freezes motion).
-    motion_t: f64,
-    /// Control-plane state (present when `cfg.control` is set). The link
-    /// payload is `(t_sample, reported_pose)`.
-    ctrl_link: Option<ControlLink<(f64, Pose)>>,
-    /// Recent delivered reports `(t_sample, pose)`, newest at the back,
-    /// feeding the dead-reckoning velocity estimate. The velocity anchor is
-    /// the newest entry at least `min_baseline_s` older than the latest, so
-    /// tracker noise isn't amplified by differencing two near-coincident
-    /// samples.
-    deliveries: std::collections::VecDeque<(f64, Pose)>,
-    /// Arrival time of the last delivered report (staleness clock).
-    last_delivery_arrival: Option<f64>,
-    last_dr_t: f64,
-    /// Re-acquisition search state.
-    spiral: Option<ReacqSpiral>,
-    spiral_exhausted: bool,
-    signal_lost_since: Option<f64>,
-    /// Outage accounting.
-    n_outages: u64,
-    outage_s: f64,
-    cur_outage_s: f64,
-    longest_outage_s: f64,
+    session: LinkSession<M, SingleTx>,
 }
 
 impl<M: Motion> LinkSimulator<M> {
@@ -141,315 +91,57 @@ impl<M: Motion> LinkSimulator<M> {
     /// with a perfectly aligned beam": one TP step is run against the
     /// motion's initial pose and applied before time zero.
     pub fn new(dep: Deployment, ctl: TpController, motion: M, cfg: LinkSimConfig) -> Self {
-        let mut dep = dep;
-        let mut ctl = ctl;
-        let mut motion = motion;
-        let pose0 = motion.pose_at(0.0);
-        dep.set_headset_pose(pose0);
-        let clean = dep.headset.true_reported_pose();
-        let report = noisy_report_of(clean, &cfg.tracker, dep.rng());
-        let cmd = ctl.on_report(&report);
-        dep.set_voltages(
-            cmd.voltages[0],
-            cmd.voltages[1],
-            cmd.voltages[2],
-            cmd.voltages[3],
-        );
-        let channel = FsoChannel::new(
-            dep.design.sfp.rx_sensitivity_dbm,
-            dep.design.sfp.rx_overload_dbm,
-        );
-        let sfp = SfpLinkState::new_up(dep.design.sfp.relink_time_s);
-        // The pre-start alignment above consumed the t = 0 report; the next
-        // one arrives a full tracker period later.
-        let first_period = cfg.tracker.draw_period(dep.rng());
-        let ctrl_link = cfg
-            .control
-            .map(|cp| ControlLink::new(cp.fault, cp.arq, cfg.tracker.control_channel_latency_s));
         LinkSimulator {
-            dep,
-            ctl,
-            motion,
-            cfg,
-            channel,
-            sfp,
-            next_report_t: first_period,
-            pending: std::collections::VecDeque::new(),
-            t: 0.0,
-            motion_t: 0.0,
-            drift: cyclops_geom::vec3::Vec3::ZERO,
-            last_report_t: 0.0,
-            ctrl_link,
-            deliveries: std::collections::VecDeque::new(),
-            last_delivery_arrival: None,
-            last_dr_t: 0.0,
-            spiral: None,
-            spiral_exhausted: false,
-            signal_lost_since: None,
-            n_outages: 0,
-            outage_s: 0.0,
-            cur_outage_s: 0.0,
-            longest_outage_s: 0.0,
+            session: LinkSession::single(dep, ctl, motion, cfg.into()),
         }
     }
 
-    fn draw_report_period(&mut self) -> f64 {
-        let c = self.cfg.tracker;
-        c.draw_period(self.dep.rng())
+    /// The physical bench.
+    pub fn dep(&self) -> &Deployment {
+        &self.session.units()[0].dep
+    }
+
+    /// Mutable access to the physical bench.
+    pub fn dep_mut(&mut self) -> &mut Deployment {
+        &mut self.session.units_mut()[0].dep
+    }
+
+    /// The trained TP controller.
+    pub fn ctl(&self) -> &TpController {
+        &self.session.units()[0].ctl
+    }
+
+    /// The engine configuration (slot length, tracker, control plane, …).
+    pub fn cfg(&self) -> &EngineConfig {
+        self.session.cfg()
+    }
+
+    /// Mutable access to the engine configuration.
+    pub fn cfg_mut(&mut self) -> &mut EngineConfig {
+        self.session.cfg_mut()
     }
 
     /// Runs for `duration_s`, returning one record per slot.
     pub fn run(&mut self, duration_s: f64) -> Vec<SlotRecord> {
-        let n_slots = (duration_s / self.cfg.slot_s).round() as usize;
-        let mut out = Vec::with_capacity(n_slots);
-        let mut prev_pose = self.motion.pose_at(self.motion_t);
-        for _ in 0..n_slots {
-            let t_slot = self.t + self.cfg.slot_s;
-            let moving = !self.cfg.pause_on_outage || self.sfp.is_up();
-            let motion_t_slot = if moving {
-                self.motion_t + self.cfg.slot_s
-            } else {
-                self.motion_t
-            };
-
-            // 1. Tracking reports due within this slot.
-            while self.next_report_t <= t_slot {
-                let rt = self.next_report_t;
-                let period = self.draw_report_period();
-                self.next_report_t = rt + period;
-                // Legacy path only: the control channel may lose the report
-                // entirely; the TP then simply waits for the next one. With
-                // the control plane enabled, losses (and everything else)
-                // come from the deterministic fault layer instead.
-                if self.ctrl_link.is_none() {
-                    let loss_p = self.cfg.tracker.report_loss_prob;
-                    if loss_p > 0.0 && self.dep.rng().gen_bool(loss_p) {
-                        continue;
-                    }
-                }
-                let pose = self
-                    .motion
-                    .pose_at(motion_t_slot.min(self.motion_t.max(motion_t_slot - (t_slot - rt))));
-                self.dep.set_headset_pose(pose);
-                let mut clean = self.dep.headset.true_reported_pose();
-                // Tracker random-walk drift (the §4 re-calibration trigger).
-                let ds = self.cfg.tracker.drift_sigma_per_sqrt_s;
-                if ds > 0.0 {
-                    let dt = (rt - self.last_report_t).max(0.0);
-                    let step = ds * dt.sqrt();
-                    let rng = self.dep.rng();
-                    self.drift += cyclops_geom::vec3::v3(
-                        cyclops_vrh::rand_util::gauss(rng) * step,
-                        cyclops_vrh::rand_util::gauss(rng) * step,
-                        cyclops_vrh::rand_util::gauss(rng) * step,
-                    );
-                    clean.trans += self.drift;
-                }
-                self.last_report_t = rt;
-                let reported = noisy_report_of(clean, &self.cfg.tracker, self.dep.rng());
-                if let Some(link) = self.ctrl_link.as_mut() {
-                    // Hand the report to the (faulty) control channel; the
-                    // TP acts on deliveries, not submissions.
-                    link.send(rt, (rt, reported));
-                } else {
-                    let cmd = self.ctl.on_report(&reported);
-                    // The command is optically effective only after the
-                    // control channel, the DAC conversion AND the mirror
-                    // settle/slew.
-                    let settle = self.dep.settle_estimate(
-                        cmd.voltages[0],
-                        cmd.voltages[1],
-                        cmd.voltages[2],
-                        cmd.voltages[3],
-                    );
-                    let apply_at =
-                        rt + self.cfg.tracker.control_channel_latency_s + cmd.latency_s + settle;
-                    self.pending.push_back((apply_at, cmd.voltages));
-                }
-            }
-
-            // 1b. Control-plane deliveries and dead reckoning. Delivered
-            // reports already carry the channel latency in their arrival
-            // time; only TP compute + settle remain.
-            if let Some(link) = self.ctrl_link.as_mut() {
-                let delivered = link.poll(t_slot);
-                for (t_arr, (t_sample, rep_pose)) in delivered {
-                    let cmd = self.ctl.on_report(&rep_pose);
-                    let settle = self.dep.settle_estimate(
-                        cmd.voltages[0],
-                        cmd.voltages[1],
-                        cmd.voltages[2],
-                        cmd.voltages[3],
-                    );
-                    self.pending
-                        .push_back((t_arr + cmd.latency_s + settle, cmd.voltages));
-                    self.deliveries.push_back((t_sample, rep_pose));
-                    if self.deliveries.len() > 64 {
-                        self.deliveries.pop_front();
-                    }
-                    self.last_delivery_arrival = Some(t_arr);
-                }
-                if let Some(dr) = self.cfg.control.and_then(|c| c.dead_reckoning) {
-                    if let (Some(&(t1, p1)), Some(arr)) =
-                        (self.deliveries.back(), self.last_delivery_arrival)
-                    {
-                        // Velocity anchor: the newest delivery at least
-                        // `min_baseline_s` older than the latest (falling
-                        // back to the oldest we kept).
-                        let (t0, p0) = self
-                            .deliveries
-                            .iter()
-                            .rev()
-                            .find(|(t, _)| t1 - t >= dr.min_baseline_s)
-                            .or_else(|| self.deliveries.front())
-                            .copied()
-                            .unwrap();
-                        // Reports stale but the velocity estimate still
-                        // fresh: steer on the constant-velocity prediction.
-                        if t0 < t1
-                            && t_slot - arr > dr.stale_after_s
-                            && t_slot - t1 <= dr.max_horizon_s
-                            && t_slot - self.last_dr_t >= dr.interval_s
-                        {
-                            let pred = extrapolate_pose(&p0, t0, &p1, t1, t_slot);
-                            let cmd = self.ctl.on_extrapolated(&pred);
-                            let settle = self.dep.settle_estimate(
-                                cmd.voltages[0],
-                                cmd.voltages[1],
-                                cmd.voltages[2],
-                                cmd.voltages[3],
-                            );
-                            self.pending
-                                .push_back((t_slot + cmd.latency_s + settle, cmd.voltages));
-                            self.last_dr_t = t_slot;
-                        }
-                    }
-                }
-            }
-
-            // 2. Apply the due commands, in order (at high tracking rates a
-            // command can still be in the DAC pipeline when the next report
-            // arrives).
-            while let Some(&(when, v)) = self.pending.front() {
-                if when > t_slot {
-                    break;
-                }
-                self.dep.set_voltages(v[0], v[1], v[2], v[3]);
-                self.pending.pop_front();
-            }
-
-            // 3. True pose & optics at slot end.
-            let pose = self.motion.pose_at(motion_t_slot);
-            self.dep.set_headset_pose(pose);
-            let mut power = self.dep.received_power_dbm();
-            let (lin, ang) = pose_speeds(&prev_pose, &pose, self.cfg.slot_s);
-            prev_pose = pose;
-
-            // 3b. Scheduled SFP flaps force loss-of-signal at the receiver
-            // (the beam is fine; the transceiver isn't), and the
-            // re-acquisition spiral searches for lost *beams*.
-            let flap_forced = self
-                .cfg
-                .control
-                .and_then(|c| c.fault.flap)
-                .is_some_and(|f| f.forced_down(t_slot));
-            let mut signal = !flap_forced && power >= self.channel.sensitivity_dbm;
-            if let Some(rq) = self.cfg.control.and_then(|c| c.reacq) {
-                // The search only rests on *solid* signal: a point at the
-                // bare sensitivity edge flickers under drift, resetting the
-                // SFP hold timer forever.
-                let solid = power >= self.channel.sensitivity_dbm + rq.success_margin_db;
-                if (signal && solid) || flap_forced {
-                    // Solid signal (or the outage is the SFP's, not the
-                    // beam's): no search.
-                    self.signal_lost_since = None;
-                    self.spiral = None;
-                    self.spiral_exhausted = false;
-                } else {
-                    let since = *self.signal_lost_since.get_or_insert(t_slot);
-                    // Only search when tracking can't help: reports stale
-                    // for 2+ periods (else the TP already points better
-                    // than a blind probe would).
-                    let reports_stale = self.last_delivery_arrival.map_or(true, |arr| {
-                        t_slot - arr > 2.0 * self.cfg.tracker.period_max_s
-                    });
-                    if !self.spiral_exhausted
-                        && reports_stale
-                        && t_slot - since >= rq.trigger_after_s
-                    {
-                        let v = self.dep.voltages();
-                        let sp = self.spiral.get_or_insert_with(|| {
-                            ReacqSpiral::new([v.0, v.1, v.2, v.3], rq.step_v, rq.max_steps)
-                        });
-                        match sp.next_voltages() {
-                            Some(nv) => {
-                                self.dep.set_voltages(nv[0], nv[1], nv[2], nv[3]);
-                                self.ctl.note_reacq_step();
-                                power = self.dep.received_power_dbm();
-                                signal = power >= self.channel.sensitivity_dbm;
-                                if power >= self.channel.sensitivity_dbm + rq.success_margin_db {
-                                    self.signal_lost_since = None;
-                                    self.spiral = None;
-                                }
-                            }
-                            None => {
-                                // Budget exhausted: restore the center and
-                                // wait for tracking after all.
-                                let c = sp.center();
-                                self.dep.set_voltages(c[0], c[1], c[2], c[3]);
-                                self.spiral = None;
-                                self.spiral_exhausted = true;
-                            }
-                        }
-                    }
-                }
-            }
-
-            // 4. Data plane.
-            let was_up = self.sfp.is_up();
-            let up = self.sfp.step(signal, self.cfg.slot_s);
-            if was_up && !up {
-                self.n_outages += 1;
-                self.cur_outage_s = 0.0;
-            }
-            if !up {
-                self.outage_s += self.cfg.slot_s;
-                self.cur_outage_s += self.cfg.slot_s;
-                self.longest_outage_s = self.longest_outage_s.max(self.cur_outage_s);
-            }
-            let goodput = if up {
-                let rate = self.dep.design.sfp.optimal_goodput_gbps;
-                rate * self.channel.frame_success_prob(power, self.cfg.frame_bits)
-            } else {
-                0.0
-            };
-
-            out.push(SlotRecord {
-                t: t_slot,
-                power_dbm: power,
-                link_up: up,
-                goodput_gbps: goodput,
-                lin_speed: lin,
-                ang_speed: ang,
-            });
-            self.t = t_slot;
-            self.motion_t = motion_t_slot;
-        }
-        out
+        self.session
+            .run(duration_s)
+            .into_iter()
+            .map(|r| SlotRecord {
+                t: r.t,
+                power_dbm: r.power_dbm,
+                link_up: r.link_up,
+                goodput_gbps: r.goodput_gbps,
+                lin_speed: r.lin_speed,
+                ang_speed: r.ang_speed,
+            })
+            .collect()
     }
 
     /// Fault-handling counters accumulated across all [`LinkSimulator::run`]
     /// calls: control-channel stats, dead-reckoning and re-acquisition
     /// activity, and outage durations.
     pub fn session_stats(&self) -> SessionStats {
-        SessionStats {
-            control: self.ctrl_link.as_ref().map(|l| l.stats()),
-            n_extrapolated: self.ctl.metrics.n_extrapolated,
-            n_reacq_steps: self.ctl.metrics.n_reacq_steps,
-            n_outages: self.n_outages,
-            outage_s: self.outage_s,
-            longest_outage_s: self.longest_outage_s,
-        }
+        self.session.session_stats()
     }
 }
 
@@ -473,6 +165,10 @@ pub struct Window {
 }
 
 /// Aggregates slot records into the paper's 50 ms windows.
+///
+/// An empty record list yields no windows, and a trailing partial window
+/// (fewer than 50 ms of slots) is dropped rather than averaged over a
+/// shorter denominator — both pinned by unit tests.
 pub fn windows_50ms(records: &[SlotRecord], slot_s: f64, sensitivity_dbm: f64) -> Vec<Window> {
     assert!(
         slot_s > 0.0 && slot_s <= 0.050,
@@ -509,7 +205,7 @@ pub fn windows_50ms(records: &[SlotRecord], slot_s: f64, sensitivity_dbm: f64) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::control::{FaultPlan, FlapSchedule, ReacqConfig};
+    use crate::control::{ControlPlaneConfig, FaultPlan, FlapSchedule, ReacqConfig};
     use cyclops_core::deployment::DeploymentConfig;
     use cyclops_core::kspace::{train_both, BoardConfig};
     use cyclops_core::mapping::{self, rough_initial_guess};
@@ -521,7 +217,8 @@ mod tests {
     /// Full commissioning: train stages 1+2, leave the link aligned.
     fn commissioned(seed: u64) -> (Deployment, TpController) {
         let mut dep = Deployment::new(&DeploymentConfig::paper_10g(seed));
-        let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &BoardConfig::default(), seed);
+        let (tx_tr, tx_rig, rx_tr, rx_rig) =
+            train_both(&dep, &BoardConfig::default(), seed).expect("stage-1 training");
         let (init_tx, init_rx) =
             rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed.wrapping_add(7));
         let mt = mapping::train(
@@ -764,8 +461,8 @@ mod tests {
             let mut sim = LinkSimulator::new(dep.clone(), ctl.clone(), motion, cfg);
             // Knock the TX aim well off the aperture (0.64 V ≈ 24 mm at the
             // RX plane — far outside the ~10 mm lateral tolerance).
-            let v = sim.dep.voltages();
-            sim.dep.set_voltages(v.0 + 0.5, v.1 - 0.4, v.2, v.3);
+            let v = sim.dep().voltages();
+            sim.dep_mut().set_voltages(v.0 + 0.5, v.1 - 0.4, v.2, v.3);
             let recs = sim.run(5.0);
             let up_at_end = recs[recs.len() - 1].link_up;
             (up_at_end, sim.session_stats())
@@ -875,5 +572,34 @@ mod tests {
         // Second window: signal present (−20 ≥ −25) but link down → relink.
         assert!((w[1].relink_frac - 1.0).abs() < 1e-12);
         assert_eq!(w[1].up_frac, 0.0);
+    }
+
+    #[test]
+    fn windows_of_empty_records_are_empty() {
+        assert!(windows_50ms(&[], 1e-3, -25.0).is_empty());
+    }
+
+    #[test]
+    fn windows_drop_trailing_partial_window() {
+        // 80 slots at 1 ms = one full 50 ms window + 30 leftover slots: the
+        // partial tail must be dropped, not averaged over a short window.
+        let recs: Vec<SlotRecord> = (0..80)
+            .map(|i| SlotRecord {
+                t: i as f64 * 1e-3,
+                power_dbm: -20.0,
+                link_up: true,
+                goodput_gbps: 9.4,
+                lin_speed: 0.1,
+                ang_speed: 0.2,
+            })
+            .collect();
+        let w = windows_50ms(&recs, 1e-3, -25.0);
+        assert_eq!(w.len(), 1);
+        // Exactly one full window must also survive intact.
+        let w = windows_50ms(&recs[..50], 1e-3, -25.0);
+        assert_eq!(w.len(), 1);
+        // And fewer slots than one window yields nothing.
+        let w = windows_50ms(&recs[..49], 1e-3, -25.0);
+        assert!(w.is_empty());
     }
 }

@@ -9,8 +9,13 @@
 //! d(r,r′)/t(r′,r) per ms ... In any timeslot, if the total angular or
 //! lateral drift is more than the link's angular (8.73 mrad) or lateral
 //! (6 mm) tolerance, the link is marked as disconnected in that timeslot."
+//!
+//! Since the engine refactor the slot loop lives in
+//! [`crate::engine::TraceSession`]; [`simulate_trace`] drives it under
+//! [`run_slots`], bit-identically to the
+//! pre-refactor loop.
 
-use crate::control::unit;
+use crate::engine::{run_slots, TraceSession};
 use cyclops_vrh::traces::HeadTrace;
 
 /// Parameters of the §5.4 simulation — defaults are the paper's 25G values.
@@ -83,10 +88,19 @@ impl TraceSimResult {
     /// (30 contiguous slots) containing fewer than `threshold` off-slots —
     /// "widely scattered off-timeslots should have minimal impact on user
     /// experience". The paper reports > 60 % at threshold 10.
+    ///
+    /// Edge cases: with no off-slots at all the fraction is 1.0 (vacuously
+    /// perfectly scattered); `frame_slots == 0` defines no frames, so no
+    /// off-slot counts as scattered and the fraction is 0.0. A trailing
+    /// partial frame is counted like any other (its off-count can only be
+    /// lower).
     pub fn off_slot_scatter_fraction(&self, frame_slots: usize, threshold: usize) -> f64 {
         let total_off = self.off_slots();
         if total_off == 0 {
             return 1.0;
+        }
+        if frame_slots == 0 {
+            return 0.0;
         }
         let mut scattered = 0usize;
         for frame in self.slots_on.chunks(frame_slots) {
@@ -102,64 +116,9 @@ impl TraceSimResult {
 /// Simulates link connectivity over one head-motion trace with the paper's
 /// drift model.
 pub fn simulate_trace(trace: &HeadTrace, p: &TraceSimParams) -> TraceSimResult {
-    assert!(trace.len() >= 2, "need at least two samples");
-    let _report_ms = trace.period_ms;
     let n_slots = ((trace.duration_s() * 1e3) / p.slot_ms).floor() as usize;
-    let mut slots_on = Vec::with_capacity(n_slots);
-
-    // Misalignment state, starting perfectly aligned.
-    let mut lat = 0.0f64;
-    let mut ang = 0.0f64;
-    // Drift rates (per ms), from the most recent report pair.
-    let mut lat_rate = 0.0f64;
-    let mut ang_rate = 0.0f64;
-    // Pending realignment completion time (ms) and whether it is a
-    // dead-reckoned (extrapolated) one.
-    let mut realign_at: Option<(f64, bool)> = None;
-
-    let mut report_idx = 0usize;
-    for k in 0..n_slots {
-        let t_ms = (k as f64 + 1.0) * p.slot_ms;
-
-        // Reports that arrived by this slot.
-        while report_idx + 1 < trace.len() && trace.samples[report_idx + 1].t_ms <= t_ms {
-            report_idx += 1;
-            let a = &trace.samples[report_idx - 1];
-            let b = &trace.samples[report_idx];
-            let dt = b.t_ms - a.t_ms;
-            // Drift tracks true motion regardless of report delivery.
-            lat_rate = (b.pos - a.pos).norm() / dt;
-            ang_rate = a.quat.angle_to(&b.quat) / dt;
-            let lost = p.report_loss_prob > 0.0
-                && unit(cyclops_par::mix64(p.loss_seed, report_idx as u64)) < p.report_loss_prob;
-            if !lost {
-                realign_at = Some((b.t_ms + p.realign_latency_ms, false));
-            } else if p.dead_reckoning {
-                // The TP realigns on the extrapolated pose instead — same
-                // latency, degraded residual.
-                realign_at = Some((b.t_ms + p.realign_latency_ms, true));
-            }
-            // Lost without DR: no realignment; drift keeps accruing until
-            // the next delivered report.
-        }
-
-        // Realignment completion.
-        if let Some((when, dr)) = realign_at {
-            if when <= t_ms {
-                let scale = if dr { p.dr_residual_scale } else { 1.0 };
-                lat = p.residual_lat_m * scale;
-                ang = p.residual_ang_rad * scale;
-                realign_at = None;
-            }
-        }
-
-        // Drift accrues every slot.
-        lat += lat_rate * p.slot_ms;
-        ang += ang_rate * p.slot_ms;
-
-        slots_on.push(lat <= p.tol_lat_m && ang <= p.tol_ang_rad);
-    }
-
+    let mut session = TraceSession::new(trace, *p);
+    let slots_on = run_slots(&mut session, n_slots);
     let on = slots_on.iter().filter(|&&b| b).count();
     let on_fraction = on as f64 / slots_on.len().max(1) as f64;
     TraceSimResult {
@@ -280,6 +239,39 @@ mod tests {
             slots_on: scattered,
         };
         assert_eq!(r2.off_slot_scatter_fraction(30, 10), 1.0);
+    }
+
+    #[test]
+    fn scatter_metric_edge_cases_are_pinned() {
+        // Empty record list: no off-slots → vacuously 1.0.
+        let empty = TraceSimResult {
+            on_fraction: 1.0,
+            slots_on: vec![],
+        };
+        assert_eq!(empty.off_slot_scatter_fraction(30, 10), 1.0);
+        // frame_slots == 0 must not panic (chunks(0) would): no frames
+        // exist, so nothing is scattered.
+        let some_off = TraceSimResult {
+            on_fraction: 0.5,
+            slots_on: vec![true, false, true, false],
+        };
+        assert_eq!(some_off.off_slot_scatter_fraction(0, 10), 0.0);
+        // Trailing partial frame still counts its off-slots.
+        let partial_tail = TraceSimResult {
+            on_fraction: 0.97,
+            slots_on: {
+                let mut s = vec![true; 35];
+                s[33] = false; // lives in the 5-slot tail frame
+                s
+            },
+        };
+        assert_eq!(partial_tail.off_slot_scatter_fraction(30, 10), 1.0);
+        // All-off with threshold 0: nothing can be under the threshold.
+        let all_off = TraceSimResult {
+            on_fraction: 0.0,
+            slots_on: vec![false; 60],
+        };
+        assert_eq!(all_off.off_slot_scatter_fraction(30, 0), 0.0);
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Property-based tests for the data-plane layer.
 
+use cyclops_geom::vec3::v3;
 use cyclops_link::channel::FsoChannel;
 use cyclops_link::crc::crc32;
+use cyclops_link::engine::MarginSelector;
 use cyclops_link::framing::Frame;
+use cyclops_link::handover::{HandoverSystem, TxUnit};
 use cyclops_link::iperf::ThroughputMeter;
 use cyclops_link::sfp_state::SfpLinkState;
 use cyclops_link::trace_sim::{simulate_trace, TraceSimParams};
+use cyclops_optics::coupling::LinkDesign;
 use cyclops_vrh::traces::{HeadTrace, TraceGenConfig};
 use proptest::prelude::*;
 
@@ -145,5 +149,82 @@ proptest! {
         let a = simulate_trace(&tr, &base).on_fraction;
         let b = simulate_trace(&tr, &tight).on_fraction;
         prop_assert!(b <= a + 1e-12);
+    }
+
+    /// Handover invariant: once the active unit dies, the selector pays
+    /// exactly the switch delay (no delivery meanwhile) and lands on the
+    /// usable unit with the best margin, which then delivers.
+    #[test]
+    fn dead_unit_hands_over_to_best_margin_after_the_delay(
+        margins in prop::collection::vec(0.0..30.0f64, 1..6),
+        switch_ms in 1usize..80,
+    ) {
+        // Unit 0 is dead (occluded / out of range); siblings carry random
+        // non-negative margins.
+        let n = margins.len() + 1;
+        let margin =
+            |i: usize| if i == 0 { f64::NEG_INFINITY } else { margins[i - 1] };
+        let mut sel = MarginSelector::new(switch_ms as f64 * 1e-3);
+        let mut active = 0usize;
+        // Step 1 initiates the switch, then `switch_ms` slots count it down.
+        for step in 0..=switch_ms {
+            let (delivering, a) = sel.step(active, n, margin, 1e-3);
+            prop_assert!(!delivering, "no delivery mid-switch (step {step})");
+            active = a;
+        }
+        let best = (1..n)
+            .max_by(|&a, &b| margin(a).partial_cmp(&margin(b)).unwrap())
+            .unwrap();
+        prop_assert_eq!(active, best, "active must hold the best margin");
+        let (delivering, a) = sel.step(active, n, margin, 1e-3);
+        prop_assert!(delivering && a == best, "delivery resumes after the delay");
+    }
+
+    /// Hysteresis invariant: under a margin tie the strict `>` comparison
+    /// never switches, whatever unit we start from — no flip-flop.
+    #[test]
+    fn hysteresis_never_flip_flops_on_a_margin_tie(
+        m in 0.0..25.0f64,
+        h in 0.0..6.0f64,
+        start in 0usize..4,
+        n in 2usize..5,
+        steps in 1usize..200,
+    ) {
+        let start = start % n;
+        let mut sel = MarginSelector::new(0.01);
+        sel.hysteresis_db = Some(h);
+        let mut active = start;
+        for _ in 0..steps {
+            let (delivering, a) = sel.step(active, n, |_| m, 1e-3);
+            prop_assert!(delivering, "tied usable units always deliver");
+            active = a;
+        }
+        prop_assert_eq!(active, start, "a tie must never trigger a switch");
+    }
+
+    /// The geometric system agrees: an RX equidistant from two units (a
+    /// perfect margin tie) never leaves unit 0 even with aggressive
+    /// hysteresis, while an off-centre RX with hysteresis settles on the
+    /// closer unit and stays there.
+    #[test]
+    fn handover_system_is_stable_under_symmetry(
+        y in 0.0..1.5f64,
+        z in -0.5..0.5f64,
+        h in 0.0..3.0f64,
+    ) {
+        let design = LinkDesign::ten_g_diverging(20e-3, 2.0);
+        let txs = vec![
+            TxUnit { pos: v3(-0.8, 2.0, 0.0) },
+            TxUnit { pos: v3(0.8, 2.0, 0.0) },
+        ];
+        let mut hs = HandoverSystem::new(txs, design, 0.01);
+        hs.set_hysteresis_db(Some(h));
+        // x = 0 ⇒ both units are at identical range: a perfect tie.
+        let rx = v3(0.0, y, z);
+        prop_assume!(hs.unit_margin_db(0, rx) >= 0.0);
+        for _ in 0..120 {
+            hs.step(rx, &[], 1e-3);
+        }
+        prop_assert_eq!(hs.active(), 0, "margin tie must not flip-flop");
     }
 }

@@ -46,6 +46,59 @@ pub const VOLT_MAX: f64 = 10.0;
 /// `r2`(3) `theta1`(1).
 pub const N_PARAMS: usize = 25;
 
+/// Typed failure modes of the galvo layer, returned by the strict `try_*`
+/// APIs ([`GalvoParams::try_trace`], [`GalvoSim::try_command`], …) and
+/// propagated through the K-space fit instead of panicking.
+///
+/// The lenient APIs keep their historical behaviour: [`GalvoSim::command`]
+/// clamps out-of-range voltages exactly like the real driver, and
+/// [`GalvoParams::trace`] reports a degenerate path as `None` (the fit
+/// treats it as a large residual).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GalvoError {
+    /// A commanded voltage lies outside the ±10 V driver range (or is not
+    /// finite).
+    VoltageOutOfRange {
+        /// Which mirror channel (1 or 2).
+        mirror: u8,
+        /// The offending voltage (volts).
+        volts: f64,
+    },
+    /// The beam path degenerates: a reflection misses a mirror plane.
+    DegenerateBeamPath,
+}
+
+impl std::fmt::Display for GalvoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GalvoError::VoltageOutOfRange { mirror, volts } => write!(
+                f,
+                "galvo mirror {mirror} commanded to {volts} V, outside \
+                 [{VOLT_MIN}, {VOLT_MAX}] V"
+            ),
+            GalvoError::DegenerateBeamPath => {
+                write!(
+                    f,
+                    "beam path degenerate: a reflection misses a mirror plane"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GalvoError {}
+
+/// Validates a voltage pair against the ±10 V driver range (NaN and
+/// infinities are rejected too).
+pub fn check_volts(v1: f64, v2: f64) -> Result<(), GalvoError> {
+    for (mirror, volts) in [(1u8, v1), (2u8, v2)] {
+        if !(VOLT_MIN..=VOLT_MAX).contains(&volts) {
+            return Err(GalvoError::VoltageOutOfRange { mirror, volts });
+        }
+    }
+    Ok(())
+}
+
 /// Geometric model of a galvo-mirror assembly (GMA): collimator launch beam
 /// plus two voltage-steered mirrors. All points/directions are in whatever
 /// frame the instance is expressed in (body frame, K-space or VR-space —
@@ -148,6 +201,22 @@ impl GalvoParams {
         let input = Ray::new(self.p0, self.x0);
         let mid = reflect_ray(&input, self.q1, n1p)?;
         reflect_ray(&mid, self.q2, n2p)
+    }
+
+    /// Strict version of [`GalvoParams::trace`]: validates the voltage pair
+    /// against the driver range and reports a degenerate beam path as a
+    /// typed [`GalvoError`] instead of `None`.
+    pub fn try_trace(&self, v1: f64, v2: f64) -> Result<Ray, GalvoError> {
+        check_volts(v1, v2)?;
+        self.trace(v1, v2).ok_or(GalvoError::DegenerateBeamPath)
+    }
+
+    /// Strict version of [`GalvoParams::trace_line`] (see
+    /// [`GalvoParams::try_trace`]).
+    pub fn try_trace_line(&self, v1: f64, v2: f64) -> Result<Ray, GalvoError> {
+        check_volts(v1, v2)?;
+        self.trace_line(v1, v2)
+            .ok_or(GalvoError::DegenerateBeamPath)
     }
 
     /// Like [`GalvoParams::trace`], but intersecting the mirror *lines*
@@ -321,6 +390,17 @@ impl GalvoSim {
         }
     }
 
+    /// Strict version of [`GalvoSim::command`]: rejects an out-of-range
+    /// voltage with a typed error (leaving the mirrors untouched) instead of
+    /// silently clamping. The clamping [`GalvoSim::command`] remains the
+    /// bench-hardware behaviour — the real driver clamps — while
+    /// `try_command` serves callers for whom an out-of-range request is a
+    /// logic error to surface.
+    pub fn try_command(&mut self, v1: f64, v2: f64) -> Result<f64, GalvoError> {
+        check_volts(v1, v2)?;
+        Ok(self.command(v1, v2))
+    }
+
     /// Current commanded voltages (after clamping/quantization).
     pub fn voltages(&self) -> (f64, f64) {
         (self.v1, self.v2)
@@ -363,6 +443,12 @@ impl GalvoSim {
         let j2 = jitter(rng);
         self.truth.trace(self.v1 + j1, self.v2 + j2)
     }
+
+    /// Strict version of [`GalvoSim::output_ray`]: a beam that misses a
+    /// mirror plane is a typed error instead of `None`.
+    pub fn try_output_ray<R: Rng>(&self, rng: &mut R) -> Result<Ray, GalvoError> {
+        self.output_ray(rng).ok_or(GalvoError::DegenerateBeamPath)
+    }
 }
 
 #[cfg(test)]
@@ -372,50 +458,54 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn nominal_rest_beam_points_up() {
+    fn nominal_rest_beam_points_up() -> Result<(), GalvoError> {
         let g = GalvoParams::nominal();
-        let out = g.trace(0.0, 0.0).unwrap();
+        let out = g.try_trace(0.0, 0.0)?;
         assert!((out.dir - Vec3::Z).norm() < 1e-12);
         assert!((out.origin - v3(0.0, 0.012, 0.0)).norm() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn voltage_steers_beam_by_twice_mirror_angle() {
+    fn voltage_steers_beam_by_twice_mirror_angle() -> Result<(), GalvoError> {
         let g = GalvoParams::nominal();
-        let rest = g.trace(0.0, 0.0).unwrap();
-        let steered = g.trace(0.0, 1.0).unwrap();
+        let rest = g.try_trace(0.0, 0.0)?;
+        let steered = g.try_trace(0.0, 1.0)?;
         let ang = rest.dir.angle_to(steered.dir);
         // Optical deflection = 2 × mechanical rotation = 2 × θ₁ × 1 V.
         assert!((ang - 2.0 * g.theta1).abs() < 1e-9, "got {ang}");
+        Ok(())
     }
 
     #[test]
-    fn both_axes_are_independent_at_rest() {
+    fn both_axes_are_independent_at_rest() -> Result<(), GalvoError> {
         let g = GalvoParams::nominal();
-        let a = g.trace(0.5, 0.0).unwrap();
-        let b = g.trace(0.0, 0.5).unwrap();
+        let a = g.try_trace(0.5, 0.0)?;
+        let b = g.try_trace(0.0, 0.5)?;
         // First-mirror steering moves the beam in the X direction (axis Z
         // rotates the beam in the XY plane → output tilts in X); second
         // mirror tilts in Y. They must be (nearly) orthogonal deflections.
-        let rest = g.trace(0.0, 0.0).unwrap();
+        let rest = g.try_trace(0.0, 0.0)?;
         let da = (a.dir - rest.dir).normalized();
         let db = (b.dir - rest.dir).normalized();
         assert!(
             da.dot(db).abs() < 0.1,
             "deflections not orthogonal: {da} vs {db}"
         );
+        Ok(())
     }
 
     #[test]
-    fn origin_point_depends_on_first_voltage() {
+    fn origin_point_depends_on_first_voltage() -> Result<(), GalvoError> {
         // The "distortion effect" [58]: p is NOT constant — steering the
         // first mirror moves the hit point on the second mirror. This is why
         // the paper fits the full geometric model instead of assuming p
         // constant as in [32, 33].
         let g = GalvoParams::nominal();
-        let a = g.trace(0.0, 0.0).unwrap();
-        let b = g.trace(2.0, 0.0).unwrap();
+        let a = g.try_trace(0.0, 0.0)?;
+        let b = g.try_trace(2.0, 0.0)?;
         assert!((a.origin - b.origin).norm() > 1e-5);
+        Ok(())
     }
 
     #[test]
@@ -428,27 +518,29 @@ mod tests {
     }
 
     #[test]
-    fn transformed_commutes_with_trace() {
+    fn transformed_commutes_with_trace() -> Result<(), GalvoError> {
         use cyclops_geom::rotation::axis_angle as aa;
         let g = GalvoParams::nominal();
         let pose = Pose::new(aa(v3(0.1, 0.9, 0.2).normalized(), 0.6), v3(1.0, 2.0, 3.0));
         let gt = g.transformed(&pose);
         let (v1, v2) = (0.7, -1.2);
-        let direct = pose.apply_ray(&g.trace(v1, v2).unwrap());
-        let via = gt.trace(v1, v2).unwrap();
+        let direct = pose.apply_ray(&g.try_trace(v1, v2)?);
+        let via = gt.try_trace(v1, v2)?;
         assert!((direct.origin - via.origin).norm() < 1e-12);
         assert!((direct.dir - via.dir).norm() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn perturbed_is_close_but_not_equal() {
+    fn perturbed_is_close_but_not_equal() -> Result<(), GalvoError> {
         let mut rng = StdRng::seed_from_u64(7);
         let g = GalvoParams::nominal();
         let p = g.perturbed(&mut rng, 1.0, 1.0, 0.02);
         assert_ne!(g, p);
         // Still a working galvo with a similar rest beam.
-        let out = p.trace(0.0, 0.0).unwrap();
+        let out = p.try_trace(0.0, 0.0)?;
         assert!(out.dir.angle_to(Vec3::Z) < deg_to_rad(10.0));
+        Ok(())
     }
 
     #[test]
@@ -488,16 +580,16 @@ mod tests {
     }
 
     #[test]
-    fn sim_noise_is_small_and_zero_mean() {
+    fn sim_noise_is_small_and_zero_mean() -> Result<(), GalvoError> {
         let mut sim = GalvoSim::new(GalvoParams::nominal(), GalvoSimConfig::default());
         sim.command(1.0, 1.0);
         let mut rng = StdRng::seed_from_u64(42);
-        let ideal = sim.truth.trace(sim.voltages().0, sim.voltages().1).unwrap();
+        let ideal = sim.truth.try_trace(sim.voltages().0, sim.voltages().1)?;
         let mut max_dev: f64 = 0.0;
         let mut mean = Vec3::ZERO;
         const N: usize = 500;
         for _ in 0..N {
-            let r = sim.output_ray(&mut rng).unwrap();
+            let r = sim.try_output_ray(&mut rng)?;
             max_dev = max_dev.max(r.dir.angle_to(ideal.dir));
             mean += r.dir;
         }
@@ -508,18 +600,20 @@ mod tests {
             mean.normalized().angle_to(ideal.dir) < 5e-6,
             "bias too large"
         );
+        Ok(())
     }
 
     #[test]
-    fn ideal_sim_is_exact() {
+    fn ideal_sim_is_exact() -> Result<(), GalvoError> {
         let mut sim = GalvoSim::new(GalvoParams::nominal(), GalvoSimConfig::ideal());
         sim.command(0.123456789, -0.2);
         let (v1, v2) = sim.voltages();
         assert_eq!(v1, 0.123456789);
         let mut rng = StdRng::seed_from_u64(0);
-        let out = sim.output_ray(&mut rng).unwrap();
-        let exact = sim.truth.trace(v1, v2).unwrap();
+        let out = sim.try_output_ray(&mut rng)?;
+        let exact = sim.truth.try_trace(v1, v2)?;
         assert!((out.dir - exact.dir).norm() < 1e-15);
+        Ok(())
     }
 
     #[test]
@@ -528,5 +622,49 @@ mod tests {
         // Point the input beam away from the first mirror.
         g.x0 = -g.x0;
         assert!(g.trace(0.0, 0.0).is_none());
+        // The strict API names the failure instead.
+        assert_eq!(g.try_trace(0.0, 0.0), Err(GalvoError::DegenerateBeamPath));
+        // Line tracing is total over mirror *lines*, so the inverted beam
+        // still intersects; only a beam parallel to the mirror plane
+        // degenerates it.
+        assert!(g.try_trace_line(0.0, 0.0).is_ok());
+        let mut gp = GalvoParams::nominal();
+        gp.x0 = v3(1.0, 1.0, 0.0); // perpendicular to n1 ⇒ parallel to mirror 1
+        assert_eq!(
+            gp.try_trace_line(0.0, 0.0),
+            Err(GalvoError::DegenerateBeamPath)
+        );
+    }
+
+    #[test]
+    fn try_command_rejects_out_of_range_without_moving() {
+        let mut sim = GalvoSim::new(GalvoParams::nominal(), GalvoSimConfig::default());
+        let err = sim.try_command(0.0, 99.0).unwrap_err();
+        assert_eq!(
+            err,
+            GalvoError::VoltageOutOfRange {
+                mirror: 2,
+                volts: 99.0
+            }
+        );
+        assert_eq!(sim.voltages(), (0.0, 0.0), "mirrors must not move");
+        // NaN is rejected, not quantized.
+        assert!(sim.try_command(f64::NAN, 0.0).is_err());
+        // In-range commands behave exactly like `command`.
+        assert!(sim.try_command(0.5, -0.5).is_ok());
+    }
+
+    #[test]
+    fn try_trace_rejects_out_of_range_voltage() {
+        let g = GalvoParams::nominal();
+        assert_eq!(
+            g.try_trace(-10.5, 0.0),
+            Err(GalvoError::VoltageOutOfRange {
+                mirror: 1,
+                volts: -10.5
+            })
+        );
+        let msg = g.try_trace(-10.5, 0.0).unwrap_err().to_string();
+        assert!(msg.contains("mirror 1"), "display names the channel: {msg}");
     }
 }

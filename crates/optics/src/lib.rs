@@ -51,7 +51,7 @@ pub mod wavelength;
 pub use amplifier::Edfa;
 pub use beam::{capture_fraction, BeamState};
 pub use coupling::{CouplingModel, LinkDesign, ReceiverGeometry};
-pub use galvo::{GalvoParams, GalvoSim, GalvoSimConfig};
+pub use galvo::{GalvoError, GalvoParams, GalvoSim, GalvoSimConfig};
 pub use photodiode::QuadrantMonitor;
 pub use power::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm};
 pub use sfp::SfpSpec;

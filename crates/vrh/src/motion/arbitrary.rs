@@ -201,6 +201,24 @@ mod tests {
     }
 
     #[test]
+    fn sampling_cadence_does_not_change_the_trajectory() {
+        // The engine samples motion once per 1 ms slot, but pause-on-outage
+        // and the fleet runner stretch the cadence arbitrarily; the internal
+        // dt-stepped OU process must make the trajectory a function of the
+        // query time alone, bit-identically.
+        let mk = || ArbitraryMotion::new(Pose::IDENTITY, Default::default(), 41);
+        let (mut fine, mut coarse) = (mk(), mk());
+        for k in 1..=2000 {
+            let p = fine.pose_at(k as f64 * 1e-3);
+            if k % 50 == 0 {
+                let q = coarse.pose_at(k as f64 * 1e-3);
+                assert_eq!(p.trans, q.trans, "slot {k}");
+                assert_eq!(p.rot, q.rot, "slot {k}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn time_must_not_go_backwards() {
         let mut m = ArbitraryMotion::new(Pose::IDENTITY, Default::default(), 1);

@@ -73,7 +73,8 @@ fn full_physics_act() {
             let mut cfg = DeploymentConfig::paper_10g(seed);
             cfg.tx_position = pos;
             let mut dep = Deployment::new(&cfg);
-            let (tx_tr, tx_rig, rx_tr, rx_rig) = train_both(&dep, &board, seed);
+            let (tx_tr, tx_rig, rx_tr, rx_rig) =
+                train_both(&dep, &board, seed).expect("stage-1 training");
             let (itx, irx) = rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
             let mt = mapping::train(
                 &mut dep,

@@ -33,7 +33,7 @@ fn main() {
     let mut tx_rig = KspaceRig::standard(dep.tx.clone(), seed + 1);
     let tx_init = tx_rig.cad_initial_guess();
     let tx_samples = tx_rig.collect_samples(&board);
-    let tx_fit = kspace::fit(&tx_samples, &tx_init);
+    let tx_fit = kspace::fit(&tx_samples, &tx_init).expect("stage-1 fit");
     println!(
         "  TX: {} samples on the {}x{} board -> avg {:.2} mm, max {:.2} mm",
         tx_samples.len(),
@@ -45,7 +45,7 @@ fn main() {
     let mut rx_rig = KspaceRig::standard(dep.rx.clone(), seed + 2);
     let rx_init = rx_rig.cad_initial_guess();
     let rx_samples = rx_rig.collect_samples(&board);
-    let rx_fit = kspace::fit(&rx_samples, &rx_init);
+    let rx_fit = kspace::fit(&rx_samples, &rx_init).expect("stage-1 fit");
     println!(
         "  RX: {} samples -> avg {:.2} mm, max {:.2} mm   (paper Table 2: 1.24/1.90 mm avg)",
         rx_samples.len(),

@@ -81,7 +81,7 @@ fn outage_costs_seconds_due_to_relink() {
     assert!(!at_1s.link_up, "relink hysteresis missing");
     // Optical signal is already back, though:
     assert!(
-        at_1s.power_dbm >= sim.dep.design.sfp.rx_sensitivity_dbm,
+        at_1s.power_dbm >= sim.dep().design.sfp.rx_sensitivity_dbm,
         "optics should be realigned by 1 s (power {})",
         at_1s.power_dbm
     );
