@@ -19,8 +19,6 @@
 //! ```
 
 use cyclops::link::handover::{HandoverSystem, Occluder, TxUnit};
-use cyclops::link::multi_tx::{MultiTxSimulator, TxInstallation};
-use cyclops::link::simulator::SessionStats;
 use cyclops::link::trace_sim::{simulate_corpus, simulate_trace, TraceSimParams};
 use cyclops::prelude::*;
 use cyclops::vrh::motion::ArbitraryMotionConfig;
@@ -155,7 +153,55 @@ fn main() {
         let mut d = Digest::new();
         d.slots(&recs);
         d.session_stats(&sim.session_stats());
+        let chaos_digest = d.0;
         emit("link_chaos", d);
+
+        // Telemetry-identity guard (not a golden line): the same workload
+        // through the builder API must reproduce the facade digest exactly,
+        // with telemetry disabled, with counters, and with a JSONL sink —
+        // attaching observers must not move a single bit.
+        let engine_digest = |tele: Telemetry| -> u64 {
+            let mut sys = CyclopsSystem::commission(&SystemConfig::fast_10g(9_007));
+            sys.control = Some(ControlPlaneConfig::hardened(FaultPlan::stress(17)));
+            let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+            let motion = ArbitraryMotion::new(base, ArbitraryMotionConfig::default(), 613);
+            let mut session = sys
+                .into_session_builder(motion)
+                .telemetry(tele)
+                .build()
+                .expect("valid engine config");
+            let recs = session.run(3.0);
+            let mut d = Digest::new();
+            for r in &recs {
+                d.f64(r.t);
+                d.f64(r.power_dbm);
+                d.bool(r.link_up);
+                d.f64(r.goodput_gbps);
+                d.f64(r.lin_speed);
+                d.f64(r.ang_speed);
+            }
+            d.session_stats(&session.session_stats());
+            d.0
+        };
+        let jsonl_path = std::env::temp_dir().join("cyclops_engine_digest_tele.jsonl");
+        for (name, tele) in [
+            ("off", Telemetry::off()),
+            ("counters", Telemetry::counters()),
+            (
+                "jsonl+counters",
+                Telemetry::with_sink_and_counters(Box::new(
+                    JsonlSink::create(&jsonl_path).expect("create jsonl sink"),
+                )),
+            ),
+        ] {
+            let got = engine_digest(tele);
+            assert_eq!(
+                got, chaos_digest,
+                "telemetry config `{name}` perturbed the link_chaos digest"
+            );
+        }
+        let _ = std::fs::remove_file(&jsonl_path);
+        println!("link_chaos: telemetry identity holds (off/counters/jsonl)");
     }
 
     // --- Single-TX: pause-on-outage operator protocol on a too-fast rail.

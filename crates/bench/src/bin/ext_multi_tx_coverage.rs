@@ -21,8 +21,9 @@ use cyclops::core::kspace::{train_both, BoardConfig};
 use cyclops::core::mapping::{self, rough_initial_guess};
 use cyclops::core::tp::{TpConfig, TpController};
 use cyclops::geom::vec3::v3;
+use cyclops::link::engine::TxInstallation;
 use cyclops::link::handover::Occluder;
-use cyclops::link::multi_tx::{MultiTxSimulator, MultiTxSlot, TxInstallation};
+use cyclops::link::multi_tx::{MultiTxSimulator, MultiTxSlot};
 use cyclops::prelude::*;
 use cyclops::vrh::motion::{ArbitraryMotion, ArbitraryMotionConfig};
 use cyclops_bench::{row, section};

@@ -6,7 +6,8 @@
 //! users sharing an installed base. This bin runs the engine's native
 //! multi-session workload twice — a clean fleet and a hostile one (roaming
 //! occluders + the stress fault plan on the control channel) — and prints
-//! per-session rows plus the fleet rollup.
+//! per-session rows plus the fleet rollup, including the rolled-up
+//! telemetry counters and histograms (`collect_telemetry`).
 //!
 //! ```sh
 //! cargo run --release -p cyclops-bench --bin ext_multi_user
@@ -104,6 +105,22 @@ fn print_fleet(title: &str, fleet: &FleetSummary) {
             r.total_reacq_steps
         );
     }
+    if let Some(t) = &r.telemetry {
+        println!(
+            "telemetry: {} TP commands ({} dead-reckoned, {} handover shots), \
+             {} ctrl drops, {} SFP downs; margin_db mean {:.2} (min {:.2}), \
+             outage_s mean {:.3}",
+            t.events.tp_commands,
+            t.events.tp_dead_reckoned,
+            t.events.tp_handover_shots,
+            t.events.ctrl_dropped,
+            t.events.sfp_downs,
+            t.margin_db.mean(),
+            t.margin_db.min().unwrap_or(f64::NAN),
+            t.outage_s.mean()
+        );
+        println!("telemetry rollup: {}", t.to_json());
+    }
 }
 
 fn main() {
@@ -119,6 +136,7 @@ fn main() {
         n_sessions: 8,
         duration_s: 6.0,
         seed: 424,
+        collect_telemetry: true,
         ..FleetConfig::default()
     };
     let fleet_clean = run_fleet(&units, &clean);

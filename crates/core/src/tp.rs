@@ -47,6 +47,10 @@ pub struct TpCommand {
     /// (computation + DAC conversion; galvo settle time is added by the
     /// hardware when applied).
     pub latency_s: f64,
+    /// Outer pointing iterations spent on this command (after any cold
+    /// restart; what `latency_s` and the telemetry iteration histograms are
+    /// built from).
+    pub iterations: usize,
     /// Whether the pointing iteration converged.
     pub converged: bool,
 }
@@ -178,6 +182,7 @@ impl TpController {
         TpCommand {
             voltages: res.voltages,
             latency_s: latency,
+            iterations: res.iterations,
             converged: res.converged,
         }
     }

@@ -35,9 +35,15 @@ pub use cyclops_link::control::{
     FlapSchedule, ReacqConfig,
 };
 pub use cyclops_link::engine::{
-    run_fleet, EngineConfig, FleetConfig, FleetRollup, FleetSummary, LinkSession, SessionReport,
+    run_fleet, EngineConfig, EngineConfigError, FirstReport, FleetConfig, FleetConfigBuilder,
+    FleetRollup, FleetSummary, LinkSession, SessionBuilder, SessionReport, SessionStats,
+    TxInstallation,
 };
 pub use cyclops_link::handover::{HandoverSystem, Occluder, TxUnit};
-pub use cyclops_link::multi_tx::{MultiTxSimulator, TxInstallation};
-pub use cyclops_link::simulator::{LinkSimConfig, LinkSimulator, SessionStats, SlotRecord};
+pub use cyclops_link::multi_tx::MultiTxSimulator;
+pub use cyclops_link::simulator::{LinkSimConfig, LinkSimulator, SlotRecord};
+pub use cyclops_link::telemetry::{
+    Histogram, JsonlSink, NullSink, SessionTelemetry, Telemetry, TelemetryCounters, TelemetryEvent,
+    TelemetrySink,
+};
 pub use cyclops_link::trace_sim::{simulate_trace, TraceSimParams};

@@ -17,6 +17,7 @@ use cyclops_core::mapping::{self, MappingSample};
 use cyclops_core::tp::{TpConfig, TpController};
 use cyclops_geom::pose::Pose;
 use cyclops_link::control::ControlPlaneConfig;
+use cyclops_link::engine::{EngineConfig, FirstReport, SessionBuilder, SingleTx};
 use cyclops_link::simulator::{LinkSimConfig, LinkSimulator};
 use cyclops_solver::stats::ResidualStats;
 use cyclops_vrh::motion::Motion;
@@ -200,6 +201,23 @@ impl CyclopsSystem {
             ..Default::default()
         };
         LinkSimulator::new(self.dep, self.ctl, motion, cfg)
+    }
+
+    /// Consumes the system into a pre-seeded engine [`SessionBuilder`] over
+    /// a motion — the builder-first counterpart of
+    /// [`CyclopsSystem::into_simulator`], construction-identical per seed.
+    /// Chain further calls (e.g.
+    /// [`telemetry`](SessionBuilder::telemetry)) before `.build()`.
+    pub fn into_session_builder<M: Motion>(self, motion: M) -> SessionBuilder<M, SingleTx> {
+        let cfg = EngineConfig {
+            tracker: self.tracker,
+            control: self.control,
+            ..EngineConfig::default()
+        };
+        cyclops_link::engine::LinkSession::builder(motion)
+            .deployment(self.dep, self.ctl)
+            .config(cfg)
+            .first_report(FirstReport::AfterPeriod)
     }
 }
 

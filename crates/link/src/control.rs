@@ -201,6 +201,25 @@ pub struct ControlStats {
     pub gave_up: u64,
 }
 
+impl ControlStats {
+    /// Field-wise difference since an earlier snapshot (saturating, so a
+    /// stale snapshot can never underflow). The engine's telemetry layer
+    /// uses this to synthesize per-slot retransmit/drop events from the
+    /// cumulative counters.
+    pub fn since(&self, earlier: &ControlStats) -> ControlStats {
+        ControlStats {
+            sent: self.sent.saturating_sub(earlier.sent),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            retransmits: self.retransmits.saturating_sub(earlier.retransmits),
+            channel_losses: self.channel_losses.saturating_sub(earlier.channel_losses),
+            dup_frames: self.dup_frames.saturating_sub(earlier.dup_frames),
+            stale_drops: self.stale_drops.saturating_sub(earlier.stale_drops),
+            acks_lost: self.acks_lost.saturating_sub(earlier.acks_lost),
+            gave_up: self.gave_up.saturating_sub(earlier.gave_up),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct InFlight<T> {
     arrive_t: f64,

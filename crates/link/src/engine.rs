@@ -48,15 +48,27 @@
 //! ([`run_fleet`]): N independently-seeded headsets, each against its own
 //! clone of M TX installations, reduced in session-index order into a
 //! [`FleetSummary`].
+//!
+//! Sessions are configured through validating builders —
+//! [`LinkSession::builder`] / [`FleetConfig::builder`] — which check the
+//! configuration up front (`Result<_, EngineConfigError>`) and inject
+//! [`crate::telemetry`] observers at construction time. Telemetry is pure
+//! observation: events are emitted only after every random draw of the slot
+//! has happened, so attaching a sink cannot move the engine's RNG or float
+//! streams (pinned by the `engine_digest` identity checks).
 
 use crate::channel::FsoChannel;
 use crate::control::{unit, ControlLink, ControlPlaneConfig, ControlStats};
 use crate::handover::Occluder;
 use crate::sfp_state::SfpLinkState;
+use crate::telemetry::{
+    CommandSource, DropReason, ScopedTimer, SessionTelemetry, Telemetry, TelemetryEvent,
+    TelemetrySink, VirtualClock,
+};
 use cyclops_core::deployment::Deployment;
 use cyclops_core::mapping::noisy_report_of;
 use cyclops_core::pointing::ReacqSpiral;
-use cyclops_core::tp::{TpController, TpMetrics};
+use cyclops_core::tp::{TpCommand, TpController, TpMetrics};
 use cyclops_geom::pose::Pose;
 use cyclops_geom::ray::Ray;
 use cyclops_geom::vec3::Vec3;
@@ -197,6 +209,128 @@ impl EngineConfig {
             ..EngineConfig::default()
         }
     }
+
+    /// Validates the configuration ([`SessionBuilder::build`] runs this
+    /// before constructing a session).
+    pub fn validate(&self) -> Result<(), EngineConfigError> {
+        if !(self.slot_s.is_finite() && self.slot_s > 0.0) {
+            return Err(EngineConfigError::InvalidSlot);
+        }
+        if self.goodput && self.frame_bits == 0 {
+            return Err(EngineConfigError::ZeroFrameBits);
+        }
+        let is_prob = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+        let t = &self.tracker;
+        if !(t.period_min_s.is_finite() && t.period_min_s > 0.0) {
+            return Err(EngineConfigError::InvalidTracker(
+                "period_min_s must be finite and positive",
+            ));
+        }
+        if !(t.period_max_s.is_finite() && t.period_max_s >= t.period_min_s) {
+            return Err(EngineConfigError::InvalidTracker(
+                "period_max_s must be finite and >= period_min_s",
+            ));
+        }
+        if !is_prob(t.late_prob) {
+            return Err(EngineConfigError::InvalidTracker(
+                "late_prob must be a probability in [0, 1]",
+            ));
+        }
+        if t.late_prob > 0.0 && !(t.late_min_s > 0.0 && t.late_max_s >= t.late_min_s) {
+            return Err(EngineConfigError::InvalidTracker(
+                "late_min_s/late_max_s must bound a positive interval when late_prob > 0",
+            ));
+        }
+        if !is_prob(t.report_loss_prob) {
+            return Err(EngineConfigError::InvalidTracker(
+                "report_loss_prob must be a probability in [0, 1]",
+            ));
+        }
+        if !(t.control_channel_latency_s.is_finite() && t.control_channel_latency_s >= 0.0) {
+            return Err(EngineConfigError::InvalidTracker(
+                "control_channel_latency_s must be finite and non-negative",
+            ));
+        }
+        if let Some(c) = &self.control {
+            let f = &c.fault;
+            for (p, what) in [
+                (f.loss_prob, "fault.loss_prob must be a probability"),
+                (
+                    f.burst_enter_prob,
+                    "fault.burst_enter_prob must be a probability",
+                ),
+                (
+                    f.burst_exit_prob,
+                    "fault.burst_exit_prob must be a probability",
+                ),
+                (
+                    f.burst_loss_prob,
+                    "fault.burst_loss_prob must be a probability",
+                ),
+                (
+                    f.delay_spike_prob,
+                    "fault.delay_spike_prob must be a probability",
+                ),
+                (f.dup_prob, "fault.dup_prob must be a probability"),
+                (f.reorder_prob, "fault.reorder_prob must be a probability"),
+            ] {
+                if !is_prob(p) {
+                    return Err(EngineConfigError::InvalidControl(what));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a session or fleet configuration was rejected by a builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineConfigError {
+    /// The builder was given no TX installation.
+    NoUnits,
+    /// `slot_s` is not finite and positive.
+    InvalidSlot,
+    /// Goodput accounting is on but `frame_bits` is zero.
+    ZeroFrameBits,
+    /// A [`TrackerConfig`] field is out of range.
+    InvalidTracker(&'static str),
+    /// A control-plane fault probability is out of range.
+    InvalidControl(&'static str),
+    /// A [`FleetConfig`] field is out of range.
+    InvalidFleet(&'static str),
+}
+
+impl std::fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineConfigError::NoUnits => write!(f, "session needs at least one TX installation"),
+            EngineConfigError::InvalidSlot => write!(f, "slot_s must be finite and positive"),
+            EngineConfigError::ZeroFrameBits => {
+                write!(
+                    f,
+                    "frame_bits must be nonzero when goodput accounting is on"
+                )
+            }
+            EngineConfigError::InvalidTracker(what) => write!(f, "tracker config: {what}"),
+            EngineConfigError::InvalidControl(what) => write!(f, "control config: {what}"),
+            EngineConfigError::InvalidFleet(what) => write!(f, "fleet config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
+
+/// When a session's first tracking report fires, relative to the pre-start
+/// alignment every session runs at t = 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirstReport {
+    /// The pre-start alignment consumed the t = 0 report; the next arrives
+    /// a full tracker period later (the single-TX methodology; the default
+    /// for one-unit sessions).
+    AfterPeriod,
+    /// A report also fires at t = 0 (the multi-TX methodology; the default
+    /// for multi-unit sessions).
+    AtZero,
 }
 
 // ---------------------------------------------------------------------------
@@ -254,18 +388,34 @@ pub struct TpPolicy {
     signal_lost_since: Option<f64>,
 }
 
+/// What [`TpPolicy::reacq`] did this slot (telemetry only — the spiral's
+/// effect on the deployment happens inside the call).
+#[derive(Debug, Clone, Copy, Default)]
+struct ReacqActivity {
+    /// A spiral was created this slot.
+    started: bool,
+    /// A voltage probe was taken this slot.
+    probed: bool,
+    /// The spiral ended this slot: `Some(true)` recovered solid signal,
+    /// `Some(false)` exhausted the probe budget.
+    ended: Option<bool>,
+}
+
 impl TpPolicy {
     /// Applies every command whose time has come, in order (at high
     /// tracking rates a command can still be in the DAC pipeline when the
-    /// next report arrives).
-    fn apply_due(&mut self, t_slot: f64, dep: &mut Deployment) {
+    /// next report arrives). Returns how many were applied.
+    fn apply_due(&mut self, t_slot: f64, dep: &mut Deployment) -> u64 {
+        let mut n = 0;
         while let Some(&(when, v)) = self.pending.front() {
             if when > t_slot {
                 break;
             }
             dep.set_voltages(v[0], v[1], v[2], v[3]);
             self.pending.pop_front();
+            n += 1;
         }
+        n
     }
 
     /// Records a control-plane delivery into the dead-reckoning window.
@@ -278,13 +428,14 @@ impl TpPolicy {
     }
 
     /// Issues a dead-reckoned command when reports are stale but the
-    /// velocity estimate is still fresh.
+    /// velocity estimate is still fresh. Returns the issued command and its
+    /// apply time, for telemetry.
     fn dead_reckon(
         &mut self,
         t_slot: f64,
         dr: crate::control::DeadReckoningConfig,
         unit: &mut TxInstallation,
-    ) {
+    ) -> Option<(f64, TpCommand)> {
         if let (Some(&(t1, p1)), Some(arr)) = (self.deliveries.back(), self.last_delivery_arrival) {
             // Velocity anchor: the newest delivery at least `min_baseline_s`
             // older than the latest (falling back to the oldest we kept).
@@ -311,16 +462,18 @@ impl TpPolicy {
                     cmd.voltages[2],
                     cmd.voltages[3],
                 );
-                self.pending
-                    .push_back((t_slot + cmd.latency_s + settle, cmd.voltages));
+                let apply_at = t_slot + cmd.latency_s + settle;
+                self.pending.push_back((apply_at, cmd.voltages));
                 self.last_dr_t = t_slot;
+                return Some((apply_at, cmd));
             }
         }
+        None
     }
 
     /// The re-acquisition spiral: probes voltages around the last aim when
     /// the beam is lost and tracking can't help. May re-evaluate `power` and
-    /// `signal` in place.
+    /// `signal` in place. Returns what happened, for telemetry.
     #[allow(clippy::too_many_arguments)]
     fn reacq(
         &mut self,
@@ -332,7 +485,8 @@ impl TpPolicy {
         channel: &ChannelModel,
         power: &mut f64,
         signal: &mut bool,
-    ) {
+    ) -> ReacqActivity {
+        let mut act = ReacqActivity::default();
         // The search only rests on *solid* signal: a point at the bare
         // sensitivity edge flickers under drift, resetting the SFP hold
         // timer forever.
@@ -341,7 +495,9 @@ impl TpPolicy {
             // Solid signal (or the outage is the SFP's, not the beam's): no
             // search.
             self.signal_lost_since = None;
-            self.spiral = None;
+            if self.spiral.take().is_some() {
+                act.ended = Some(true);
+            }
             self.spiral_exhausted = false;
         } else {
             let since = *self.signal_lost_since.get_or_insert(t_slot);
@@ -353,11 +509,13 @@ impl TpPolicy {
                 .map_or(true, |arr| t_slot - arr > 2.0 * period_max_s);
             if !self.spiral_exhausted && reports_stale && t_slot - since >= rq.trigger_after_s {
                 let v = unit.dep.voltages();
+                act.started = self.spiral.is_none();
                 let sp = self.spiral.get_or_insert_with(|| {
                     ReacqSpiral::new([v.0, v.1, v.2, v.3], rq.step_v, rq.max_steps)
                 });
                 match sp.next_voltages() {
                     Some(nv) => {
+                        act.probed = true;
                         unit.dep.set_voltages(nv[0], nv[1], nv[2], nv[3]);
                         unit.ctl.note_reacq_step();
                         *power = unit.dep.received_power_dbm();
@@ -365,6 +523,7 @@ impl TpPolicy {
                         if *power >= channel.sensitivity_dbm + rq.success_margin_db {
                             self.signal_lost_since = None;
                             self.spiral = None;
+                            act.ended = Some(true);
                         }
                     }
                     None => {
@@ -374,19 +533,26 @@ impl TpPolicy {
                         unit.dep.set_voltages(c[0], c[1], c[2], c[3]);
                         self.spiral = None;
                         self.spiral_exhausted = true;
+                        act.ended = Some(false);
                     }
                 }
             }
         }
+        act
     }
 
-    /// Drops in-flight state that belonged to the previous active unit
-    /// (its command queue and search state are meaningless on the new
-    /// unit's mapping).
+    /// Drops in-flight state that belonged to the previous active unit —
+    /// its command queue, delivery window, staleness clock and search state
+    /// are meaningless on the new unit's mapping. The policy restarts from
+    /// scratch on the new unit; in particular an exhausted spiral budget on
+    /// the old unit must not forbid searching on the new one.
     fn clear_inflight(&mut self) {
         self.pending.clear();
         self.deliveries.clear();
+        self.last_delivery_arrival = None;
+        self.last_dr_t = 0.0;
         self.spiral = None;
+        self.spiral_exhausted = false;
         self.signal_lost_since = None;
     }
 }
@@ -704,75 +870,89 @@ pub struct LinkSession<M: Motion, S: TxSelector> {
     outage_s: f64,
     cur_outage_s: f64,
     longest_outage_s: f64,
+    /// Telemetry attachment (observers only; never feeds the simulation).
+    tele: Telemetry,
+    /// Control-stats snapshot at the end of the previous slot, for
+    /// synthesizing per-slot retransmit/drop deltas.
+    prev_ctrl: ControlStats,
+    /// Monotonic virtual clock (simulation time) for scoped timers.
+    clock: VirtualClock,
+    /// Timer opened at the last SFP down-transition.
+    outage_timer: Option<ScopedTimer>,
+    /// Global slot index across `run` calls (telemetry event numbering).
+    slot_idx: u64,
 }
 
 impl<M: Motion> LinkSession<M, SingleTx> {
+    /// Starts building a session over `motion` (see [`SessionBuilder`]).
+    /// The builder starts with the single-TX profile ([`SingleTx`] selector,
+    /// `EngineConfig::default()`); add units, a selector, a config and
+    /// telemetry, then [`SessionBuilder::build`].
+    pub fn builder(motion: M) -> SessionBuilder<M, SingleTx> {
+        SessionBuilder {
+            units: Vec::new(),
+            motion,
+            occluders: Vec::new(),
+            selector: SingleTx,
+            cfg: EngineConfig::default(),
+            telemetry: Telemetry::off(),
+            first_report: None,
+        }
+    }
+
     /// Creates a single-TX session. Per the paper's methodology the link
     /// "starts with a perfectly aligned beam": one TP step is run against
     /// the motion's initial pose and applied before time zero, consuming
     /// the t = 0 report; the next report arrives a full tracker period
     /// later.
+    #[deprecated(
+        note = "use LinkSession::builder(motion).deployment(dep, ctl).config(cfg).build()"
+    )]
     pub fn single(dep: Deployment, ctl: TpController, motion: M, cfg: EngineConfig) -> Self {
-        let mut dep = dep;
-        let mut ctl = ctl;
-        let mut motion = motion;
-        let pose0 = motion.pose_at(0.0);
-        dep.set_headset_pose(pose0);
-        let clean = dep.headset.true_reported_pose();
-        let report = noisy_report_of(clean, &cfg.tracker, dep.rng());
-        let cmd = ctl.on_report(&report);
-        dep.set_voltages(
-            cmd.voltages[0],
-            cmd.voltages[1],
-            cmd.voltages[2],
-            cmd.voltages[3],
-        );
-        let channel = FsoChannel::new(
-            dep.design.sfp.rx_sensitivity_dbm,
-            dep.design.sfp.rx_overload_dbm,
-        );
-        let sfp = SfpLinkState::new_up(dep.design.sfp.relink_time_s);
-        // The pre-start alignment above consumed the t = 0 report; the next
-        // one arrives a full tracker period later.
-        let first_period = cfg.tracker.draw_period(dep.rng());
-        let control = ControlPlane::new(cfg.control, cfg.tracker.control_channel_latency_s);
-        let tx_positions = vec![dep.tx_world_params().q2];
-        LinkSession {
-            units: vec![TxInstallation { dep, ctl }],
-            motion,
-            occluders: Vec::new(),
-            selector: SingleTx,
-            cfg,
-            channel,
-            control,
-            tp: TpPolicy::default(),
-            sfp,
-            active: 0,
-            next_report_t: first_period,
-            t: 0.0,
-            motion_t: 0.0,
-            drift: Vec3::ZERO,
-            last_report_t: 0.0,
-            prev_pose: Pose::IDENTITY,
-            tx_positions,
-            n_handovers: 0,
-            n_outages: 0,
-            outage_s: 0.0,
-            cur_outage_s: 0.0,
-            longest_outage_s: 0.0,
-        }
+        let mut b = LinkSession::builder(motion)
+            .deployment(dep, ctl)
+            .config(cfg);
+        b = b.first_report(FirstReport::AfterPeriod);
+        b.build().expect("invalid engine config")
     }
 }
 
 impl<M: Motion, S: TxSelector> LinkSession<M, S> {
     /// Creates a multi-unit session; unit 0 starts active and aligned to
     /// the motion's initial pose, and the first report fires at t = 0.
+    #[deprecated(
+        note = "use LinkSession::builder(motion).units(units).occluders(..).selector(sel).config(cfg).build()"
+    )]
     pub fn with_units(
+        units: Vec<TxInstallation>,
+        motion: M,
+        occluders: Vec<Occluder>,
+        selector: S,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert!(!units.is_empty());
+        let b = LinkSession::builder(motion)
+            .units(units)
+            .occluders(occluders)
+            .selector(selector)
+            .config(cfg)
+            .first_report(FirstReport::AtZero);
+        b.build().expect("invalid engine config")
+    }
+
+    /// The one true constructor behind the builder and the deprecated
+    /// shims. The RNG draw order here is part of the determinism contract:
+    /// one `noisy_report_of` on unit 0's deployment RNG for the pre-start
+    /// alignment, then (for [`FirstReport::AfterPeriod`] only) one
+    /// `draw_period` on the same RNG.
+    fn assemble(
         mut units: Vec<TxInstallation>,
         mut motion: M,
         occluders: Vec<Occluder>,
         selector: S,
         cfg: EngineConfig,
+        telemetry: Telemetry,
+        first_report: FirstReport,
     ) -> Self {
         assert!(!units.is_empty());
         let relink = units[0].dep.design.sfp.relink_time_s;
@@ -780,7 +960,7 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
         for u in units.iter_mut() {
             u.dep.set_headset_pose(pose0);
         }
-        // Align unit 0.
+        // Align unit 0 against the initial pose, before time zero.
         let clean = units[0].dep.headset.true_reported_pose();
         let rep = noisy_report_of(clean, &cfg.tracker, units[0].dep.rng());
         let cmd = units[0].ctl.on_report(&rep);
@@ -794,6 +974,10 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
             units[0].dep.design.sfp.rx_sensitivity_dbm,
             units[0].dep.design.sfp.rx_overload_dbm,
         );
+        let next_report_t = match first_report {
+            FirstReport::AfterPeriod => cfg.tracker.draw_period(units[0].dep.rng()),
+            FirstReport::AtZero => 0.0,
+        };
         let control = ControlPlane::new(cfg.control, cfg.tracker.control_channel_latency_s);
         let tx_positions = units.iter().map(|u| u.dep.tx_world_params().q2).collect();
         LinkSession {
@@ -807,7 +991,7 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
             tp: TpPolicy::default(),
             sfp: SfpLinkState::new_up(relink),
             active: 0,
-            next_report_t: 0.0,
+            next_report_t,
             t: 0.0,
             motion_t: 0.0,
             drift: Vec3::ZERO,
@@ -819,6 +1003,11 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
             outage_s: 0.0,
             cur_outage_s: 0.0,
             longest_outage_s: 0.0,
+            tele: telemetry,
+            prev_ctrl: ControlStats::default(),
+            clock: VirtualClock::default(),
+            outage_timer: None,
+            slot_idx: 0,
         }
     }
 
@@ -869,18 +1058,33 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
         self.n_handovers
     }
 
+    /// The session's aggregated telemetry, when counter aggregation was
+    /// enabled at construction ([`Telemetry::counters`]).
+    pub fn telemetry(&self) -> Option<&SessionTelemetry> {
+        self.tele.counters_ref()
+    }
+
+    /// Mutable access to the telemetry attachment (e.g. to emit
+    /// fleet-level events, flush, or recover an in-memory sink).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.tele
+    }
+
     fn unit_los(&self, i: usize, rx_pos: Vec3) -> bool {
         let tx_pos = self.tx_positions[i];
         !self.occluders.iter().any(|o| o.blocks(tx_pos, rx_pos))
     }
 
-    /// Runs for `duration_s`, returning one record per slot.
+    /// Runs for `duration_s`, returning one record per slot. Flushes the
+    /// telemetry sink (if any) at the end of the run.
     pub fn run(&mut self, duration_s: f64) -> Vec<EngineSlot> {
         let n_slots = (duration_s / self.cfg.slot_s).round() as usize;
         if self.cfg.track_speeds {
             self.prev_pose = self.motion.pose_at(self.motion_t);
         }
-        run_slots(self, n_slots)
+        let recs = run_slots(self, n_slots);
+        self.tele.flush();
+        recs
     }
 
     /// Fault-handling counters accumulated across all [`LinkSession::run`]
@@ -931,6 +1135,17 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
         } else {
             self.motion_t
         };
+        // Telemetry is pure observation: all emission below is gated on this
+        // one flag, and every event fires only after the slot's random draws
+        // for that stage have happened, so sinks cannot perturb the streams.
+        let tele_on = self.tele.is_active();
+        self.clock.advance(slot_s);
+        let k_ev = self.slot_idx;
+        self.slot_idx += 1;
+        if tele_on {
+            self.tele
+                .emit(&TelemetryEvent::SlotStart { k: k_ev, t: t_slot });
+        }
 
         // 0. Environment: occluders wander.
         for o in self.occluders.iter_mut() {
@@ -967,6 +1182,13 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
             if !self.control.is_faulty() {
                 let loss_p = self.cfg.tracker.report_loss_prob;
                 if loss_p > 0.0 && self.units[self.active].dep.rng().gen_bool(loss_p) {
+                    if tele_on {
+                        self.tele.emit(&TelemetryEvent::CtrlDropped {
+                            t: rt,
+                            n: 1,
+                            reason: DropReason::ChannelLoss,
+                        });
+                    }
                     continue;
                 }
             }
@@ -998,9 +1220,12 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
                 // Hand the report to the (faulty) control channel; the TP
                 // acts on deliveries, not submissions.
                 link.send(rt, (rt, reported));
+                if tele_on {
+                    self.tele.emit(&TelemetryEvent::CtrlSent { t: rt });
+                }
             } else {
                 let cmd = u.ctl.on_report(&reported);
-                match self.cfg.command_timing {
+                let apply_at = match self.cfg.command_timing {
                     CommandTiming::Scheduled => {
                         // The command is optically effective only after the
                         // control channel, the DAC conversion AND the mirror
@@ -1016,6 +1241,7 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
                             + cmd.latency_s
                             + settle;
                         self.tp.pending.push_back((apply_at, cmd.voltages));
+                        apply_at
                     }
                     CommandTiming::Immediate => {
                         u.dep.set_voltages(
@@ -1024,7 +1250,18 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
                             cmd.voltages[2],
                             cmd.voltages[3],
                         );
+                        rt
                     }
+                };
+                if tele_on {
+                    self.tele.emit(&TelemetryEvent::TpCommandIssued {
+                        t: rt,
+                        apply_at,
+                        source: CommandSource::Report,
+                        latency_s: cmd.latency_s,
+                        iters: cmd.iterations as u64,
+                        converged: cmd.converged,
+                    });
                 }
             }
         }
@@ -1043,19 +1280,79 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
                     cmd.voltages[2],
                     cmd.voltages[3],
                 );
-                self.tp
-                    .pending
-                    .push_back((t_arr + cmd.latency_s + settle, cmd.voltages));
+                let apply_at = t_arr + cmd.latency_s + settle;
+                self.tp.pending.push_back((apply_at, cmd.voltages));
                 self.tp.on_delivery(t_arr, t_sample, rep_pose);
+                if tele_on {
+                    self.tele.emit(&TelemetryEvent::CtrlDelivered {
+                        t: t_arr,
+                        age_s: t_arr - t_sample,
+                    });
+                    self.tele.emit(&TelemetryEvent::TpCommandIssued {
+                        t: t_arr,
+                        apply_at,
+                        source: CommandSource::Report,
+                        latency_s: cmd.latency_s,
+                        iters: cmd.iterations as u64,
+                        converged: cmd.converged,
+                    });
+                }
             }
             if let Some(dr) = self.cfg.control.and_then(|c| c.dead_reckoning) {
-                self.tp
+                let issued = self
+                    .tp
                     .dead_reckon(t_slot, dr, &mut self.units[self.active]);
+                if tele_on {
+                    if let Some((apply_at, cmd)) = issued {
+                        self.tele.emit(&TelemetryEvent::TpCommandIssued {
+                            t: t_slot,
+                            apply_at,
+                            source: CommandSource::DeadReckoned,
+                            latency_s: cmd.latency_s,
+                            iters: cmd.iterations as u64,
+                            converged: cmd.converged,
+                        });
+                    }
+                }
+            }
+        }
+        // Synthesize per-slot retransmit/drop events from the cumulative
+        // channel counters (the ARQ stack doesn't surface per-frame hooks).
+        if tele_on {
+            if let Some(cur) = self.control.stats() {
+                let d = cur.since(&self.prev_ctrl);
+                if d.retransmits > 0 {
+                    self.tele.emit(&TelemetryEvent::CtrlRetransmit {
+                        t: t_slot,
+                        n: d.retransmits,
+                    });
+                }
+                for (n, reason) in [
+                    (d.channel_losses, DropReason::ChannelLoss),
+                    (d.stale_drops + d.dup_frames, DropReason::Stale),
+                    (d.acks_lost, DropReason::AckLost),
+                    (d.gave_up, DropReason::GaveUp),
+                ] {
+                    if n > 0 {
+                        self.tele.emit(&TelemetryEvent::CtrlDropped {
+                            t: t_slot,
+                            n,
+                            reason,
+                        });
+                    }
+                }
+                self.prev_ctrl = cur;
             }
         }
 
         // 2. Apply the due commands.
-        self.tp.apply_due(t_slot, &mut self.units[self.active].dep);
+        let n_applied = self.tp.apply_due(t_slot, &mut self.units[self.active].dep);
+        if tele_on && n_applied > 0 {
+            self.tele.emit(&TelemetryEvent::TpApplied {
+                t: t_slot,
+                n: n_applied,
+            });
+        }
 
         // 3. True pose & optics at slot end.
         let pose = match slot_pose {
@@ -1098,7 +1395,7 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
             .is_some_and(|f| f.forced_down(t_slot));
         let mut signal = !flap_forced && power >= self.channel.sensitivity_dbm;
         if let Some(rq) = self.cfg.control.and_then(|c| c.reacq) {
-            self.tp.reacq(
+            let act = self.tp.reacq(
                 t_slot,
                 rq,
                 self.cfg.tracker.period_max_s,
@@ -1108,6 +1405,20 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
                 &mut power,
                 &mut signal,
             );
+            if tele_on {
+                if act.started {
+                    self.tele.emit(&TelemetryEvent::ReacqStarted { t: t_slot });
+                }
+                if act.probed {
+                    self.tele.emit(&TelemetryEvent::ReacqProbe { t: t_slot });
+                }
+                if let Some(recovered) = act.ended {
+                    self.tele.emit(&TelemetryEvent::ReacqEnded {
+                        t: t_slot,
+                        recovered,
+                    });
+                }
+            }
         }
 
         // 3c. TX selection (handover).
@@ -1120,6 +1431,8 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
             occluders: &self.occluders,
         });
         if let Some(best) = switch_to {
+            let from = self.active;
+            let spiral_abandoned = self.tp.spiral.is_some();
             self.active = best;
             self.n_handovers += 1;
             self.tp.clear_inflight();
@@ -1134,6 +1447,28 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
                 cmd.voltages[2],
                 cmd.voltages[3],
             );
+            if tele_on {
+                if spiral_abandoned {
+                    // The old unit's spiral dies with the handover.
+                    self.tele.emit(&TelemetryEvent::ReacqEnded {
+                        t: t_slot,
+                        recovered: false,
+                    });
+                }
+                self.tele.emit(&TelemetryEvent::Handover {
+                    t: t_slot,
+                    from: from as u32,
+                    to: best as u32,
+                });
+                self.tele.emit(&TelemetryEvent::TpCommandIssued {
+                    t: t_slot,
+                    apply_at: t_slot,
+                    source: CommandSource::HandoverShot,
+                    latency_s: cmd.latency_s,
+                    iters: cmd.iterations as u64,
+                    converged: cmd.converged,
+                });
+            }
         }
 
         // 4. Data plane.
@@ -1142,11 +1477,27 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
         if was_up && !up {
             self.n_outages += 1;
             self.cur_outage_s = 0.0;
+            self.outage_timer = Some(self.clock.start());
+            if tele_on {
+                self.tele.emit(&TelemetryEvent::SfpDown { t: t_slot });
+            }
         }
         if !up {
             self.outage_s += slot_s;
             self.cur_outage_s += slot_s;
             self.longest_outage_s = self.longest_outage_s.max(self.cur_outage_s);
+        }
+        if !was_up && up {
+            let outage = self
+                .outage_timer
+                .take()
+                .map_or(self.cur_outage_s, |tm| tm.elapsed(&self.clock));
+            if tele_on {
+                self.tele.emit(&TelemetryEvent::SfpUp {
+                    t: t_slot,
+                    outage_s: outage,
+                });
+            }
         }
         let goodput = if self.cfg.goodput && up {
             let rate = self.units[self.active].dep.design.sfp.optimal_goodput_gbps;
@@ -1165,9 +1516,193 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
             lin_speed: lin,
             ang_speed: ang,
         };
+        if tele_on {
+            self.tele.emit(&TelemetryEvent::SlotEnd {
+                k: k_ev,
+                t: t_slot,
+                active: self.active as u32,
+                power_dbm: power,
+                margin_db: power - self.channel.sensitivity_dbm,
+                link_up: up,
+                goodput_gbps: goodput,
+            });
+        }
         self.t = t_slot;
         self.motion_t = motion_t_slot;
         rec
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session builder
+// ---------------------------------------------------------------------------
+
+/// Validating builder for [`LinkSession`] — the construction API
+/// ([`LinkSession::builder`] is the entry point):
+///
+/// ```no_run
+/// # use cyclops_link::engine::{EngineConfig, LinkSession};
+/// # use cyclops_link::telemetry::{JsonlSink, Telemetry};
+/// # use cyclops_vrh::motion::StaticPose;
+/// # use cyclops_geom::pose::Pose;
+/// # fn demo(dep: cyclops_core::deployment::Deployment,
+/// #         ctl: cyclops_core::tp::TpController) {
+/// let sink = JsonlSink::create(std::path::Path::new("session.jsonl")).unwrap();
+/// let mut session = LinkSession::builder(StaticPose(Pose::IDENTITY))
+///     .deployment(dep, ctl)
+///     .telemetry(Telemetry::with_sink_and_counters(Box::new(sink)))
+///     .build()
+///     .expect("valid config");
+/// let slots = session.run(2.0);
+/// # let _ = slots;
+/// # }
+/// ```
+///
+/// `build` validates the configuration ([`EngineConfig::validate`] plus the
+/// unit list) instead of panicking mid-run. Unless overridden with
+/// [`SessionBuilder::first_report`], single-unit sessions use
+/// [`FirstReport::AfterPeriod`] and multi-unit sessions
+/// [`FirstReport::AtZero`] — matching the deprecated
+/// `LinkSession::single` / `LinkSession::with_units` constructors
+/// bit-exactly.
+#[derive(Debug)]
+pub struct SessionBuilder<M: Motion, S: TxSelector> {
+    units: Vec<TxInstallation>,
+    motion: M,
+    occluders: Vec<Occluder>,
+    selector: S,
+    cfg: EngineConfig,
+    telemetry: Telemetry,
+    first_report: Option<FirstReport>,
+}
+
+impl<M: Motion, S: TxSelector> SessionBuilder<M, S> {
+    /// Adds one TX installation from its parts.
+    pub fn deployment(mut self, dep: Deployment, ctl: TpController) -> Self {
+        self.units.push(TxInstallation { dep, ctl });
+        self
+    }
+
+    /// Adds one TX installation.
+    pub fn unit(mut self, unit: TxInstallation) -> Self {
+        self.units.push(unit);
+        self
+    }
+
+    /// Adds several TX installations.
+    pub fn units(mut self, units: impl IntoIterator<Item = TxInstallation>) -> Self {
+        self.units.extend(units);
+        self
+    }
+
+    /// Adds one occluder.
+    pub fn occluder(mut self, occluder: Occluder) -> Self {
+        self.occluders.push(occluder);
+        self
+    }
+
+    /// Adds several occluders.
+    pub fn occluders(mut self, occluders: impl IntoIterator<Item = Occluder>) -> Self {
+        self.occluders.extend(occluders);
+        self
+    }
+
+    /// Replaces the TX selector (changes the builder's selector type).
+    pub fn selector<S2: TxSelector>(self, selector: S2) -> SessionBuilder<M, S2> {
+        SessionBuilder {
+            units: self.units,
+            motion: self.motion,
+            occluders: self.occluders,
+            selector,
+            cfg: self.cfg,
+            telemetry: self.telemetry,
+            first_report: self.first_report,
+        }
+    }
+
+    /// Replaces the whole engine configuration.
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the slot length (seconds).
+    pub fn slot_s(mut self, slot_s: f64) -> Self {
+        self.cfg.slot_s = slot_s;
+        self
+    }
+
+    /// Sets the tracker timing/noise model.
+    pub fn tracker(mut self, tracker: TrackerConfig) -> Self {
+        self.cfg.tracker = tracker;
+        self
+    }
+
+    /// Enables the reliable control plane (fault-injected channel, ARQ,
+    /// dead reckoning, re-acquisition).
+    pub fn control(mut self, control: ControlPlaneConfig) -> Self {
+        self.cfg.control = Some(control);
+        self
+    }
+
+    /// Sets the §5.3 pause-on-outage operator protocol.
+    pub fn pause_on_outage(mut self, pause: bool) -> Self {
+        self.cfg.pause_on_outage = pause;
+        self
+    }
+
+    /// Attaches a telemetry configuration (sink and/or counters).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches an event sink (keeps any counter setting).
+    pub fn telemetry_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.telemetry = if self.telemetry.counters_ref().is_some() {
+            Telemetry::with_sink_and_counters(sink)
+        } else {
+            Telemetry::with_sink(sink)
+        };
+        self
+    }
+
+    /// Enables in-session counter/histogram aggregation (keeps any sink).
+    pub fn telemetry_counters(mut self) -> Self {
+        self.telemetry = match self.telemetry.take_sink() {
+            Some(sink) => Telemetry::with_sink_and_counters(sink),
+            None => Telemetry::counters(),
+        };
+        self
+    }
+
+    /// Overrides the first-report timing (the default follows the unit
+    /// count; see [`FirstReport`]).
+    pub fn first_report(mut self, first_report: FirstReport) -> Self {
+        self.first_report = Some(first_report);
+        self
+    }
+
+    /// Validates and constructs the session.
+    pub fn build(self) -> Result<LinkSession<M, S>, EngineConfigError> {
+        if self.units.is_empty() {
+            return Err(EngineConfigError::NoUnits);
+        }
+        self.cfg.validate()?;
+        let first_report = self.first_report.unwrap_or(if self.units.len() == 1 {
+            FirstReport::AfterPeriod
+        } else {
+            FirstReport::AtZero
+        });
+        Ok(LinkSession::assemble(
+            self.units,
+            self.motion,
+            self.occluders,
+            self.selector,
+            self.cfg,
+            self.telemetry,
+            first_report,
+        ))
     }
 }
 
@@ -1293,6 +1828,10 @@ pub struct FleetConfig {
     /// and resumes once the link is back. Without it a hand-held session
     /// rarely holds the signal through the multi-second SFP relink.
     pub pause_on_outage: bool,
+    /// Attach per-session telemetry counters ([`Telemetry::counters`]) and
+    /// roll them up in the [`FleetRollup`]. Off by default (telemetry is
+    /// zero-cost when disabled).
+    pub collect_telemetry: bool,
 }
 
 impl Default for FleetConfig {
@@ -1307,7 +1846,105 @@ impl Default for FleetConfig {
             occluders: Vec::new(),
             debounce_s: 0.03,
             pause_on_outage: true,
+            collect_telemetry: false,
         }
+    }
+}
+
+impl FleetConfig {
+    /// Starts a validating builder over the default fleet configuration.
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            cfg: FleetConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`FleetConfig`] (entry point:
+/// [`FleetConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    cfg: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Sets the number of concurrent sessions.
+    pub fn n_sessions(mut self, n: usize) -> Self {
+        self.cfg.n_sessions = n;
+        self
+    }
+
+    /// Sets the per-session duration (seconds).
+    pub fn duration_s(mut self, duration_s: f64) -> Self {
+        self.cfg.duration_s = duration_s;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the per-session motion model.
+    pub fn motion(mut self, motion: ArbitraryMotionConfig) -> Self {
+        self.cfg.motion = motion;
+        self
+    }
+
+    /// Sets the base pose sessions start from.
+    pub fn base_pose(mut self, base_pose: Pose) -> Self {
+        self.cfg.base_pose = base_pose;
+        self
+    }
+
+    /// Sets the control-plane template.
+    pub fn control(mut self, control: ControlPlaneConfig) -> Self {
+        self.cfg.control = Some(control);
+        self
+    }
+
+    /// Adds an occluder template.
+    pub fn occluder(mut self, occluder: Occluder) -> Self {
+        self.cfg.occluders.push(occluder);
+        self
+    }
+
+    /// Sets the handover debounce (seconds).
+    pub fn debounce_s(mut self, debounce_s: f64) -> Self {
+        self.cfg.debounce_s = debounce_s;
+        self
+    }
+
+    /// Sets the §5.3 pause-on-outage protocol.
+    pub fn pause_on_outage(mut self, pause: bool) -> Self {
+        self.cfg.pause_on_outage = pause;
+        self
+    }
+
+    /// Enables per-session telemetry counters and the fleet roll-up.
+    pub fn collect_telemetry(mut self, collect: bool) -> Self {
+        self.cfg.collect_telemetry = collect;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<FleetConfig, EngineConfigError> {
+        let c = &self.cfg;
+        if c.n_sessions == 0 {
+            return Err(EngineConfigError::InvalidFleet("n_sessions must be >= 1"));
+        }
+        if !(c.duration_s.is_finite() && c.duration_s > 0.0) {
+            return Err(EngineConfigError::InvalidFleet(
+                "duration_s must be finite and positive",
+            ));
+        }
+        if !(c.debounce_s.is_finite() && c.debounce_s >= 0.0) {
+            return Err(EngineConfigError::InvalidFleet(
+                "debounce_s must be finite and non-negative",
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -1338,6 +1975,8 @@ pub struct SessionReport {
     pub tp_reports: u64,
     /// TP pointing failures (across units).
     pub tp_failures: u64,
+    /// Aggregated telemetry (`Some` iff [`FleetConfig::collect_telemetry`]).
+    pub telemetry: Option<SessionTelemetry>,
 }
 
 /// Fleet-level rollup of the per-session counters.
@@ -1371,6 +2010,9 @@ pub struct FleetRollup {
     pub ctrl_delivered: u64,
     /// Total ARQ retransmissions.
     pub ctrl_retransmits: u64,
+    /// Merged per-session telemetry (`Some` iff the fleet ran with
+    /// [`FleetConfig::collect_telemetry`]).
+    pub telemetry: Option<SessionTelemetry>,
 }
 
 /// Outcome of [`run_fleet`]: per-session reports (in session order) plus
@@ -1400,6 +2042,7 @@ impl FleetSummary {
             ctrl_sent: 0,
             ctrl_delivered: 0,
             ctrl_retransmits: 0,
+            telemetry: None,
         };
         for s in &self.sessions {
             r.total_slots += s.slots;
@@ -1416,6 +2059,12 @@ impl FleetSummary {
                 r.ctrl_sent += c.sent;
                 r.ctrl_delivered += c.delivered;
                 r.ctrl_retransmits += c.retransmits;
+            }
+            if let Some(t) = s.telemetry.as_ref() {
+                match r.telemetry.as_mut() {
+                    Some(acc) => acc.merge(t),
+                    None => r.telemetry = Some(*t),
+                }
             }
         }
         if n > 0 {
@@ -1456,8 +2105,33 @@ fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> S
         ..EngineConfig::default()
     };
     let selector = BestMargin::new(units[0].dep.design, cfg.debounce_s);
-    let mut session = LinkSession::with_units(units.to_vec(), motion, occluders, selector, ecfg);
+    let telemetry = if cfg.collect_telemetry {
+        Telemetry::counters()
+    } else {
+        Telemetry::off()
+    };
+    let mut session = LinkSession::builder(motion)
+        .units(units.to_vec())
+        .occluders(occluders)
+        .selector(selector)
+        .config(ecfg)
+        .telemetry(telemetry)
+        .first_report(FirstReport::AtZero)
+        .build()
+        .expect("fleet engine config must be valid");
+    if cfg.collect_telemetry {
+        session.telemetry_mut().emit(&TelemetryEvent::SessionStart {
+            session: i as u64,
+            seed,
+        });
+    }
     let recs = session.run(cfg.duration_s);
+    if cfg.collect_telemetry {
+        session.telemetry_mut().emit(&TelemetryEvent::SessionEnd {
+            session: i as u64,
+            slots: recs.len() as u64,
+        });
+    }
     let n = recs.len().max(1) as f64;
     let up = recs.iter().filter(|r| r.link_up).count() as f64 / n;
     let sens = units[0].dep.design.sfp.rx_sensitivity_dbm;
@@ -1477,6 +2151,7 @@ fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> S
         stats: session.session_stats(),
         tp_reports: tp.n_reports,
         tp_failures: tp.n_failures,
+        telemetry: session.telemetry().copied(),
     }
 }
 
@@ -1632,5 +2307,273 @@ mod tests {
         assert_eq!(r.n_sessions, 3);
         assert_eq!(r.total_slots, a.sessions.iter().map(|s| s.slots).sum());
         assert!(r.min_up_frac <= r.mean_up_frac + 1e-12);
+        // Telemetry is off by default: no per-session or rolled-up counters.
+        assert!(a.sessions.iter().all(|s| s.telemetry.is_none()));
+        assert!(r.telemetry.is_none());
+    }
+
+    use crate::control::FaultPlan;
+    use crate::telemetry::JsonlSink;
+    use cyclops_vrh::motion::StaticPose;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A sink that only counts records, observable from outside the session.
+    #[derive(Debug)]
+    struct CountingSink(Arc<AtomicU64>);
+    impl TelemetrySink for CountingSink {
+        fn record(&mut self, _ev: &TelemetryEvent) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn park_pose() -> Pose {
+        Pose::translation(v3(0.0, 0.0, 1.75))
+    }
+
+    /// Single-TX chaos session (ARQ + DR + re-acq under the stress fault
+    /// plan) over one commissioned unit, with the given telemetry layer.
+    fn chaos_session(tele: Telemetry) -> LinkSession<StaticPose, SingleTx> {
+        let unit = crate::multi_tx::tests::two_units(912).remove(0);
+        let mut cfg = EngineConfig::default();
+        cfg.tracker.drift_sigma_per_sqrt_s = 1e-3;
+        cfg.control = Some(ControlPlaneConfig::hardened(FaultPlan::stress(17)));
+        LinkSession::builder(StaticPose(park_pose()))
+            .deployment(unit.dep, unit.ctl)
+            .config(cfg)
+            .first_report(FirstReport::AfterPeriod)
+            .telemetry(tele)
+            .build()
+            .expect("valid chaos config")
+    }
+
+    fn assert_streams_identical(a: &[EngineSlot], b: &[EngineSlot]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.t.to_bits(), y.t.to_bits());
+            assert_eq!(x.active, y.active);
+            assert_eq!(x.los, y.los);
+            assert_eq!(x.power_dbm.to_bits(), y.power_dbm.to_bits());
+            assert_eq!(x.link_up, y.link_up);
+            assert_eq!(x.goodput_gbps.to_bits(), y.goodput_gbps.to_bits());
+            assert_eq!(x.lin_speed.to_bits(), y.lin_speed.to_bits());
+            assert_eq!(x.ang_speed.to_bits(), y.ang_speed.to_bits());
+        }
+    }
+
+    #[test]
+    fn telemetry_sinks_do_not_perturb_the_slot_stream() {
+        // The determinism contract of the telemetry layer: the EngineSlot
+        // stream is bit-identical with telemetry disabled, with counters,
+        // with a JSONL sink, and with an arbitrary custom sink.
+        let run = |tele: Telemetry| {
+            let mut s = chaos_session(tele);
+            let recs = s.run(1.0);
+            let counters = s.telemetry().copied();
+            (recs, counters)
+        };
+        let (off, c_off) = run(Telemetry::off());
+        let (counted, c_on) = run(Telemetry::counters());
+        assert!(c_off.is_none());
+        let jsonl_path = std::env::temp_dir().join("cyclops_engine_tele_identity.jsonl");
+        let sink = JsonlSink::create(&jsonl_path).expect("create jsonl");
+        let (jsonl, c_jsonl) = run(Telemetry::with_sink_and_counters(Box::new(sink)));
+        let n_events = Arc::new(AtomicU64::new(0));
+        let (custom, _) = run(Telemetry::with_sink(Box::new(CountingSink(
+            n_events.clone(),
+        ))));
+        assert_streams_identical(&off, &counted);
+        assert_streams_identical(&off, &jsonl);
+        assert_streams_identical(&off, &custom);
+        // Counters aggregate the same stream regardless of the sink.
+        let c_on = c_on.expect("counters attached");
+        assert_eq!(Some(c_on), c_jsonl);
+        assert_eq!(c_on.events.slots as usize, off.len());
+        assert!(c_on.events.ctrl_sent > 0, "{:?}", c_on.events);
+        assert!(c_on.events.ctrl_delivered > 0, "{:?}", c_on.events);
+        assert!(c_on.events.tp_commands > 0, "{:?}", c_on.events);
+        // One JSONL line per recorded event.
+        let body = std::fs::read_to_string(&jsonl_path).expect("read jsonl");
+        let _ = std::fs::remove_file(&jsonl_path);
+        assert_eq!(
+            body.lines().count() as u64,
+            n_events.load(Ordering::Relaxed)
+        );
+        assert!(body.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn multi_tx_handover_telemetry_counts_events() {
+        // The occlusion-handover workload under counters: handover, SFP
+        // down/up and outage-histogram events must land, and the stream must
+        // stay bit-identical to the uninstrumented run.
+        let units = crate::multi_tx::tests::two_units(902);
+        let tx0 = units[0].dep.tx_world_params().q2;
+        let rx = v3(0.0, 0.0, 1.75);
+        let occ = Occluder::new(tx0.lerp(rx, 0.5), 0.12, 0.0, 1);
+        let run = |tele: Telemetry| {
+            let mut s = LinkSession::builder(StaticPose(Pose::translation(rx)))
+                .units(units.clone())
+                .occluder(occ.clone())
+                .selector(DarkDebounce::new(0.03))
+                .config(EngineConfig::multi_tx(TrackerConfig::default()))
+                .first_report(FirstReport::AtZero)
+                .telemetry(tele)
+                .build()
+                .expect("valid multi-TX config");
+            let recs = s.run(4.0);
+            let counters = s.telemetry().copied();
+            (recs, counters)
+        };
+        let (off, _) = run(Telemetry::off());
+        let (counted, c) = run(Telemetry::counters());
+        assert_streams_identical(&off, &counted);
+        let c = c.expect("counters attached");
+        assert_eq!(c.events.slots as usize, off.len());
+        assert!(c.events.handovers >= 1, "{:?}", c.events);
+        assert!(c.events.sfp_downs >= 1, "{:?}", c.events);
+        assert!(c.events.sfp_ups >= 1, "{:?}", c.events);
+        assert!(c.outage_s.samples() >= 1, "outage histogram must fill");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn builder_replays_deprecated_constructors_bit_identically() {
+        // `LinkSession::single` ≡ builder + AfterPeriod.
+        let unit = crate::multi_tx::tests::two_units(913).remove(0);
+        let cfg = EngineConfig::default();
+        let mut legacy = LinkSession::single(
+            unit.dep.clone(),
+            unit.ctl.clone(),
+            StaticPose(park_pose()),
+            cfg,
+        );
+        let mut built = LinkSession::builder(StaticPose(park_pose()))
+            .deployment(unit.dep, unit.ctl)
+            .config(cfg)
+            .build()
+            .expect("valid single-TX config");
+        assert_streams_identical(&legacy.run(0.5), &built.run(0.5));
+
+        // `LinkSession::with_units` ≡ builder + units + AtZero.
+        let units = crate::multi_tx::tests::two_units(902);
+        let mcfg = EngineConfig::multi_tx(TrackerConfig::default());
+        let mut legacy = LinkSession::with_units(
+            units.clone(),
+            StaticPose(park_pose()),
+            vec![],
+            DarkDebounce::new(0.03),
+            mcfg,
+        );
+        let mut built = LinkSession::builder(StaticPose(park_pose()))
+            .units(units)
+            .selector(DarkDebounce::new(0.03))
+            .config(mcfg)
+            .build()
+            .expect("valid multi-TX config");
+        assert_streams_identical(&legacy.run(0.5), &built.run(0.5));
+    }
+
+    #[test]
+    fn fleet_rollup_merges_session_telemetry() {
+        let units = crate::multi_tx::tests::two_units(911);
+        let cfg = FleetConfig::builder()
+            .n_sessions(3)
+            .duration_s(0.4)
+            .seed(77)
+            .collect_telemetry(true)
+            .build()
+            .expect("valid fleet config");
+        let s = run_fleet(&units, &cfg);
+        assert!(s.sessions.iter().all(|r| r.telemetry.is_some()));
+        let r = s.rollup();
+        let t = r.telemetry.expect("telemetry collected");
+        assert_eq!(t.events.sessions, 3);
+        assert_eq!(t.events.slots, r.total_slots as u64);
+        // The roll-up is exactly the merge of the per-session aggregates.
+        let mut manual = SessionTelemetry::default();
+        for rep in &s.sessions {
+            manual.merge(rep.telemetry.as_ref().unwrap());
+        }
+        assert_eq!(manual, t);
+    }
+
+    #[test]
+    fn clear_inflight_resets_all_per_unit_state() {
+        // Regression for the handover counter sweep: an exhausted spiral
+        // budget (or stale DR state) on the old unit must not leak into the
+        // new unit after a handover.
+        let mut tp = TpPolicy::default();
+        tp.pending.push_back((1.0, [0.1; 4]));
+        tp.deliveries.push_back((0.5, park_pose()));
+        tp.last_delivery_arrival = Some(0.6);
+        tp.last_dr_t = 0.7;
+        tp.spiral = Some(ReacqSpiral::new([0.0; 4], 0.02, 100));
+        tp.spiral_exhausted = true;
+        tp.signal_lost_since = Some(0.2);
+        tp.clear_inflight();
+        assert!(tp.pending.is_empty());
+        assert!(tp.deliveries.is_empty());
+        assert_eq!(tp.last_delivery_arrival, None);
+        assert_eq!(tp.last_dr_t, 0.0);
+        assert!(tp.spiral.is_none());
+        assert!(!tp.spiral_exhausted, "exhausted budget must not carry over");
+        assert_eq!(tp.signal_lost_since, None);
+    }
+
+    #[test]
+    fn builders_reject_invalid_configs() {
+        assert_eq!(EngineConfig::default().validate(), Ok(()));
+        let c = EngineConfig {
+            slot_s: 0.0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(c.validate(), Err(EngineConfigError::InvalidSlot));
+        let c = EngineConfig {
+            slot_s: f64::NAN,
+            ..EngineConfig::default()
+        };
+        assert_eq!(c.validate(), Err(EngineConfigError::InvalidSlot));
+        // Goodput accounting is on in the default profile, so zero-size
+        // frames must be rejected.
+        let c = EngineConfig {
+            frame_bits: 0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(c.validate(), Err(EngineConfigError::ZeroFrameBits));
+        let mut c = EngineConfig::default();
+        c.tracker.late_prob = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(EngineConfigError::InvalidTracker(_))
+        ));
+        let c = EngineConfig {
+            control: Some(ControlPlaneConfig::hardened(FaultPlan {
+                loss_prob: -0.1,
+                ..FaultPlan::clean(1)
+            })),
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(EngineConfigError::InvalidControl(_))
+        ));
+        // A builder with no units fails before validation even matters.
+        assert_eq!(
+            LinkSession::builder(StaticPose(park_pose())).build().err(),
+            Some(EngineConfigError::NoUnits)
+        );
+        // Fleet-level validation.
+        assert!(matches!(
+            FleetConfig::builder().n_sessions(0).build(),
+            Err(EngineConfigError::InvalidFleet(_))
+        ));
+        assert!(matches!(
+            FleetConfig::builder().duration_s(0.0).build(),
+            Err(EngineConfigError::InvalidFleet(_))
+        ));
+        // Errors render human-readable messages.
+        assert!(!EngineConfigError::NoUnits.to_string().is_empty());
+        assert!(!EngineConfigError::InvalidFleet("x").to_string().is_empty());
     }
 }

@@ -11,6 +11,13 @@
 //! Since the engine refactor the selection state machine lives in
 //! [`crate::engine::MarginSelector`]; [`HandoverSystem`] binds it to a set
 //! of [`TxUnit`]s and an occlusion model.
+//!
+//! **Deprecation note.** This geometric model is kept for the coverage
+//! studies; full-physics multi-TX work should build a
+//! [`crate::engine::LinkSession`] via
+//! [`LinkSession::builder`](crate::engine::LinkSession::builder) with
+//! `.units(..)` and a [`crate::engine::TxSelector`], which also carries the
+//! [`crate::telemetry`] layer (handover events, outage histograms).
 
 use crate::engine::{aligned_margin_db, MarginSelector};
 use cyclops_geom::vec3::Vec3;

@@ -18,7 +18,11 @@
 //!   methodology;
 //! * [`engine`] — the unified slot-clocked simulation engine: one scheduler
 //!   driving pluggable components (motion source, TP policy, control plane,
-//!   channel model, TX selector), plus multi-session fleet workloads;
+//!   channel model, TX selector), plus multi-session fleet workloads; new
+//!   code enters through [`engine::LinkSession::builder`];
+//! * [`telemetry`] — deterministic engine observability: slot/TP/control/
+//!   SFP/handover events, counter + histogram aggregation, a JSONL sink,
+//!   and the virtual clock that keeps instrumented runs bit-identical;
 //! * [`simulator`] — the end-to-end 1 ms-slot simulator joining motion,
 //!   tracking, TP and optics (Figs 13–15) — a single-TX engine session;
 //! * [`trace_sim`] — the §5.4 user-trace connectivity simulation (Fig 16),
@@ -44,6 +48,7 @@ pub mod iperf;
 pub mod multi_tx;
 pub mod sfp_state;
 pub mod simulator;
+pub mod telemetry;
 pub mod trace_sim;
 pub mod video;
 
@@ -53,13 +58,18 @@ pub use control::{
     FlapSchedule, ReacqConfig,
 };
 pub use engine::{
-    run_fleet, run_slots, BestMargin, DarkDebounce, EngineConfig, EngineSlot, FleetConfig,
-    FleetRollup, FleetSummary, LinkSession, MarginSelector, SessionReport, SingleTx, SlotSession,
-    TxSelector,
+    run_fleet, run_slots, BestMargin, DarkDebounce, EngineConfig, EngineConfigError, EngineSlot,
+    FirstReport, FleetConfig, FleetConfigBuilder, FleetRollup, FleetSummary, LinkSession,
+    MarginSelector, SessionBuilder, SessionReport, SessionStats, SingleTx, SlotSession,
+    TxInstallation, TxSelector,
 };
 pub use framing::Frame;
 pub use iperf::ThroughputMeter;
-pub use multi_tx::{MultiTxSimulator, TxInstallation};
+pub use multi_tx::MultiTxSimulator;
 pub use sfp_state::SfpLinkState;
-pub use simulator::{LinkSimConfig, LinkSimulator, SessionStats, SlotRecord};
+pub use simulator::{LinkSimConfig, LinkSimulator, SlotRecord};
+pub use telemetry::{
+    CommandSource, DropReason, Histogram, JsonlSink, NullSink, SessionTelemetry, Telemetry,
+    TelemetryCounters, TelemetryEvent, TelemetrySink,
+};
 pub use trace_sim::{simulate_trace, TraceSimParams, TraceSimResult};

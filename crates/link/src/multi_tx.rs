@@ -10,13 +10,18 @@
 //! [`DarkDebounce`] selector (after a dark debounce, hand over to the
 //! nearest unoccluded sibling and pay the SFP re-lock there). Outputs are
 //! bit-identical to the pre-refactor loop per seed.
+//!
+//! **Deprecation note.** This façade is kept for the paper-figure binaries
+//! and older tests; new code should build sessions directly with
+//! [`LinkSession::builder`] (`.units(..).occluders(..).selector(..)`), which
+//! validates its configuration and accepts a telemetry layer (see
+//! [`crate::telemetry`]). [`TxInstallation`]
+//! now lives in [`crate::engine`].
 
-use crate::engine::{DarkDebounce, EngineConfig, LinkSession};
+use crate::engine::{DarkDebounce, EngineConfig, FirstReport, LinkSession, TxInstallation};
 use crate::handover::Occluder;
 use cyclops_vrh::motion::Motion;
 use cyclops_vrh::tracking::TrackerConfig;
-
-pub use crate::engine::TxInstallation;
 
 /// Per-slot record of the multi-TX simulation.
 #[derive(Debug, Clone, Copy)]
@@ -49,14 +54,16 @@ impl<M: Motion> MultiTxSimulator<M> {
         occluders: Vec<Occluder>,
     ) -> MultiTxSimulator<M> {
         let cfg = EngineConfig::multi_tx(TrackerConfig::default());
+        assert!(!units.is_empty(), "need at least one TX installation");
         MultiTxSimulator {
-            session: LinkSession::with_units(
-                units,
-                motion,
-                occluders,
-                DarkDebounce::new(0.03),
-                cfg,
-            ),
+            session: LinkSession::builder(motion)
+                .units(units)
+                .occluders(occluders)
+                .selector(DarkDebounce::new(0.03))
+                .config(cfg)
+                .first_report(FirstReport::AtZero)
+                .build()
+                .expect("multi-TX engine config must be valid"),
         }
     }
 

@@ -62,6 +62,26 @@ impl SfpLinkState {
     pub fn is_up(&self) -> bool {
         self.up
     }
+
+    /// Continuous signal-hold time accumulated toward re-lock (seconds);
+    /// 0 while the link is up. Exposed for telemetry/diagnosis — outage
+    /// post-mortems need to see how close a flapping link got to re-locking.
+    pub fn signal_held_s(&self) -> f64 {
+        if self.up {
+            0.0
+        } else {
+            self.signal_held_s
+        }
+    }
+
+    /// Fraction of the relink hold completed, in `[0, 1]`; 1 when up.
+    pub fn relink_progress(&self) -> f64 {
+        if self.up {
+            1.0
+        } else {
+            (self.signal_held_s / self.relink_time_s).clamp(0.0, 1.0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +198,30 @@ mod tests {
         }
         assert_eq!(ups.0, ups.1, "extra down slots must not shift re-lock");
         assert!(a.is_up() && b.is_up());
+    }
+
+    #[test]
+    fn hold_accessors_track_relink_progress() {
+        let mut s = SfpLinkState::new_up(2.0);
+        assert_eq!(s.signal_held_s(), 0.0);
+        assert_eq!(s.relink_progress(), 1.0);
+        s.step(false, 1e-3);
+        assert_eq!(s.signal_held_s(), 0.0);
+        assert_eq!(s.relink_progress(), 0.0);
+        for _ in 0..1000 {
+            s.step(true, 1e-3);
+        }
+        assert!((s.signal_held_s() - 1.0).abs() < 1e-9);
+        assert!((s.relink_progress() - 0.5).abs() < 1e-9);
+        // A flap zeroes the hold; re-lock completion pins both at "up".
+        s.step(false, 1e-3);
+        assert_eq!(s.relink_progress(), 0.0);
+        for _ in 0..2000 {
+            s.step(true, 1e-3);
+        }
+        assert!(s.is_up());
+        assert_eq!(s.signal_held_s(), 0.0);
+        assert_eq!(s.relink_progress(), 1.0);
     }
 
     #[test]

@@ -7,14 +7,19 @@
 //! [`LinkSession`] with the single-TX profile
 //! (scheduled commands, per-report pose sampling, goodput accounting, no
 //! occluders). Outputs are bit-identical to the pre-refactor loop per seed.
+//!
+//! **Deprecation note.** This façade is kept for the paper-figure binaries
+//! and older tests; new code should build sessions directly with
+//! [`LinkSession::builder`], which validates its configuration and accepts
+//! a telemetry layer (see [`crate::telemetry`]). Types formerly re-exported
+//! here ([`SessionStats`]) now live in
+//! [`crate::engine`].
 
-use crate::engine::{EngineConfig, LinkSession, SingleTx};
+use crate::engine::{EngineConfig, FirstReport, LinkSession, SessionStats, SingleTx};
 use cyclops_core::deployment::Deployment;
 use cyclops_core::tp::TpController;
 use cyclops_vrh::motion::Motion;
 use cyclops_vrh::tracking::TrackerConfig;
-
-pub use crate::engine::SessionStats;
 
 use crate::control::ControlPlaneConfig;
 
@@ -92,7 +97,12 @@ impl<M: Motion> LinkSimulator<M> {
     /// motion's initial pose and applied before time zero.
     pub fn new(dep: Deployment, ctl: TpController, motion: M, cfg: LinkSimConfig) -> Self {
         LinkSimulator {
-            session: LinkSession::single(dep, ctl, motion, cfg.into()),
+            session: LinkSession::builder(motion)
+                .deployment(dep, ctl)
+                .config(cfg.into())
+                .first_report(FirstReport::AfterPeriod)
+                .build()
+                .expect("LinkSimConfig produced an invalid engine config"),
         }
     }
 

@@ -14,6 +14,11 @@
 //! [`crate::engine::TraceSession`]; [`simulate_trace`] drives it under
 //! [`run_slots`], bit-identically to the
 //! pre-refactor loop.
+//!
+//! **Deprecation note.** The [`simulate_trace`]/[`simulate_corpus`] free
+//! functions are kept for the Fig-16 binaries and older tests; new code
+//! that needs per-slot control or telemetry should drive
+//! [`crate::engine::TraceSession`] through [`run_slots`] directly.
 
 use crate::engine::{run_slots, TraceSession};
 use cyclops_vrh::traces::HeadTrace;
