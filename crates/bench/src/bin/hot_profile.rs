@@ -1,0 +1,284 @@
+//! Manual hot-path cost ranking (temporary instrumentation; 1-core host has
+//! no sampling profiler). Times each sub-component of the per-slot work in
+//! isolation so optimization effort lands where the cycles are.
+
+use cyclops::core::kspace::{train_both, BoardConfig};
+use cyclops::core::mapping::{self, rough_initial_guess};
+use cyclops::link::handover::Occluder;
+use cyclops::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn fleet_units(seed: u64) -> Vec<TxInstallation> {
+    let board = BoardConfig {
+        cols: 10,
+        rows: 8,
+        cell_m: 0.0508,
+    };
+    [Vec3::new(-0.35, 0.0, 0.0), Vec3::new(0.35, 0.0, 0.0)]
+        .into_iter()
+        .map(|pos| {
+            let mut cfg = DeploymentConfig::paper_10g(seed);
+            cfg.tx_position = pos;
+            let mut dep = Deployment::new(&cfg);
+            let (tx_tr, tx_rig, rx_tr, rx_rig) =
+                train_both(&dep, &board, seed).expect("stage-1 training");
+            let (itx, irx) = rough_initial_guess(&dep, &tx_rig, &rx_rig, 0.05, 0.08, seed + 7);
+            let mt = mapping::train(
+                &mut dep,
+                &tx_tr.fitted,
+                &rx_tr.fitted,
+                itx,
+                irx,
+                12,
+                seed + 9,
+            );
+            let v = dep.voltages();
+            let ctl = TpController::new(mt.trained, TpConfig::default(), [v.0, v.1, v.2, v.3]);
+            TxInstallation { dep, ctl }
+        })
+        .collect()
+}
+
+fn time_n(name: &str, n: u64, mut f: impl FnMut()) {
+    // warmup
+    for _ in 0..(n / 10).max(1) {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "{name:<34} {:>10.1} ns/call   ({n} calls, {dt:.3} s)",
+        dt / n as f64 * 1e9
+    );
+}
+
+fn main() {
+    println!("building fleet fixtures ...");
+    let units = fleet_units(911);
+    let tx0 = units[0].dep.tx_world_params().q2;
+    let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+    let mid = tx0.lerp(base.trans, 0.5);
+    let cfg = FleetConfig {
+        n_sessions: 8,
+        duration_s: 4.0,
+        seed: 424,
+        control: Some(ControlPlaneConfig::hardened(FaultPlan::stress(5))),
+        occluders: vec![Occluder::new(mid, 0.12, 0.4, 0)],
+        ..FleetConfig::default()
+    };
+
+    // Whole-fleet baseline.
+    let t0 = Instant::now();
+    let summary = run_fleet(&units, &cfg);
+    let dt = t0.elapsed().as_secs_f64();
+    let slots: usize = summary.sessions.iter().map(|s| s.slots).sum();
+    println!(
+        "fleet_8x4s: {dt:.3} s, {slots} slots, {:.0} slots/s, {:.1} ns/slot",
+        slots as f64 / dt,
+        dt / slots as f64 * 1e9
+    );
+
+    // Component timings on one deployment.
+    let mut dep = units[0].dep.clone();
+    time_n("received_power_dbm", 2_000_000, || {
+        black_box(dep.received_power_dbm());
+    });
+    let mut dep2 = units[0].dep.clone();
+    time_n("tx_beam", 2_000_000, || {
+        black_box(dep2.tx_beam());
+    });
+    let dep3 = units[0].dep.clone();
+    time_n("rx_world_pose", 2_000_000, || {
+        black_box(dep3.rx_world_pose());
+    });
+    let rx_pose = dep3.rx_world_pose();
+    time_n("rx.truth.transformed", 2_000_000, || {
+        black_box(dep3.rx.truth.transformed(black_box(&rx_pose)));
+    });
+    let rxp = dep3.rx.truth.transformed(&rx_pose);
+    let v2 = dep3.rx.voltages().1;
+    time_n("second_mirror_plane", 2_000_000, || {
+        black_box(rxp.second_mirror_plane(black_box(v2)));
+    });
+    let txp = units[0].dep.tx_world_params();
+    let (vt1, vt2) = units[0].dep.tx.voltages();
+    time_n("GalvoParams::trace", 2_000_000, || {
+        black_box(txp.trace(black_box(vt1), black_box(vt2)));
+    });
+    // channel math
+    let ch = cyclops::link::channel::FsoChannel::new(-22.0, -1.0);
+    let mut p = -35.0;
+    time_n("channel q_factor", 2_000_000, || {
+        p = if p < -20.0 { p + 1e-6 } else { -35.0 };
+        black_box(ch.q_factor(black_box(p)));
+    });
+    time_n("channel ber", 2_000_000, || {
+        p = if p < -20.0 { p + 1e-6 } else { -35.0 };
+        black_box(ch.ber(black_box(p)));
+    });
+    time_n("channel frame_success_prob", 2_000_000, || {
+        p = if p < -20.0 { p + 1e-6 } else { -35.0 };
+        black_box(ch.frame_success_prob(black_box(p), black_box(81920)));
+    });
+    // frame_success at floor power (deep outage - common case during outage)
+    time_n("frame_success @-90dBm", 2_000_000, || {
+        black_box(ch.frame_success_prob(black_box(-90.0), black_box(81920)));
+    });
+    time_n("frame_success @-21dBm (good)", 2_000_000, || {
+        black_box(ch.frame_success_prob(black_box(-21.0), black_box(81920)));
+    });
+
+    // Geometry state probe: which capture_fraction branch does an aligned
+    // tracked link actually hit?
+    {
+        let mut d = units[0].dep.clone();
+        let beam = d.tx_beam().expect("beam");
+        let rx_pose = d.rx_world_pose();
+        let rxp = d.rx.truth.transformed(&rx_pose);
+        let plane = rxp.second_mirror_plane(d.rx.voltages().1);
+        let (t, hit) = plane.intersect_ray(&beam.chief).expect("hit");
+        let imag = {
+            let rx = d.rx.clone();
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let r = rx.output_ray(&mut rng).expect("imag");
+            rx_pose.apply_ray(&r)
+        };
+        let delta = hit.distance(imag.origin);
+        let w = beam.radius_at(t);
+        let phi = beam.local_ray_dir(imag.origin).angle_to(-imag.dir);
+        println!(
+            "aligned state: delta={:.3} mm, w={:.3} mm, phi={:.3} mrad, delta/w={:.4} (fast path needs <0.02)",
+            delta * 1e3, w * 1e3, phi * 1e3, delta / w
+        );
+        use cyclops::optics::beam::capture_fraction;
+        let a = d.design.coupling.aperture_radius;
+        time_n("capture_fraction @ probe delta", 200_000, || {
+            black_box(capture_fraction(
+                black_box(w),
+                black_box(delta),
+                black_box(a),
+            ));
+        });
+        time_n("capture_fraction @ delta=1mm", 200_000, || {
+            black_box(capture_fraction(
+                black_box(w),
+                black_box(1e-3),
+                black_box(a),
+            ));
+        });
+        time_n("capture_fraction @ delta=0.1mm", 200_000, || {
+            black_box(capture_fraction(
+                black_box(w),
+                black_box(1e-4),
+                black_box(a),
+            ));
+        });
+    }
+
+    // TP controller solve cost
+    let mut ctl = units[0].ctl.clone();
+    let pose = base;
+    time_n("TpController::on_report", 20_000, || {
+        black_box(ctl.on_report(black_box(&pose)));
+    });
+
+    // motion
+    let mut motion = ArbitraryMotion::new(base, Default::default(), 500);
+    let mut t = 0.0;
+    time_n("ArbitraryMotion::pose_at", 2_000_000, || {
+        t += 0.001;
+        black_box(motion.pose_at(black_box(t)));
+    });
+
+    // report-pair math (per-report cost inside the trace session)
+    {
+        let tr = HeadTrace::generate(&TraceGenConfig::default(), 9_100);
+        let last = tr.len() - 2;
+        let mut i = 0usize;
+        time_n("trace report pair (norm+angle_to)", 2_000_000, || {
+            i = if i >= last { 0 } else { i + 1 };
+            let a = &tr.samples[i];
+            let b = &tr.samples[i + 1];
+            let dt = b.t_ms - a.t_ms;
+            black_box((b.pos - a.pos).norm() / dt);
+            black_box(a.quat.angle_to(&b.quat) / dt);
+        });
+    }
+
+    // trace session throughput (best of 5 to beat scheduler noise)
+    let traces: Vec<HeadTrace> = (0..60)
+        .map(|i| HeadTrace::generate(&TraceGenConfig::default(), 9_100 + i))
+        .collect();
+    let params = cyclops::link::trace_sim::TraceSimParams::default();
+    let mut best = f64::INFINITY;
+    let mut sig = 0;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let r = cyclops::link::trace_sim::simulate_corpus(&traces, &params);
+        best = best.min(t0.elapsed().as_secs_f64());
+        sig = r.len();
+    }
+    let n_slots = 60.0 * 60.0 / 0.001;
+    println!(
+        "trace 60x60s fused: {best:.4} s, {:.0} slots/s, {:.2} ns/slot (sig {sig})",
+        n_slots / best,
+        best / n_slots * 1e9,
+    );
+    // pure fused inner loop: a 2-sample trace has no interior events
+    {
+        use cyclops::geom::quat::Quat;
+        use cyclops::vrh::traces::TraceSample;
+        let tr = HeadTrace::new(
+            60_000.0,
+            vec![
+                TraceSample {
+                    t_ms: 0.0,
+                    pos: Vec3::ZERO,
+                    quat: Quat::IDENTITY,
+                },
+                TraceSample {
+                    t_ms: 60_000.0,
+                    pos: Vec3::new(0.001, 0.0, 0.0),
+                    quat: Quat::IDENTITY,
+                },
+            ],
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..10 {
+                let mut s = cyclops::link::engine::TraceSession::new(&tr, params);
+                black_box(s.run(60_000));
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        println!("pure fused segment:  {:.2} ns/slot", best / 600_000.0 * 1e9);
+    }
+
+    // naive per-slot loop for comparison
+    let mut best_naive = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let mut acc = 0usize;
+        for t in &traces {
+            let n = ((t.duration_s() * 1e3) / params.slot_ms).floor() as usize;
+            let mut s = cyclops::link::engine::TraceSession::new(t, params);
+            acc += cyclops::link::engine::run_slots(&mut s, n)
+                .iter()
+                .filter(|&&b| b)
+                .count();
+        }
+        black_box(acc);
+        best_naive = best_naive.min(t0.elapsed().as_secs_f64());
+    }
+    println!(
+        "trace 60x60s naive: {best_naive:.4} s, {:.0} slots/s, {:.2} ns/slot",
+        n_slots / best_naive,
+        best_naive / n_slots * 1e9,
+    );
+}

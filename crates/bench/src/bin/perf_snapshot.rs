@@ -28,11 +28,24 @@ struct WorkloadResult {
     parallel_s: f64,
     bit_identical: bool,
     sig_len: usize,
+    /// Total engine slots stepped per run; 0 for workloads that are not
+    /// slot loops (training/alignment), which then report no `slots_per_sec`.
+    slots: usize,
 }
 
 impl WorkloadResult {
     fn speedup(&self) -> f64 {
         self.serial_s / self.parallel_s.max(1e-12)
+    }
+
+    /// Headline throughput metric of the single-thread leg (slots/second).
+    fn slots_per_sec_serial(&self) -> f64 {
+        self.slots as f64 / self.serial_s.max(1e-12)
+    }
+
+    /// Throughput of the full-width parallel leg (slots/second).
+    fn slots_per_sec_parallel(&self) -> f64 {
+        self.slots as f64 / self.parallel_s.max(1e-12)
     }
 }
 
@@ -58,8 +71,14 @@ fn best_of(threads: usize, work: &impl Fn() -> Vec<f64>) -> (f64, Vec<f64>) {
 }
 
 /// Runs `work` at 1 thread and at `threads` ([`REPS`] times each), checking
-/// the two signature vectors for bitwise equality.
-fn run_workload(name: &'static str, threads: usize, work: impl Fn() -> Vec<f64>) -> WorkloadResult {
+/// the two signature vectors for bitwise equality. `slots` is the workload's
+/// total slot count per run (0 for non-slot-loop workloads).
+fn run_workload(
+    name: &'static str,
+    threads: usize,
+    slots: usize,
+    work: impl Fn() -> Vec<f64>,
+) -> WorkloadResult {
     println!("  {name}: serial leg ...");
     let (serial_s, sig_serial) = best_of(1, &work);
     println!("  {name}: parallel leg ({threads} threads) ...");
@@ -75,6 +94,7 @@ fn run_workload(name: &'static str, threads: usize, work: impl Fn() -> Vec<f64>)
         parallel_s,
         bit_identical,
         sig_len: sig_serial.len(),
+        slots,
     }
 }
 
@@ -312,12 +332,32 @@ fn main() {
     println!("fixtures: two ceiling installations for the fleet workload ...");
     let units = fleet_units(911);
     let fleet_cfg = fleet_config(&units);
+    // The 1000-session scale workload: same physics and control plane as the
+    // 8-session fleet, 1 s per session — a pure slot-throughput stressor for
+    // the `slots_per_sec` headline (handover/relink physics are exercised by
+    // the longer 8-session runs above).
+    let fleet_1k_cfg = FleetConfig {
+        n_sessions: 1000,
+        duration_s: 1.0,
+        ..fleet_cfg.clone()
+    };
+
+    // Slot counts per run, for the slots/s headline. All slot loops run on
+    // the default 1 ms engine slot (`EngineConfig::default().slot_s`).
+    let slot_params = TraceSimParams::default();
+    let trace_slots: usize = traces
+        .iter()
+        .map(|t| ((t.duration_s() * 1e3) / slot_params.slot_ms).floor() as usize)
+        .sum();
+    let chaos_slots = chaos_seeds.len() * 4_000;
+    let fleet_slots = fleet_cfg.n_sessions * (fleet_cfg.duration_s * 1e3).round() as usize;
+    let fleet_1k_slots = fleet_1k_cfg.n_sessions * (fleet_1k_cfg.duration_s * 1e3).round() as usize;
 
     println!("running workloads (each twice: 1 thread, then {threads}) ...");
     let results = [
         // §4.1 stage-1 fit: LM over ~25 galvo parameters — parallel Jacobian
         // columns.
-        run_workload("kspace_fit", threads, || {
+        run_workload("kspace_fit", threads, 0, || {
             let mut rig = KspaceRig::standard(dep_k.tx.clone(), 72);
             let init = rig.cad_initial_guess();
             let samples = rig.collect_samples(&BoardConfig::default());
@@ -327,7 +367,7 @@ fn main() {
             sig
         }),
         // §4.2 exhaustive search: row-parallel 51² + 161² voltage grids.
-        run_workload("exhaustive_align", threads, || {
+        run_workload("exhaustive_align", threads, 0, || {
             let mut dep = Deployment::new(&DeploymentConfig::paper_10g(42));
             let res = exhaustive_align(&mut dep);
             let mut sig = res.voltages.to_vec();
@@ -336,7 +376,7 @@ fn main() {
             sig
         }),
         // §4.2 stage-2 training: parallel placement collection + LM fit.
-        run_workload("mapping_fit", threads, || {
+        run_workload("mapping_fit", threads, 0, || {
             let mut dep = dep_m.clone();
             let mt = mapping::train(
                 &mut dep,
@@ -353,14 +393,14 @@ fn main() {
             sig
         }),
         // §5.4 connectivity simulation: 200 × 60 s traces, one per work item.
-        run_workload("trace_sim_60s", threads, || {
+        run_workload("trace_sim_60s", threads, trace_slots, || {
             simulate_corpus(&traces, &TraceSimParams::default())
         }),
         // Fault-injection suite: hardened control plane under the stress
         // fault plan, one session per seed. The signature includes every
         // per-session counter, so any serial/parallel divergence in the
         // control plane itself fails the bit-identical check.
-        run_workload("chaos_fault_injection", threads, || {
+        run_workload("chaos_fault_injection", threads, chaos_slots, || {
             cyclops_par::par_map(&chaos_seeds, 1, |&s| chaos_session(&sys_chaos, s, 4.0).0)
                 .into_iter()
                 .flatten()
@@ -370,25 +410,35 @@ fn main() {
         // over 2 TX installations, one session per work item. The signature
         // covers every per-session counter, so a thread-count-dependent
         // divergence anywhere in the engine fails the bit-identical check.
-        run_workload("fleet_multi_session", threads, || {
+        run_workload("fleet_multi_session", threads, fleet_slots, || {
             fleet_signature(&run_fleet(&units, &fleet_cfg))
+        }),
+        // 1000-session scale: the slot-throughput headline at fleet width.
+        run_workload("fleet_1k", threads, fleet_1k_slots, || {
+            fleet_signature(&run_fleet(&units, &fleet_1k_cfg))
         }),
     ];
 
     println!(
-        "\n{:<18} {:>10} {:>10} {:>8}  bit-identical",
-        "workload", "serial s", "par s", "speedup"
+        "\n{:<18} {:>10} {:>10} {:>8} {:>14}  bit-identical",
+        "workload", "serial s", "par s", "speedup", "slots/s (1T)"
     );
     let mut total_serial = 0.0;
     let mut total_parallel = 0.0;
     let mut all_identical = true;
     for r in &results {
+        let sps = if r.slots > 0 {
+            format!("{:.3e}", r.slots_per_sec_serial())
+        } else {
+            "-".to_string()
+        };
         println!(
-            "{:<18} {:>10.3} {:>10.3} {:>7.2}x  {}",
+            "{:<18} {:>10.3} {:>10.3} {:>7.2}x {:>14}  {}",
             r.name,
             r.serial_s,
             r.parallel_s,
             r.speedup(),
+            sps,
             r.bit_identical
         );
         total_serial += r.serial_s;
@@ -422,15 +472,31 @@ fn main() {
     ));
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
+        // Slot-loop workloads carry the slots/s headline; training and
+        // alignment workloads report null there.
+        let sps = if r.slots > 0 {
+            format!(
+                "\"slots\": {}, \"slots_per_sec_serial\": {:.1}, \
+                 \"slots_per_sec_parallel\": {:.1}",
+                r.slots,
+                r.slots_per_sec_serial(),
+                r.slots_per_sec_parallel()
+            )
+        } else {
+            "\"slots\": null, \"slots_per_sec_serial\": null, \
+             \"slots_per_sec_parallel\": null"
+                .to_string()
+        };
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \
-             \"speedup\": {:.4}, \"bit_identical\": {}, \"signature_len\": {}}}{}\n",
+             \"speedup\": {:.4}, \"bit_identical\": {}, \"signature_len\": {}, {}}}{}\n",
             r.name,
             r.serial_s,
             r.parallel_s,
             r.speedup(),
             r.bit_identical,
             r.sig_len,
+            sps,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

@@ -268,8 +268,13 @@ impl Deployment {
             return f64::NEG_INFINITY;
         };
         let imag = rx_pose.apply_ray(&imag_body);
-        let rx_params = self.rx.truth.transformed(&rx_pose);
-        let plane = rx_params.second_mirror_plane(self.rx.voltages().1);
+        // Field-subset transform: the plane needs only q2/r2/n2 in world
+        // frame, not all nine galvo parameters (bit-identical — see
+        // `GalvoParams::second_mirror_plane_world`).
+        let plane = self
+            .rx
+            .truth
+            .second_mirror_plane_world(&rx_pose, self.rx.voltages().1);
         let Some((t, hit)) = plane.intersect_ray(&beam.chief) else {
             return f64::NEG_INFINITY;
         };

@@ -32,6 +32,7 @@ impl Quat {
     };
 
     /// Rotation by `angle` radians about the unit `axis`.
+    #[inline]
     pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
         debug_assert!(axis.is_unit(1e-9));
         let (s, c) = (angle / 2.0).sin_cos();
@@ -121,11 +122,13 @@ impl Quat {
     }
 
     /// Quaternion norm.
+    #[inline]
     pub fn norm(&self) -> f64 {
         (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
     }
 
     /// Renormalizes to unit length.
+    #[inline]
     pub fn normalized(&self) -> Quat {
         let n = self.norm();
         debug_assert!(n > 1e-300);
@@ -138,6 +141,7 @@ impl Quat {
     }
 
     /// Conjugate (inverse rotation for unit quaternions).
+    #[inline]
     pub fn conjugate(&self) -> Quat {
         Quat {
             w: self.w,
@@ -148,6 +152,7 @@ impl Quat {
     }
 
     /// Rotates a vector.
+    #[inline]
     pub fn rotate(&self, v: Vec3) -> Vec3 {
         // v' = v + 2w(q×v) + 2 q×(q×v)
         let qv = v3(self.x, self.y, self.z);
@@ -156,6 +161,7 @@ impl Quat {
     }
 
     /// Rotation angle of this quaternion in `[0, π]` radians.
+    #[inline]
     pub fn angle(&self) -> f64 {
         2.0 * self.w.abs().clamp(0.0, 1.0).acos()
     }
@@ -163,6 +169,7 @@ impl Quat {
     /// Angular distance to another rotation in `[0, π]` radians — the angle of
     /// the relative rotation. This is the metric used for "angular drift" in
     /// the §5.4 trace simulation.
+    #[inline]
     pub fn angle_to(&self, other: &Quat) -> f64 {
         (self.conjugate() * *other).angle()
     }
@@ -209,6 +216,7 @@ impl Quat {
 impl Mul for Quat {
     type Output = Quat;
     /// Hamilton product: `(a * b).rotate(v) == a.rotate(b.rotate(v))`.
+    #[inline]
     fn mul(self, b: Quat) -> Quat {
         let a = self;
         Quat {

@@ -17,6 +17,7 @@ pub const Q_AT_SENSITIVITY: f64 = 7.034;
 
 /// Complementary error function (Abramowitz & Stegun 7.1.26-based rational
 /// approximation, |error| < 1.5·10⁻⁷, extended by symmetry).
+#[inline]
 pub fn erfc(x: f64) -> f64 {
     if x < 0.0 {
         return 2.0 - erfc(-x);
@@ -51,6 +52,7 @@ impl FsoChannel {
     /// to `Q = 0` (no usable signal) rather than propagating — a garbage
     /// power report must read as "link dead", never as NaN throughput.
     /// (+∞ is genuinely the overload limit: `Q ∝ 10^(p/20 − p/10) → 0`.)
+    #[inline]
     pub fn q_factor(&self, rx_dbm: f64) -> f64 {
         if !rx_dbm.is_finite() {
             return 0.0;
@@ -69,6 +71,7 @@ impl FsoChannel {
 
     /// Bit-error rate at the given received power. Total: always in
     /// `[0, 0.5]`, even for non-finite input.
+    #[inline]
     pub fn ber(&self, rx_dbm: f64) -> f64 {
         let q = self.q_factor(rx_dbm);
         let b = 0.5 * erfc(q / std::f64::consts::SQRT_2);
@@ -80,6 +83,7 @@ impl FsoChannel {
 
     /// Probability an `n_bits` frame survives (no bit errors). Total:
     /// always in `[0, 1]`.
+    #[inline]
     pub fn frame_success_prob(&self, rx_dbm: f64, n_bits: u64) -> f64 {
         let ber = self.ber(rx_dbm);
         if ber <= 1e-15 {
@@ -87,6 +91,266 @@ impl FsoChannel {
         }
         // (1−p)^n via exp(n·ln(1−p)), stable for small p.
         (n_bits as f64 * (1.0 - ber).ln()).exp().clamp(0.0, 1.0)
+    }
+}
+
+/// Hot-path wrapper over [`FsoChannel::frame_success_prob`] at a fixed frame
+/// size, used by the engine's slot loop.
+///
+/// In the default build it is **bit-identical** to the analytic path; the
+/// speed comes from two exact shortcuts:
+///
+/// 1. *Unity interval.* The analytic path returns exactly `1.0` whenever
+///    `ber ≤ 1e-15`. At construction, a bisection against the exact `ber`
+///    finds a conservative power interval where `ber ≤ 1e-18` — three orders
+///    of magnitude of safety margin, so float wiggle at the edges cannot
+///    cross the `1e-15` early-return threshold. Powers inside the interval
+///    skip the `powf`/`erfc`/`ln`/`exp` chain entirely.
+/// 2. *Exact-input memo.* The last `(rx_dbm bits → result)` pair is kept, so
+///    repeated identical inputs (e.g. the −90 dBm power-meter floor during
+///    an occlusion) are answered without recomputation.
+///
+/// Under the opt-in `fast-channel` feature the computation is delegated to
+/// the interpolated [`fast::ChannelLut`] instead (error-bounded, see the
+/// module docs) — digests may then legitimately differ.
+#[derive(Debug, Clone)]
+pub struct FrameSuccessCache {
+    channel: FsoChannel,
+    frame_bits: u64,
+    /// Conservative closed interval on which the analytic path provably
+    /// returns exactly 1.0. NaN bounds ⇒ no such interval (checks fail).
+    unity_lo_dbm: f64,
+    unity_hi_dbm: f64,
+    last_in_bits: u64,
+    last_out: f64,
+    #[cfg(feature = "fast-channel")]
+    lut: fast::ChannelLut,
+}
+
+impl FrameSuccessCache {
+    /// Builds the cache for one channel and frame size.
+    pub fn new(channel: FsoChannel, frame_bits: u64) -> FrameSuccessCache {
+        // ber(p) is decreasing below the overload point and increasing above
+        // it, so the sub-target region (if any) is an interval containing
+        // the overload power. Bisect each edge against the *exact* ber.
+        const TARGET: f64 = 1e-18;
+        let o = channel.overload_dbm;
+        let (mut lo, mut hi) = (f64::NAN, f64::NAN);
+        if channel.ber(o) <= TARGET {
+            let (mut a, mut b) = (o - 400.0, o);
+            if channel.ber(a) > TARGET {
+                for _ in 0..80 {
+                    let m = 0.5 * (a + b);
+                    if channel.ber(m) <= TARGET {
+                        b = m;
+                    } else {
+                        a = m;
+                    }
+                }
+                lo = b;
+            } else {
+                lo = a;
+            }
+            let (mut a2, mut b2) = (o, o + 400.0);
+            if channel.ber(b2) > TARGET {
+                for _ in 0..80 {
+                    let m = 0.5 * (a2 + b2);
+                    if channel.ber(m) <= TARGET {
+                        a2 = m;
+                    } else {
+                        b2 = m;
+                    }
+                }
+                hi = a2;
+            } else {
+                hi = b2;
+            }
+            // Guard band (in dB) against float wiggle right at the edges.
+            lo += 1e-3;
+            hi -= 1e-3;
+            // NaN-safe: an inverted or NaN band degenerates to "no band".
+            if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
+                lo = f64::NAN;
+                hi = f64::NAN;
+            }
+        }
+        #[cfg(feature = "fast-channel")]
+        let lut = fast::ChannelLut::new(channel, frame_bits);
+        let mut cache = FrameSuccessCache {
+            channel,
+            frame_bits,
+            unity_lo_dbm: lo,
+            unity_hi_dbm: hi,
+            last_in_bits: 0,
+            last_out: 0.0,
+            #[cfg(feature = "fast-channel")]
+            lut,
+        };
+        // Seed the memo with the most commonly repeated input: the power
+        // floor an occluded meter reads.
+        let floor = cyclops_core::deployment::Deployment::POWER_METER_FLOOR_DBM;
+        cache.last_in_bits = floor.to_bits();
+        cache.last_out = cache.compute(floor);
+        cache
+    }
+
+    /// The wrapped channel.
+    #[inline]
+    pub fn channel(&self) -> &FsoChannel {
+        &self.channel
+    }
+
+    /// The fixed frame size (bits).
+    #[inline]
+    pub fn frame_bits(&self) -> u64 {
+        self.frame_bits
+    }
+
+    #[inline]
+    fn compute(&self, rx_dbm: f64) -> f64 {
+        #[cfg(feature = "fast-channel")]
+        {
+            self.lut.frame_success_prob(rx_dbm)
+        }
+        #[cfg(not(feature = "fast-channel"))]
+        {
+            self.channel.frame_success_prob(rx_dbm, self.frame_bits)
+        }
+    }
+
+    /// Frame success probability at the cache's frame size — see the type
+    /// docs for the exactness contract.
+    #[inline]
+    pub fn frame_success_prob(&mut self, rx_dbm: f64) -> f64 {
+        // NaN rx_dbm fails both comparisons and falls through.
+        if rx_dbm >= self.unity_lo_dbm && rx_dbm <= self.unity_hi_dbm {
+            return 1.0;
+        }
+        let bits = rx_dbm.to_bits();
+        if bits == self.last_in_bits {
+            return self.last_out;
+        }
+        let out = self.compute(rx_dbm);
+        self.last_in_bits = bits;
+        self.last_out = out;
+        out
+    }
+}
+
+/// Opt-in interpolated channel math (`fast-channel` feature).
+///
+/// `q_factor`, `ber` and `frame_success_prob` are tabulated on a dense grid
+/// (1/128 dB) spanning `[sensitivity − 15 dB, overload + 15 dB]`, with the
+/// overload kink pinned on a grid node, and evaluated by linear
+/// interpolation; inputs outside the grid (and non-finite inputs) fall back
+/// to the analytic path. Guarantees, enforced by proptests:
+///
+/// - absolute error vs the analytic path ≤ [`fast::ABS_ERR_BOUND`] (1e-3)
+///   for all three functions;
+/// - monotonicity in power is preserved: q and frame-success are
+///   non-decreasing (ber non-increasing) below the overload power and the
+///   reverse above it — the tables are monotonized after sampling, so this
+///   holds exactly, not just up to float wiggle.
+#[cfg(feature = "fast-channel")]
+pub mod fast {
+    use super::FsoChannel;
+
+    /// Stated absolute error bound of the interpolated path vs the analytic
+    /// one (the measured error is far smaller; see the proptests).
+    pub const ABS_ERR_BOUND: f64 = 1e-3;
+
+    /// Grid resolution: points per dB.
+    const STEP_PER_DB: f64 = 128.0;
+    /// Table range below sensitivity / above overload (dB).
+    const RANGE_DB: f64 = 15.0;
+
+    /// Dense lookup tables for one channel + frame size.
+    #[derive(Debug, Clone)]
+    pub struct ChannelLut {
+        channel: FsoChannel,
+        frame_bits: u64,
+        p0: f64,
+        q: Vec<f64>,
+        ber: Vec<f64>,
+        fsp: Vec<f64>,
+    }
+
+    impl ChannelLut {
+        /// Samples and monotonizes the tables.
+        pub fn new(channel: FsoChannel, frame_bits: u64) -> ChannelLut {
+            let h = 1.0 / STEP_PER_DB;
+            // Anchor the grid on the overload power so the q kink lands on
+            // a node (linear interpolation across a kink would not).
+            let n_below = ((channel.overload_dbm - (channel.sensitivity_dbm - RANGE_DB))
+                * STEP_PER_DB)
+                .ceil()
+                .max(1.0) as usize;
+            let n_above = (RANGE_DB * STEP_PER_DB) as usize;
+            let p0 = channel.overload_dbm - n_below as f64 * h;
+            let n = n_below + n_above + 1;
+            let p_at = |i: usize| p0 + i as f64 * h;
+            let mut q: Vec<f64> = (0..n).map(|i| channel.q_factor(p_at(i))).collect();
+            let mut ber: Vec<f64> = (0..n).map(|i| channel.ber(p_at(i))).collect();
+            let mut fsp: Vec<f64> = (0..n)
+                .map(|i| channel.frame_success_prob(p_at(i), frame_bits))
+                .collect();
+            // Monotonize each side of the overload node, so the documented
+            // monotonicity-in-power holds exactly under interpolation even
+            // where the analytic approximations wiggle by an ulp.
+            let k = n_below;
+            for i in (0..k).rev() {
+                q[i] = q[i].min(q[i + 1]);
+                ber[i] = ber[i].max(ber[i + 1]);
+                fsp[i] = fsp[i].min(fsp[i + 1]);
+            }
+            for i in k + 1..n {
+                q[i] = q[i].min(q[i - 1]);
+                ber[i] = ber[i].max(ber[i - 1]);
+                fsp[i] = fsp[i].min(fsp[i - 1]);
+            }
+            ChannelLut {
+                channel,
+                frame_bits,
+                p0,
+                q,
+                ber,
+                fsp,
+            }
+        }
+
+        #[inline]
+        fn interp(&self, table: &[f64], rx_dbm: f64) -> Option<f64> {
+            let x = (rx_dbm - self.p0) * STEP_PER_DB;
+            // NaN fails the range check and falls back to analytic.
+            if !(x >= 0.0 && x <= (table.len() - 1) as f64) {
+                return None;
+            }
+            let i = (x as usize).min(table.len() - 2);
+            let f = x - i as f64;
+            Some(table[i] + (table[i + 1] - table[i]) * f)
+        }
+
+        /// Interpolated [`FsoChannel::q_factor`].
+        #[inline]
+        pub fn q_factor(&self, rx_dbm: f64) -> f64 {
+            self.interp(&self.q, rx_dbm)
+                .unwrap_or_else(|| self.channel.q_factor(rx_dbm))
+        }
+
+        /// Interpolated [`FsoChannel::ber`].
+        #[inline]
+        pub fn ber(&self, rx_dbm: f64) -> f64 {
+            self.interp(&self.ber, rx_dbm)
+                .unwrap_or_else(|| self.channel.ber(rx_dbm))
+        }
+
+        /// Interpolated [`FsoChannel::frame_success_prob`] at the frame size
+        /// the table was built for.
+        #[inline]
+        pub fn frame_success_prob(&self, rx_dbm: f64) -> f64 {
+            self.interp(&self.fsp, rx_dbm)
+                .unwrap_or_else(|| self.channel.frame_success_prob(rx_dbm, self.frame_bits))
+        }
     }
 }
 

@@ -358,6 +358,16 @@ impl<T: Copy> ControlLink<T> {
     /// `t` as `(arrival_time, payload)`, in arrival order. Duplicates and
     /// stale (out-of-order) frames are filtered here.
     pub fn poll(&mut self, t: f64) -> Vec<(f64, T)> {
+        // Idle fast path: between report times all three queues are usually
+        // empty, and every step below is then a no-op. Skip the scans (and
+        // the ARQ block) entirely — `Vec::new()` does not allocate, so the
+        // common once-per-slot poll is a three-load check.
+        if self.data_in_flight.is_empty()
+            && self.acks_in_flight.is_empty()
+            && self.outstanding.is_empty()
+        {
+            return Vec::new();
+        }
         // 1. ACKs that reached the sender clear their outstanding entry.
         let mut i = 0;
         while i < self.acks_in_flight.len() {

@@ -119,6 +119,16 @@ pub fn run_slots<S: SlotSession>(session: &mut S, n_slots: usize) -> Vec<S::Reco
     out
 }
 
+/// Streaming form of [`run_slots`]: hands each record to `f` in slot order
+/// instead of materializing the vector. Aggregating consumers (the fleet
+/// runner folds a handful of sums per session) use this to keep a session's
+/// memory footprint independent of its duration.
+pub fn fold_slots<S: SlotSession>(session: &mut S, n_slots: usize, mut f: impl FnMut(S::Record)) {
+    for k in 0..n_slots {
+        f(session.step_slot(k));
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Session configuration
 // ---------------------------------------------------------------------------
@@ -815,6 +825,12 @@ pub struct SessionStats {
 
 /// Per-slot record of a [`LinkSession`] — the union of every wrapper's
 /// record fields (wrappers project it onto their public record types).
+///
+/// Layout audit: with the default (compiler-chosen) repr the two `bool`s
+/// pack into the trailing word next to `active`, giving 56 bytes — five
+/// doubles, one `usize`, and one flag word. A run's record vector is the
+/// engine's dominant allocation, so the size is pinned by a compile-time
+/// assert below; widening this struct is a deliberate decision, not drift.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineSlot {
     /// Slot end time (seconds).
@@ -836,6 +852,10 @@ pub struct EngineSlot {
     pub ang_speed: f64,
 }
 
+// 5 × f64 + usize + 2 packed bools, padded to 8-byte alignment.
+const _: () = assert!(std::mem::size_of::<EngineSlot>() == 56);
+const _: () = assert!(std::mem::align_of::<EngineSlot>() == 8);
+
 /// The full-physics slot session: motion × tracking × TP × optics × data
 /// plane against one or more TX installations. Every behavioral axis —
 /// command timing, pose timing, control plane, LOS gating, TX selection —
@@ -849,6 +869,9 @@ pub struct LinkSession<M: Motion, S: TxSelector> {
     selector: S,
     cfg: EngineConfig,
     channel: ChannelModel,
+    /// Hot-path frame-success evaluator (bit-identical to `channel` in the
+    /// default build; interpolated under the `fast-channel` feature).
+    fsp: crate::channel::FrameSuccessCache,
     control: ControlPlane,
     tp: TpPolicy,
     sfp: SfpLinkState,
@@ -980,6 +1003,7 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
         };
         let control = ControlPlane::new(cfg.control, cfg.tracker.control_channel_latency_s);
         let tx_positions = units.iter().map(|u| u.dep.tx_world_params().q2).collect();
+        let fsp = crate::channel::FrameSuccessCache::new(channel, cfg.frame_bits);
         LinkSession {
             units,
             motion,
@@ -987,6 +1011,7 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
             selector,
             cfg,
             channel,
+            fsp,
             control,
             tp: TpPolicy::default(),
             sfp: SfpLinkState::new_up(relink),
@@ -1078,13 +1103,22 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
     /// Runs for `duration_s`, returning one record per slot. Flushes the
     /// telemetry sink (if any) at the end of the run.
     pub fn run(&mut self, duration_s: f64) -> Vec<EngineSlot> {
+        let mut recs = Vec::new();
+        self.run_each(duration_s, |r| recs.push(r));
+        recs
+    }
+
+    /// Streaming form of [`LinkSession::run`]: hands each [`EngineSlot`] to
+    /// `f` in slot order without materializing the per-slot vector — the
+    /// same slot loop, so the record stream is identical. Flushes the
+    /// telemetry sink (if any) at the end.
+    pub fn run_each(&mut self, duration_s: f64, f: impl FnMut(EngineSlot)) {
         let n_slots = (duration_s / self.cfg.slot_s).round() as usize;
         if self.cfg.track_speeds {
             self.prev_pose = self.motion.pose_at(self.motion_t);
         }
-        let recs = run_slots(self, n_slots);
+        fold_slots(self, n_slots, f);
         self.tele.flush();
-        recs
     }
 
     /// Fault-handling counters accumulated across all [`LinkSession::run`]
@@ -1501,7 +1535,7 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
         }
         let goodput = if self.cfg.goodput && up {
             let rate = self.units[self.active].dep.design.sfp.optimal_goodput_gbps;
-            rate * self.channel.frame_success_prob(power, self.cfg.frame_bits)
+            rate * self.fsp.frame_success_prob(power)
         } else {
             0.0
         };
@@ -1716,6 +1750,12 @@ impl<M: Motion, S: TxSelector> SessionBuilder<M, S> {
 #[derive(Debug)]
 pub struct TraceSession<'a> {
     trace: &'a HeadTrace,
+    // Per-pair drift rates, precomputed once per trace and cached on it
+    // (`HeadTrace::motion_rates`): the exact IEEE values `step_slot` would
+    // compute per report, so consuming them is bit-identical — and repeated
+    // simulations of one trace (parameter sweeps, benchmark reps) skip the
+    // norm/acos work entirely.
+    rates: &'a [cyclops_vrh::traces::MotionRate],
     p: crate::trace_sim::TraceSimParams,
     // Misalignment state, starting perfectly aligned.
     lat: f64,
@@ -1735,6 +1775,7 @@ impl<'a> TraceSession<'a> {
         assert!(trace.len() >= 2, "need at least two samples");
         TraceSession {
             trace,
+            rates: trace.motion_rates(),
             p,
             lat: 0.0,
             ang: 0.0,
@@ -1743,6 +1784,210 @@ impl<'a> TraceSession<'a> {
             realign_at: None,
             report_idx: 0,
         }
+    }
+
+    /// Runs the session for `n_slots`, returning the per-slot connectivity —
+    /// bit-identical to `run_slots(self, n_slots)` but several times faster
+    /// (see `DESIGN.md` §12 for the measured numbers).
+    ///
+    /// Between events (a report arriving, a realignment completing) the only
+    /// per-slot work in [`SlotSession::step_slot`] is the drift accumulation
+    /// `lat += lat_rate * slot_ms` and the tolerance compare; the event
+    /// checks are branches over state that cannot change mid-segment. This
+    /// runner hoists those checks out: it finds the next event time
+    /// (`min(next report, pending realignment)`), runs the drift-only slots
+    /// before it in a fused loop (the hoisted `lat_rate * slot_ms` product
+    /// is the same IEEE value every slot, so the accumulation sequence is
+    /// bitwise unchanged), and handles the event slot inline with the exact
+    /// operation sequence of `step_slot` (report consumption, realignment
+    /// completion, drift, tolerance compare — in that order). Segment
+    /// boundaries are decided by the *same* exact comparison `step_slot`
+    /// uses (`event_t <= (k as f64 + 1.0) * slot_ms`), so float rounding
+    /// cannot shift a slot across the boundary. Pinned by the `trace_corpus`
+    /// engine-digest golden (which folds per-slot booleans) and by the
+    /// `fused_run_matches_step_slot_exactly` test.
+    pub fn run(&mut self, n_slots: usize) -> Vec<bool> {
+        let mut out = Vec::with_capacity(n_slots);
+        self.run_impl(n_slots, |b| out.push(b));
+        out
+    }
+
+    /// Runs the session for `n_slots`, returning only the number of
+    /// connected slots — the same fused loop as [`TraceSession::run`]
+    /// without materializing (or allocating) the per-slot vector. The count
+    /// equals `run(n_slots).iter().filter(|&&b| b).count()` exactly;
+    /// [`crate::trace_sim::simulate_corpus`] uses this path since the Fig-16
+    /// CDF only needs per-trace on-fractions.
+    pub fn run_count(&mut self, n_slots: usize) -> usize {
+        let mut on = 0usize;
+        self.run_impl(n_slots, |b| on += b as usize);
+        on
+    }
+
+    /// The fused slot loop behind [`TraceSession::run`] /
+    /// [`TraceSession::run_count`]: `emit` is called exactly once per slot,
+    /// in slot order, with the same boolean `step_slot` would produce.
+    ///
+    /// Structure (one outer iteration per report period in the common case):
+    /// fused drift-only segment to the next report; the report slot's event
+    /// logic inline (verbatim `step_slot` operation order); then, when the
+    /// resulting realignment completes before the next report arrives (the
+    /// paper's 1.5 ms latency vs 10 ms report period), the 1–2 window slots
+    /// as another fused segment and the completion slot inline. Segment
+    /// boundaries are decided by the *same* exact comparison `step_slot`
+    /// uses (`event_t <= (k as f64 + 1.0) * slot_ms`), and the hoisted
+    /// `rate * slot_ms` products are the same IEEE values every slot, so
+    /// the accumulation sequence is bitwise unchanged.
+    #[inline]
+    fn run_impl(&mut self, n_slots: usize, mut emit: impl FnMut(bool)) {
+        let p = self.p;
+        let slot_ms = p.slot_ms;
+        let inv_slot = 1.0 / slot_ms;
+        let tol_l = p.tol_lat_m;
+        let tol_a = p.tol_ang_rad;
+        let rates = self.rates;
+        let n_rates = rates.len();
+        // Session state lives in locals for the duration of the run (written
+        // back at the end) so the hot loop never round-trips through `self`.
+        let mut lat = self.lat;
+        let mut ang = self.ang;
+        let mut lat_rate = self.lat_rate;
+        let mut ang_rate = self.ang_rate;
+        let mut realign_at = self.realign_at;
+        let mut report_idx = self.report_idx;
+        let mut k = 0usize;
+
+        // First slot whose end time (k+1)*slot_ms reaches event time `ev`:
+        // a reciprocal-multiply guess, then corrected by the *exact*
+        // comparison step_slot itself performs — float rounding in the guess
+        // cannot shift the boundary.
+        macro_rules! boundary {
+            ($ev:expr) => {{
+                let ev = $ev;
+                if ev == f64::INFINITY {
+                    n_slots
+                } else {
+                    let mut g = (((ev * inv_slot - 1.0).max(k as f64)) as usize).min(n_slots);
+                    // `black_box` keeps LLVM from auto-vectorizing these
+                    // 0-or-1-step correction walks into a 16-wide search
+                    // (it assumes a trip count of ~`n_slots` from the loop
+                    // bound; the vector prologue alone costs ~10× the walk).
+                    while g > k && g as f64 * slot_ms >= ev {
+                        g = std::hint::black_box(g - 1);
+                    }
+                    while g < n_slots && (g as f64 + 1.0) * slot_ms < ev {
+                        g = std::hint::black_box(g + 1);
+                    }
+                    g
+                }
+            }};
+        }
+        // One event slot at index `k`: step_slot's operation sequence,
+        // verbatim (report consumption, realignment completion, drift,
+        // tolerance compare). Advances `k`.
+        macro_rules! event_slot {
+            () => {{
+                let t_ms = (k as f64 + 1.0) * slot_ms;
+                while report_idx < n_rates && rates[report_idx].t_report_ms <= t_ms {
+                    let r = rates[report_idx];
+                    report_idx += 1;
+                    lat_rate = r.lat_per_ms;
+                    ang_rate = r.ang_per_ms;
+                    let lost = p.report_loss_prob > 0.0
+                        && unit(cyclops_par::mix64(p.loss_seed, report_idx as u64))
+                            < p.report_loss_prob;
+                    if !lost {
+                        realign_at = Some((r.t_report_ms + p.realign_latency_ms, false));
+                    } else if p.dead_reckoning {
+                        realign_at = Some((r.t_report_ms + p.realign_latency_ms, true));
+                    }
+                }
+                if let Some((when, dr)) = realign_at {
+                    if when <= t_ms {
+                        let scale = if dr { p.dr_residual_scale } else { 1.0 };
+                        lat = p.residual_lat_m * scale;
+                        ang = p.residual_ang_rad * scale;
+                        realign_at = None;
+                    }
+                }
+                lat += lat_rate * slot_ms;
+                ang += ang_rate * slot_ms;
+                emit((lat <= tol_l) & (ang <= tol_a));
+                k += 1;
+            }};
+        }
+        // Fused drift-only segment [k, `$to`): no report arrives and no
+        // realignment completes in these slots.
+        macro_rules! drift_to {
+            ($to:expr) => {{
+                let to = $to;
+                let lr = lat_rate * slot_ms;
+                let ar = ang_rate * slot_ms;
+                while k < to {
+                    lat += lr;
+                    ang += ar;
+                    emit((lat <= tol_l) & (ang <= tol_a));
+                    k += 1;
+                }
+            }};
+        }
+
+        while k < n_slots {
+            if realign_at.is_some() {
+                // Rare path (realignment latency exceeding the report
+                // period, or a window cut by the trace end): one verbatim
+                // per-slot step until the window resolves.
+                event_slot!();
+                continue;
+            }
+            // Drift to the next report, then the report slot itself.
+            let next_report = if report_idx < n_rates {
+                rates[report_idx].t_report_ms
+            } else {
+                f64::INFINITY
+            };
+            drift_to!(boundary!(next_report));
+            if k >= n_slots {
+                break;
+            }
+            event_slot!();
+            // Fast path for the realignment window the report just opened:
+            // if it completes before the next report arrives, its 1–2 slots
+            // are drift-only — fuse them and run the completion slot inline,
+            // all within this iteration.
+            if let Some((when, _)) = realign_at {
+                let nr = if report_idx < n_rates {
+                    rates[report_idx].t_report_ms
+                } else {
+                    f64::INFINITY
+                };
+                // The window is 1–2 slots (1.5 ms latency vs 10 ms report
+                // period), so a direct fused check loop beats the generic
+                // boundary machinery. Window slots must see no report
+                // (`nr > t_ms`) and no completion (`when > t_ms`) — the
+                // exact `step_slot` comparisons; the completion slot
+                // itself runs verbatim via `event_slot!`.
+                let lr = lat_rate * slot_ms;
+                let ar = ang_rate * slot_ms;
+                let mut t_ms = (k as f64 + 1.0) * slot_ms;
+                while k < n_slots && when > t_ms && nr > t_ms {
+                    lat += lr;
+                    ang += ar;
+                    emit((lat <= tol_l) & (ang <= tol_a));
+                    k = std::hint::black_box(k + 1);
+                    t_ms = (k as f64 + 1.0) * slot_ms;
+                }
+                if k < n_slots && when <= t_ms && nr > t_ms {
+                    event_slot!();
+                }
+            }
+        }
+        self.lat = lat;
+        self.ang = ang;
+        self.lat_rate = lat_rate;
+        self.ang_rate = ang_rate;
+        self.realign_at = realign_at;
+        self.report_idx = report_idx;
     }
 }
 
@@ -1758,21 +2003,22 @@ impl SlotSession for TraceSession<'_> {
             && self.trace.samples[self.report_idx + 1].t_ms <= t_ms
         {
             self.report_idx += 1;
-            let a = &self.trace.samples[self.report_idx - 1];
-            let b = &self.trace.samples[self.report_idx];
-            let dt = b.t_ms - a.t_ms;
-            // Drift tracks true motion regardless of report delivery.
-            self.lat_rate = (b.pos - a.pos).norm() / dt;
-            self.ang_rate = a.quat.angle_to(&b.quat) / dt;
+            let b_t_ms = self.trace.samples[self.report_idx].t_ms;
+            // Drift tracks true motion regardless of report delivery. The
+            // rates are the precomputed exact values of the pair math
+            // (`HeadTrace::motion_rates`).
+            let r = self.rates[self.report_idx - 1];
+            self.lat_rate = r.lat_per_ms;
+            self.ang_rate = r.ang_per_ms;
             let lost = p.report_loss_prob > 0.0
                 && unit(cyclops_par::mix64(p.loss_seed, self.report_idx as u64))
                     < p.report_loss_prob;
             if !lost {
-                self.realign_at = Some((b.t_ms + p.realign_latency_ms, false));
+                self.realign_at = Some((b_t_ms + p.realign_latency_ms, false));
             } else if p.dead_reckoning {
                 // The TP realigns on the extrapolated pose instead — same
                 // latency, degraded residual.
-                self.realign_at = Some((b.t_ms + p.realign_latency_ms, true));
+                self.realign_at = Some((b_t_ms + p.realign_latency_ms, true));
             }
             // Lost without DR: no realignment; drift keeps accruing until
             // the next delivered report.
@@ -2125,24 +2371,37 @@ fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> S
             seed,
         });
     }
-    let recs = session.run(cfg.duration_s);
+    // Stream the slots through a fold (counts and running sums) instead of
+    // materializing a duration-proportional Vec<EngineSlot> per session.
+    let sens = units[0].dep.design.sfp.rx_sensitivity_dbm;
+    let mut slots = 0usize;
+    let mut n_up = 0usize;
+    let mut n_sig = 0usize;
+    let mut goodput_sum = 0.0;
+    let mut power_sum = 0.0;
+    session.run_each(cfg.duration_s, |r| {
+        slots += 1;
+        n_up += r.link_up as usize;
+        n_sig += (r.power_dbm >= sens) as usize;
+        goodput_sum += r.goodput_gbps;
+        power_sum += r.power_dbm;
+    });
     if cfg.collect_telemetry {
         session.telemetry_mut().emit(&TelemetryEvent::SessionEnd {
             session: i as u64,
-            slots: recs.len() as u64,
+            slots: slots as u64,
         });
     }
-    let n = recs.len().max(1) as f64;
-    let up = recs.iter().filter(|r| r.link_up).count() as f64 / n;
-    let sens = units[0].dep.design.sfp.rx_sensitivity_dbm;
-    let sig = recs.iter().filter(|r| r.power_dbm >= sens).count() as f64 / n;
-    let goodput = recs.iter().map(|r| r.goodput_gbps).sum::<f64>() / n;
-    let power = recs.iter().map(|r| r.power_dbm).sum::<f64>() / n;
+    let n = slots.max(1) as f64;
+    let up = n_up as f64 / n;
+    let sig = n_sig as f64 / n;
+    let goodput = goodput_sum / n;
+    let power = power_sum / n;
     let tp = session.tp_metrics();
     SessionReport {
         session: i,
         seed,
-        slots: recs.len(),
+        slots,
         up_frac: up,
         signal_frac: sig,
         mean_goodput_gbps: goodput,

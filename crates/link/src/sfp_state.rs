@@ -38,27 +38,31 @@ impl SfpLinkState {
 
     /// Advances by `dt` seconds with the given optical-signal presence.
     /// Returns whether the link is up after the step.
+    ///
+    /// Branch-light form: the hold timer and the up/down decision are both
+    /// computed with boolean arithmetic so the per-slot call compiles to
+    /// straight-line code (this runs once per slot per session in the
+    /// engine's hot loop). Semantics are unchanged from the nested-if
+    /// original: the timer accumulates only while *down with signal*, and
+    /// re-lock fires once the accumulated hold reaches `relink_time_s`.
+    #[inline]
     pub fn step(&mut self, signal_present: bool, dt: f64) -> bool {
-        if self.up {
-            if !signal_present {
-                self.up = false;
-                self.signal_held_s = 0.0;
-            }
-        } else if signal_present {
-            self.signal_held_s += dt;
-            // The 1 ns slack absorbs float accumulation over thousands of
-            // sub-millisecond slots; without it 2500 × 0.001 s sums just
-            // under 2.5 s and re-lock lands a full slot late.
-            if self.signal_held_s >= self.relink_time_s - 1e-9 {
-                self.up = true;
-            }
+        let accumulating = !self.up & signal_present;
+        // The 1 ns slack absorbs float accumulation over thousands of
+        // sub-millisecond slots; without it 2500 × 0.001 s sums just
+        // under 2.5 s and re-lock lands a full slot late.
+        self.signal_held_s = if accumulating {
+            self.signal_held_s + dt
         } else {
-            self.signal_held_s = 0.0;
-        }
+            0.0
+        };
+        self.up = (self.up & signal_present)
+            | (accumulating & (self.signal_held_s >= self.relink_time_s - 1e-9));
         self.up
     }
 
     /// Current state.
+    #[inline]
     pub fn is_up(&self) -> bool {
         self.up
     }

@@ -204,6 +204,20 @@ fn jf(x: f64) -> String {
     }
 }
 
+/// Zero-allocation [`Display`](fmt::Display) form of [`jf`]: formats the
+/// float straight into the caller's buffer (same bytes as `jf`).
+struct Jf(f64);
+
+impl fmt::Display for Jf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            f.write_str("null")
+        }
+    }
+}
+
 impl TelemetryEvent {
     /// The event's kind tag, as used in the JSONL `"ev"` field.
     pub fn kind(&self) -> &'static str {
@@ -229,16 +243,33 @@ impl TelemetryEvent {
 
     /// One-line JSON rendering (the JSONL wire format).
     pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+
+    /// Appends the one-line JSON rendering to `buf` — same bytes as
+    /// [`TelemetryEvent::to_json`], no allocation. [`JsonlSink`] uses this
+    /// with a reused line buffer so steady-state event recording is
+    /// allocation-free.
+    pub fn write_json(&self, buf: &mut String) {
+        use fmt::Write as _;
         let kind = self.kind();
-        match *self {
+        let _ = match *self {
             TelemetryEvent::SessionStart { session, seed } => {
-                format!("{{\"ev\":\"{kind}\",\"session\":{session},\"seed\":{seed}}}")
+                write!(
+                    buf,
+                    "{{\"ev\":\"{kind}\",\"session\":{session},\"seed\":{seed}}}"
+                )
             }
             TelemetryEvent::SessionEnd { session, slots } => {
-                format!("{{\"ev\":\"{kind}\",\"session\":{session},\"slots\":{slots}}}")
+                write!(
+                    buf,
+                    "{{\"ev\":\"{kind}\",\"session\":{session},\"slots\":{slots}}}"
+                )
             }
             TelemetryEvent::SlotStart { k, t } => {
-                format!("{{\"ev\":\"{kind}\",\"k\":{k},\"t\":{}}}", jf(t))
+                write!(buf, "{{\"ev\":\"{kind}\",\"k\":{k},\"t\":{}}}", Jf(t))
             }
             TelemetryEvent::SlotEnd {
                 k,
@@ -248,14 +279,15 @@ impl TelemetryEvent {
                 margin_db,
                 link_up,
                 goodput_gbps,
-            } => format!(
+            } => write!(
+                buf,
                 "{{\"ev\":\"{kind}\",\"k\":{k},\"t\":{},\"active\":{active},\
                  \"power_dbm\":{},\"margin_db\":{},\"link_up\":{link_up},\
                  \"goodput_gbps\":{}}}",
-                jf(t),
-                jf(power_dbm),
-                jf(margin_db),
-                jf(goodput_gbps)
+                Jf(t),
+                Jf(power_dbm),
+                Jf(margin_db),
+                Jf(goodput_gbps)
             ),
             TelemetryEvent::TpCommandIssued {
                 t,
@@ -264,37 +296,40 @@ impl TelemetryEvent {
                 latency_s,
                 iters,
                 converged,
-            } => format!(
+            } => write!(
+                buf,
                 "{{\"ev\":\"{kind}\",\"t\":{},\"apply_at\":{},\"source\":\"{}\",\
                  \"latency_s\":{},\"iters\":{iters},\"converged\":{converged}}}",
-                jf(t),
-                jf(apply_at),
+                Jf(t),
+                Jf(apply_at),
                 match source {
                     CommandSource::Report => "report",
                     CommandSource::DeadReckoned => "dead_reckoned",
                     CommandSource::HandoverShot => "handover_shot",
                 },
-                jf(latency_s)
+                Jf(latency_s)
             ),
             TelemetryEvent::TpApplied { t, n } => {
-                format!("{{\"ev\":\"{kind}\",\"t\":{},\"n\":{n}}}", jf(t))
+                write!(buf, "{{\"ev\":\"{kind}\",\"t\":{},\"n\":{n}}}", Jf(t))
             }
             TelemetryEvent::CtrlSent { t } => {
-                format!("{{\"ev\":\"{kind}\",\"t\":{}}}", jf(t))
+                write!(buf, "{{\"ev\":\"{kind}\",\"t\":{}}}", Jf(t))
             }
             TelemetryEvent::CtrlDelivered { t, age_s } => {
-                format!(
+                write!(
+                    buf,
                     "{{\"ev\":\"{kind}\",\"t\":{},\"age_s\":{}}}",
-                    jf(t),
-                    jf(age_s)
+                    Jf(t),
+                    Jf(age_s)
                 )
             }
             TelemetryEvent::CtrlRetransmit { t, n } => {
-                format!("{{\"ev\":\"{kind}\",\"t\":{},\"n\":{n}}}", jf(t))
+                write!(buf, "{{\"ev\":\"{kind}\",\"t\":{},\"n\":{n}}}", Jf(t))
             }
-            TelemetryEvent::CtrlDropped { t, n, reason } => format!(
+            TelemetryEvent::CtrlDropped { t, n, reason } => write!(
+                buf,
                 "{{\"ev\":\"{kind}\",\"t\":{},\"n\":{n},\"reason\":\"{}\"}}",
-                jf(t),
+                Jf(t),
                 match reason {
                     DropReason::ChannelLoss => "channel_loss",
                     DropReason::AckLost => "ack_lost",
@@ -303,28 +338,31 @@ impl TelemetryEvent {
                 }
             ),
             TelemetryEvent::SfpDown { t } => {
-                format!("{{\"ev\":\"{kind}\",\"t\":{}}}", jf(t))
+                write!(buf, "{{\"ev\":\"{kind}\",\"t\":{}}}", Jf(t))
             }
-            TelemetryEvent::SfpUp { t, outage_s } => format!(
+            TelemetryEvent::SfpUp { t, outage_s } => write!(
+                buf,
                 "{{\"ev\":\"{kind}\",\"t\":{},\"outage_s\":{}}}",
-                jf(t),
-                jf(outage_s)
+                Jf(t),
+                Jf(outage_s)
             ),
-            TelemetryEvent::Handover { t, from, to } => format!(
+            TelemetryEvent::Handover { t, from, to } => write!(
+                buf,
                 "{{\"ev\":\"{kind}\",\"t\":{},\"from\":{from},\"to\":{to}}}",
-                jf(t)
+                Jf(t)
             ),
             TelemetryEvent::ReacqStarted { t } => {
-                format!("{{\"ev\":\"{kind}\",\"t\":{}}}", jf(t))
+                write!(buf, "{{\"ev\":\"{kind}\",\"t\":{}}}", Jf(t))
             }
             TelemetryEvent::ReacqProbe { t } => {
-                format!("{{\"ev\":\"{kind}\",\"t\":{}}}", jf(t))
+                write!(buf, "{{\"ev\":\"{kind}\",\"t\":{}}}", Jf(t))
             }
-            TelemetryEvent::ReacqEnded { t, recovered } => format!(
+            TelemetryEvent::ReacqEnded { t, recovered } => write!(
+                buf,
                 "{{\"ev\":\"{kind}\",\"t\":{},\"recovered\":{recovered}}}",
-                jf(t)
+                Jf(t)
             ),
-        }
+        };
     }
 }
 
@@ -355,6 +393,9 @@ impl TelemetrySink for NullSink {
 /// a telemetry I/O error must never abort a simulation.
 pub struct JsonlSink<W: Write + Send> {
     out: W,
+    /// Reused line buffer: one event = one `write_json` into this buffer +
+    /// one `write_all`, so steady-state recording allocates nothing.
+    line: String,
     events: u64,
     failed: bool,
 }
@@ -364,6 +405,7 @@ impl<W: Write + Send> JsonlSink<W> {
     pub fn new(out: W) -> JsonlSink<W> {
         JsonlSink {
             out,
+            line: String::new(),
             events: 0,
             failed: false,
         }
@@ -420,7 +462,10 @@ impl<W: Write + Send> TelemetrySink for JsonlSink<W> {
         if self.failed {
             return;
         }
-        if writeln!(self.out, "{}", ev.to_json()).is_ok() {
+        self.line.clear();
+        ev.write_json(&mut self.line);
+        self.line.push('\n');
+        if self.out.write_all(self.line.as_bytes()).is_ok() {
             self.events += 1;
         } else {
             self.failed = true;
@@ -1050,6 +1095,78 @@ mod tests {
         assert!(lines[0].contains("\"ev\":\"slot_start\""));
         assert!(lines[1].contains("\"outage_s\":0.25"));
         assert!(lines[2].contains("\"from\":0,\"to\":1"));
+    }
+
+    #[test]
+    fn jsonl_sink_buffer_reuse_matches_per_event_to_json() {
+        // One representative of every event variant (including non-finite
+        // floats): the sink's reused-line-buffer path must produce exactly
+        // `to_json() + "\n"` per event, byte for byte.
+        let events = vec![
+            TelemetryEvent::SessionStart {
+                session: 3,
+                seed: 99,
+            },
+            TelemetryEvent::SessionEnd {
+                session: 3,
+                slots: 4000,
+            },
+            TelemetryEvent::SlotStart { k: 7, t: 7e-3 },
+            TelemetryEvent::SlotEnd {
+                k: 7,
+                t: 7e-3,
+                active: 1,
+                power_dbm: -21.25,
+                margin_db: f64::NAN,
+                link_up: true,
+                goodput_gbps: 9.6,
+            },
+            TelemetryEvent::TpCommandIssued {
+                t: 0.01,
+                apply_at: 0.012,
+                source: CommandSource::Report,
+                latency_s: 2e-3,
+                iters: 4,
+                converged: true,
+            },
+            TelemetryEvent::TpApplied { t: 0.012, n: 5 },
+            TelemetryEvent::CtrlSent { t: 0.02 },
+            TelemetryEvent::CtrlDelivered {
+                t: 0.021,
+                age_s: 1e-3,
+            },
+            TelemetryEvent::CtrlRetransmit { t: 0.022, n: 2 },
+            TelemetryEvent::CtrlDropped {
+                t: 0.023,
+                n: 3,
+                reason: DropReason::AckLost,
+            },
+            TelemetryEvent::SfpDown { t: 0.5 },
+            TelemetryEvent::SfpUp {
+                t: 0.75,
+                outage_s: 0.25,
+            },
+            TelemetryEvent::Handover {
+                t: 0.8,
+                from: 0,
+                to: 1,
+            },
+            TelemetryEvent::ReacqStarted { t: 0.9 },
+            TelemetryEvent::ReacqProbe { t: f64::INFINITY },
+            TelemetryEvent::ReacqEnded {
+                t: 0.95,
+                recovered: false,
+            },
+        ];
+        let mut sink = JsonlSink::in_memory();
+        let mut expected = String::new();
+        for ev in &events {
+            sink.record(ev);
+            expected.push_str(&ev.to_json());
+            expected.push('\n');
+        }
+        assert_eq!(sink.events_written(), events.len() as u64);
+        assert_eq!(sink.into_string(), expected);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! that needs per-slot control or telemetry should drive
 //! [`crate::engine::TraceSession`] through [`run_slots`] directly.
 
-use crate::engine::{run_slots, TraceSession};
+use crate::engine::TraceSession;
 use cyclops_vrh::traces::HeadTrace;
 
 /// Parameters of the §5.4 simulation — defaults are the paper's 25G values.
@@ -123,7 +123,10 @@ impl TraceSimResult {
 pub fn simulate_trace(trace: &HeadTrace, p: &TraceSimParams) -> TraceSimResult {
     let n_slots = ((trace.duration_s() * 1e3) / p.slot_ms).floor() as usize;
     let mut session = TraceSession::new(trace, *p);
-    let slots_on = run_slots(&mut session, n_slots);
+    // The fused runner is bit-identical to `run_slots(&mut session, n_slots)`
+    // (pinned by the trace_corpus engine-digest golden and the
+    // `fused_run_matches_step_slot_exactly` test) and ~40× faster.
+    let slots_on = session.run(n_slots);
     let on = slots_on.iter().filter(|&&b| b).count();
     let on_fraction = on as f64 / slots_on.len().max(1) as f64;
     TraceSimResult {
@@ -139,7 +142,13 @@ pub fn simulate_trace(trace: &HeadTrace, p: &TraceSimParams) -> TraceSimResult {
 /// `parallel` feature they are evaluated on worker threads and collected in
 /// input order — bit-identical to the serial loop.
 pub fn simulate_corpus(traces: &[HeadTrace], p: &TraceSimParams) -> Vec<f64> {
-    let one = |t: &HeadTrace| simulate_trace(t, p).on_fraction;
+    // Counting path: same fused loop as `simulate_trace`, no per-slot
+    // vector — the CDF only needs each trace's on-fraction.
+    let one = |t: &HeadTrace| {
+        let n_slots = ((t.duration_s() * 1e3) / p.slot_ms).floor() as usize;
+        let on = TraceSession::new(t, *p).run_count(n_slots);
+        on as f64 / n_slots.max(1) as f64
+    };
     #[cfg(feature = "parallel")]
     let fracs = cyclops_par::par_map(traces, 1, one);
     #[cfg(not(feature = "parallel"))]
@@ -150,6 +159,7 @@ pub fn simulate_corpus(traces: &[HeadTrace], p: &TraceSimParams) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::run_slots;
     use cyclops_geom::quat::Quat;
     use cyclops_geom::vec3::{v3, Vec3};
     use cyclops_vrh::traces::{TraceGenConfig, TraceSample};
@@ -167,10 +177,7 @@ mod tests {
                 }
             })
             .collect();
-        HeadTrace {
-            period_ms: 10.0,
-            samples,
-        }
+        HeadTrace::new(10.0, samples)
     }
 
     #[test]
@@ -339,6 +346,53 @@ mod tests {
         // And a different seed actually changes the loss pattern.
         let c = simulate_trace(&tr, &TraceSimParams { loss_seed: 77, ..p });
         assert_ne!(a.slots_on, c.slots_on, "seed must matter");
+    }
+
+    #[test]
+    fn fused_run_matches_step_slot_exactly() {
+        // The fused TraceSession::run must equal the naive per-slot loop
+        // bit-for-bit, across loss/DR configurations, generated and uniform
+        // traces, and non-default slot lengths (including slot/report-period
+        // ratios that stress the segment-boundary comparisons).
+        let mut cases: Vec<(HeadTrace, TraceSimParams)> = vec![
+            (uniform_trace(0.0, 0.0, 5.0), TraceSimParams::default()),
+            (uniform_trace(0.14, 0.4, 10.0), TraceSimParams::default()),
+            (
+                uniform_trace(0.18, 0.0, 10.0),
+                TraceSimParams {
+                    slot_ms: 0.5,
+                    ..Default::default()
+                },
+            ),
+            (
+                uniform_trace(0.1, 0.6, 10.0),
+                TraceSimParams {
+                    slot_ms: 0.7, // non-divisor of the 10 ms report period
+                    realign_latency_ms: 1.3,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for i in 0..6 {
+            cases.push((
+                HeadTrace::generate(&TraceGenConfig::default(), 9_100 + i),
+                TraceSimParams {
+                    report_loss_prob: 0.2,
+                    loss_seed: 41,
+                    dead_reckoning: i % 2 == 0,
+                    ..Default::default()
+                },
+            ));
+        }
+        for (trace, p) in &cases {
+            let n_slots = ((trace.duration_s() * 1e3) / p.slot_ms).floor() as usize;
+            let naive = run_slots(&mut TraceSession::new(trace, *p), n_slots);
+            let fused = TraceSession::new(trace, *p).run(n_slots);
+            assert_eq!(naive, fused, "fused run diverged (p = {p:?})");
+            let count = TraceSession::new(trace, *p).run_count(n_slots);
+            let expect = naive.iter().filter(|&&b| b).count();
+            assert_eq!(count, expect, "counting run diverged (p = {p:?})");
+        }
     }
 
     #[test]

@@ -126,6 +126,22 @@ pub struct GalvoParams {
     pub theta1: f64,
 }
 
+/// Precomputed normalized mirror axes/normals of a [`GalvoParams`]
+/// ([`GalvoParams::axes`]): hoists the four `normalized()` calls out of the
+/// per-voltage beam-path math. Derived data — rebuild after any parameter
+/// change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GalvoAxes {
+    /// `r1.normalized()`.
+    pub r1n: Vec3,
+    /// `n1.normalized()`.
+    pub n1n: Vec3,
+    /// `r2.normalized()`.
+    pub r2n: Vec3,
+    /// `n2.normalized()`.
+    pub n2n: Vec3,
+}
+
 impl GalvoParams {
     /// Nominal ("CAD drawing") geometry of a GVS102-like assembly, in the
     /// assembly's body frame: input beam along +X at `x = −50 mm`, first
@@ -191,13 +207,36 @@ impl GalvoParams {
         }
     }
 
+    /// The four normalized mirror axes/normals, computed once. `trace` /
+    /// `trace_line` / `second_mirror_plane` renormalize `r1/n1/r2/n2` on
+    /// every call; on fixed geometry (the per-slot simulation path) those
+    /// calls are loop-invariant. The cache holds the exact outputs of the
+    /// same `normalized()` calls, so tracing through it ([`
+    /// GalvoParams::trace_with`]) is bit-identical to [`GalvoParams::trace`].
+    pub fn axes(&self) -> GalvoAxes {
+        GalvoAxes {
+            r1n: self.r1.normalized(),
+            n1n: self.n1.normalized(),
+            r2n: self.r2.normalized(),
+            n2n: self.n2.normalized(),
+        }
+    }
+
     /// Evaluates the GMA function `G(v₁, v₂) = (p, x̂)`: the output beam after
     /// both voltage-tilted reflections. `None` if the beam geometrically
     /// misses a mirror plane (possible for badly wrong parameter guesses
     /// during fitting — the fit treats that as a large residual).
     pub fn trace(&self, v1: f64, v2: f64) -> Option<Ray> {
-        let n1p = axis_angle(self.r1.normalized(), self.theta1 * v1) * self.n1.normalized();
-        let n2p = axis_angle(self.r2.normalized(), self.theta1 * v2) * self.n2.normalized();
+        self.trace_with(&self.axes(), v1, v2)
+    }
+
+    /// [`GalvoParams::trace`] with the normalizations hoisted into a
+    /// precomputed [`GalvoAxes`] — bit-identical, the per-voltage work is
+    /// two axis-angle rotations and two reflections.
+    #[inline]
+    pub fn trace_with(&self, axes: &GalvoAxes, v1: f64, v2: f64) -> Option<Ray> {
+        let n1p = axis_angle(axes.r1n, self.theta1 * v1) * axes.n1n;
+        let n2p = axis_angle(axes.r2n, self.theta1 * v2) * axes.n2n;
         let input = Ray::new(self.p0, self.x0);
         let mid = reflect_ray(&input, self.q1, n1p)?;
         reflect_ray(&mid, self.q2, n2p)
@@ -232,10 +271,17 @@ impl GalvoParams {
     /// [`GalvoParams::trace`] stays the physical ground-truth path used by
     /// the hardware simulation.
     pub fn trace_line(&self, v1: f64, v2: f64) -> Option<Ray> {
+        self.trace_line_with(&self.axes(), v1, v2)
+    }
+
+    /// [`GalvoParams::trace_line`] with precomputed [`GalvoAxes`] —
+    /// bit-identical (see [`GalvoParams::trace_with`]).
+    #[inline]
+    pub fn trace_line_with(&self, axes: &GalvoAxes, v1: f64, v2: f64) -> Option<Ray> {
         use cyclops_geom::plane::Plane;
         use cyclops_geom::reflect::reflect_dir;
-        let n1p = axis_angle(self.r1.normalized(), self.theta1 * v1) * self.n1.normalized();
-        let n2p = axis_angle(self.r2.normalized(), self.theta1 * v2) * self.n2.normalized();
+        let n1p = axis_angle(axes.r1n, self.theta1 * v1) * axes.n1n;
+        let n2p = axis_angle(axes.r2n, self.theta1 * v2) * axes.n2n;
         let input = Ray::new(self.p0, self.x0);
         let (_, hit1) = Plane::new(self.q1, n1p).intersect_line(&input)?;
         let mid = Ray::new(hit1, reflect_dir(input.dir, n1p));
@@ -251,6 +297,21 @@ impl GalvoParams {
     pub fn second_mirror_plane(&self, v2: f64) -> Plane {
         let n2p = axis_angle(self.r2.normalized(), self.theta1 * v2) * self.n2.normalized();
         Plane::new(self.q2, n2p)
+    }
+
+    /// The second-mirror plane of this assembly expressed in `pose`'s frame
+    /// — bit-identical to `self.transformed(pose).second_mirror_plane(v2)`,
+    /// but transforming only the three fields the plane depends on
+    /// (`q2`, `r2`, `n2`) instead of all nine. The per-slot power path
+    /// needs exactly this plane, so the other six transforms were pure
+    /// overhead there.
+    #[inline]
+    pub fn second_mirror_plane_world(&self, pose: &Pose, v2: f64) -> Plane {
+        let q2 = pose.apply_point(self.q2);
+        let r2 = pose.apply_dir(self.r2);
+        let n2 = pose.apply_dir(self.n2);
+        let n2p = axis_angle(r2.normalized(), self.theta1 * v2) * n2.normalized();
+        Plane::new(q2, n2p)
     }
 
     /// Expresses the same physical assembly in another frame:
@@ -346,10 +407,14 @@ impl GalvoSimConfig {
 #[derive(Debug, Clone)]
 pub struct GalvoSim {
     /// The true (hidden) geometry. Experiments read this only to *build* the
-    /// world; the learning pipeline never does.
+    /// world; the learning pipeline never does. Treated as fixed from
+    /// construction (the cached `axes` are derived from it).
     pub truth: GalvoParams,
     /// Driver non-idealities.
     pub cfg: GalvoSimConfig,
+    /// Precomputed [`GalvoParams::axes`] of `truth`, so the per-slot
+    /// [`GalvoSim::output_ray`] skips the four renormalizations.
+    axes: GalvoAxes,
     v1: f64,
     v2: f64,
 }
@@ -358,6 +423,7 @@ impl GalvoSim {
     /// Creates the hardware at zero volts.
     pub fn new(truth: GalvoParams, cfg: GalvoSimConfig) -> GalvoSim {
         GalvoSim {
+            axes: truth.axes(),
             truth,
             cfg,
             v1: 0.0,
@@ -441,7 +507,8 @@ impl GalvoSim {
         };
         let j1 = jitter(rng);
         let j2 = jitter(rng);
-        self.truth.trace(self.v1 + j1, self.v2 + j2)
+        self.truth
+            .trace_with(&self.axes, self.v1 + j1, self.v2 + j2)
     }
 
     /// Strict version of [`GalvoSim::output_ray`]: a beam that misses a
@@ -506,6 +573,29 @@ mod tests {
         let b = g.try_trace(2.0, 0.0)?;
         assert!((a.origin - b.origin).norm() > 1e-5);
         Ok(())
+    }
+
+    #[test]
+    fn cached_axes_paths_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..32 {
+            let g = GalvoParams::nominal().perturbed(&mut rng, 2.0, 2.0, 0.05);
+            let axes = g.axes();
+            let pose = Pose::new(
+                axis_angle(v3(0.3, -0.5, 0.81).normalized(), 0.7),
+                v3(0.4, -1.2, 2.0),
+            );
+            for (v1, v2) in [(0.0, 0.0), (1.3, -2.7), (-9.9, 9.9), (0.123, 4.567)] {
+                // Hoisted normalizations reproduce the plain paths exactly.
+                assert_eq!(g.trace(v1, v2), g.trace_with(&axes, v1, v2));
+                assert_eq!(g.trace_line(v1, v2), g.trace_line_with(&axes, v1, v2));
+                // Field-subset world transform == full transform, bitwise.
+                let full = g.transformed(&pose).second_mirror_plane(v2);
+                let subset = g.second_mirror_plane_world(&pose, v2);
+                assert_eq!(full.point, subset.point);
+                assert_eq!(full.normal, subset.normal);
+            }
+        }
     }
 
     #[test]

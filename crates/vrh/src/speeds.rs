@@ -68,10 +68,7 @@ mod tests {
                 }
             })
             .collect();
-        HeadTrace {
-            period_ms: 10.0,
-            samples,
-        }
+        HeadTrace::new(10.0, samples)
     }
 
     #[test]

@@ -33,13 +33,37 @@ pub struct TraceSample {
     pub quat: Quat,
 }
 
+/// Motion rates over one consecutive sample pair: the paper's §5.4 drift
+/// rates `d(r,r′)/t(r′,r)`, lateral (m/ms) and angular (rad/ms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionRate {
+    /// Lateral speed over the pair (metres per millisecond).
+    pub lat_per_ms: f64,
+    /// Angular speed over the pair (radians per millisecond).
+    pub ang_per_ms: f64,
+    /// Arrival time of the pair's later sample (`samples[i + 1].t_ms`) —
+    /// the report that publishes these rates. Duplicated here so slot loops
+    /// walk one dense 24-byte-stride array instead of gathering from the
+    /// 64-byte-stride [`TraceSample`] array.
+    pub t_report_ms: f64,
+}
+
 /// A recorded (or generated) head-motion trace, uniformly sampled.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct HeadTrace {
     /// Sample period in milliseconds (10 ms for the paper's dataset).
     pub period_ms: f64,
     /// The samples, in time order.
     pub samples: Vec<TraceSample>,
+    /// Lazily-computed per-pair motion rates ([`HeadTrace::motion_rates`]).
+    /// Derived data only — excluded from equality.
+    rates: std::sync::OnceLock<Box<[MotionRate]>>,
+}
+
+impl PartialEq for HeadTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.period_ms == other.period_ms && self.samples == other.samples
+    }
 }
 
 /// Generator configuration: one "viewer style" watching one video.
@@ -117,9 +141,46 @@ impl TraceGenConfig {
 }
 
 impl HeadTrace {
+    /// Creates a trace from raw samples (must be in time order).
+    pub fn new(period_ms: f64, samples: Vec<TraceSample>) -> HeadTrace {
+        HeadTrace {
+            period_ms,
+            samples,
+            rates: std::sync::OnceLock::new(),
+        }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()
+    }
+
+    /// The §5.4 drift rates over each consecutive sample pair (`rates[i]`
+    /// covers `samples[i] → samples[i+1]`), computed once per trace and
+    /// cached. The values are the *exact* IEEE results of
+    /// `(b.pos - a.pos).norm() / dt` and `a.quat.angle_to(&b.quat) / dt`
+    /// (dt in ms), so slot loops that consume them instead of recomputing
+    /// per report stay bit-identical — while repeated simulations of the
+    /// same trace (parameter sweeps, benchmark repetitions) skip the
+    /// norm/acos work entirely.
+    ///
+    /// The samples are treated as immutable from the first call on; code
+    /// that edits `samples` in place must build a new trace instead.
+    pub fn motion_rates(&self) -> &[MotionRate] {
+        self.rates.get_or_init(|| {
+            self.samples
+                .windows(2)
+                .map(|w| {
+                    let (a, b) = (&w[0], &w[1]);
+                    let dt = b.t_ms - a.t_ms;
+                    MotionRate {
+                        lat_per_ms: (b.pos - a.pos).norm() / dt,
+                        ang_per_ms: a.quat.angle_to(&b.quat) / dt,
+                        t_report_ms: b.t_ms,
+                    }
+                })
+                .collect()
+        })
     }
 
     /// True if the trace has no samples.
@@ -220,10 +281,7 @@ impl HeadTrace {
                 quat: q.normalized(),
             });
         }
-        HeadTrace {
-            period_ms: cfg.period_ms,
-            samples,
-        }
+        HeadTrace::new(cfg.period_ms, samples)
     }
 
     /// Generates the full 500-trace corpus (50 viewer styles × 10 videos),
@@ -306,7 +364,7 @@ impl HeadTrace {
         if period_ms <= 0.0 {
             return Err("non-increasing timestamps".into());
         }
-        Ok(HeadTrace { period_ms, samples })
+        Ok(HeadTrace::new(period_ms, samples))
     }
 }
 
