@@ -202,6 +202,41 @@ fn main() {
         }
         let _ = std::fs::remove_file(&jsonl_path);
         println!("link_chaos: telemetry identity holds (off/counters/jsonl)");
+
+        // Fallback-identity guard (not a golden line): with
+        // `FallbackPolicy::Off` — whether defaulted or set explicitly —
+        // the hybrid-link machinery must be fully skipped and the digest
+        // must not move a bit. (`RfOnOutage` is covered by its own tests;
+        // here we pin that *opting out* is free.)
+        let fallback_digest = |fallback: FallbackPolicy| -> u64 {
+            let mut sys = CyclopsSystem::commission(&SystemConfig::fast_10g(9_007));
+            sys.control = Some(ControlPlaneConfig::hardened(FaultPlan::stress(17)));
+            let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+            let motion = ArbitraryMotion::new(base, ArbitraryMotionConfig::default(), 613);
+            let mut session = sys
+                .into_session_builder(motion)
+                .fallback(fallback)
+                .build()
+                .expect("valid engine config");
+            let recs = session.run(3.0);
+            let mut d = Digest::new();
+            for r in &recs {
+                d.f64(r.t);
+                d.f64(r.power_dbm);
+                d.bool(r.link_up);
+                d.f64(r.goodput_gbps);
+                d.f64(r.lin_speed);
+                d.f64(r.ang_speed);
+            }
+            d.session_stats(&session.session_stats());
+            d.0
+        };
+        assert_eq!(
+            fallback_digest(FallbackPolicy::Off),
+            chaos_digest,
+            "explicit FallbackPolicy::Off perturbed the link_chaos digest"
+        );
+        println!("link_chaos: fallback-off identity holds");
     }
 
     // --- Single-TX: pause-on-outage operator protocol on a too-fast rail.

@@ -105,6 +105,17 @@ fn print_fleet(title: &str, fleet: &FleetSummary) {
             r.total_reacq_steps
         );
     }
+    if r.total_rf_slots > 0 {
+        println!(
+            "rf fallback: {} failovers, {} failbacks, {} RF slots \
+             (mean rf_frac {:.4}), {:.2} Gb delivered over RF",
+            r.total_failovers,
+            r.total_failbacks,
+            r.total_rf_slots,
+            r.mean_rf_frac,
+            r.rf_delivered_gb
+        );
+    }
     if let Some(t) = &r.telemetry {
         println!(
             "telemetry: {} TP commands ({} dead-reckoned, {} handover shots), \
@@ -171,5 +182,47 @@ fn main() {
     assert!(
         rc.mean_up_frac >= rh.mean_up_frac,
         "clean fleet cannot be worse than the hostile one"
+    );
+
+    // Hybrid-fallback ablation: the hostile fleet again with RF-on-outage.
+    // The FSO timeline is policy-invariant, so availability and goodput can
+    // only gain the RF-covered slots — and on this workload they must
+    // strictly improve.
+    let hostile_rf = FleetConfig {
+        fallback: FallbackPolicy::RfOnOutage,
+        ..hostile
+    };
+    let fleet_rf = run_fleet(&units, &hostile_rf);
+    print_fleet(
+        "hostile fleet + RF fallback (RfOnOutage, same seeds)",
+        &fleet_rf,
+    );
+    let rf = fleet_rf.rollup();
+    println!(
+        "\nfallback ablation: hostile up {:.4} / {:.2} Gbps sum -> with RF {:.4} / {:.2} Gbps \
+         ({} failovers, mean rf_frac {:.4})",
+        rh.mean_up_frac,
+        rh.sum_goodput_gbps,
+        rf.mean_up_frac,
+        rf.sum_goodput_gbps,
+        rf.total_failovers,
+        rf.mean_rf_frac
+    );
+    assert_eq!(
+        rh.total_rf_slots, 0,
+        "fallback-off fleet must never ride RF"
+    );
+    assert!(rf.total_failovers >= 1, "hostile fleet must fail over");
+    assert!(
+        rf.mean_up_frac > rh.mean_up_frac,
+        "RF fallback must strictly improve hostile availability ({} vs {})",
+        rf.mean_up_frac,
+        rh.mean_up_frac
+    );
+    assert!(
+        rf.sum_goodput_gbps > rh.sum_goodput_gbps,
+        "RF fallback must strictly improve hostile goodput ({} vs {})",
+        rf.sum_goodput_gbps,
+        rh.sum_goodput_gbps
     );
 }

@@ -210,6 +210,11 @@ fn fleet_signature(summary: &cyclops::link::engine::FleetSummary) -> Vec<f64> {
             s.stats.n_outages as f64,
             s.stats.outage_s,
             s.stats.longest_outage_s,
+            s.rf_frac,
+            s.stats.rf.failovers as f64,
+            s.stats.rf.failbacks as f64,
+            s.stats.rf.rf_slots as f64,
+            s.stats.rf_delivered_gb,
         ]);
         if let Some(c) = s.stats.control {
             sig.extend([c.sent, c.delivered, c.retransmits, c.channel_losses].map(|n| n as f64));
@@ -341,6 +346,13 @@ fn main() {
         duration_s: 1.0,
         ..fleet_cfg.clone()
     };
+    // The hybrid-fallback ablation: the same 8-session hostile fleet with
+    // RF-on-outage, so the JSON trends the on/off availability comparison
+    // alongside the timings.
+    let fleet_rf_cfg = FleetConfig {
+        fallback: FallbackPolicy::RfOnOutage,
+        ..fleet_cfg.clone()
+    };
 
     // Slot counts per run, for the slots/s headline. All slot loops run on
     // the default 1 ms engine slot (`EngineConfig::default().slot_s`).
@@ -412,6 +424,12 @@ fn main() {
         // divergence anywhere in the engine fails the bit-identical check.
         run_workload("fleet_multi_session", threads, fleet_slots, || {
             fleet_signature(&run_fleet(&units, &fleet_cfg))
+        }),
+        // Hybrid-fallback fleet: the same hostile workload with RfOnOutage —
+        // the RF counters are in the signature, so a thread-count-dependent
+        // divergence in the fallback path fails the bit-identical check.
+        run_workload("fleet_fallback", threads, fleet_slots, || {
+            fleet_signature(&run_fleet(&units, &fleet_rf_cfg))
         }),
         // 1000-session scale: the slot-throughput headline at fleet width.
         run_workload("fleet_1k", threads, fleet_1k_slots, || {
@@ -615,6 +633,57 @@ fn main() {
         json.push_str(&format!("    ,\"telemetry\": {}\n", t.to_json()));
     }
     json.push_str("  },\n");
+    // Hybrid-fallback ablation block: one canonical pass of the same fleet
+    // with RF-on-outage, landed next to the fallback-off rollup above. The
+    // off side must carry zero RF state; the on side must strictly improve
+    // availability and goodput on this hostile workload.
+    let roll_rf = run_fleet(&units, &fleet_rf_cfg).rollup();
+    assert_eq!(
+        roll.total_rf_slots, 0,
+        "fallback-off fleet must never ride RF"
+    );
+    assert!(
+        roll_rf.mean_up_frac > roll.mean_up_frac,
+        "RF fallback must strictly improve availability ({} vs {})",
+        roll_rf.mean_up_frac,
+        roll.mean_up_frac
+    );
+    assert!(
+        roll_rf.sum_goodput_gbps > roll.sum_goodput_gbps,
+        "RF fallback must strictly improve goodput ({} vs {})",
+        roll_rf.sum_goodput_gbps,
+        roll.sum_goodput_gbps
+    );
+    json.push_str(&format!(
+        "  \"fleet_fallback\": {{\"policy\": \"RfOnOutage\", \
+         \"mean_up_frac_off\": {:.6}, \"mean_up_frac_on\": {:.6}, \
+         \"min_up_frac_off\": {:.6}, \"min_up_frac_on\": {:.6}, \
+         \"sum_goodput_gbps_off\": {:.6}, \"sum_goodput_gbps_on\": {:.6}, \
+         \"mean_rf_frac\": {:.6}, \"total_failovers\": {}, \
+         \"total_failbacks\": {}, \"total_rf_slots\": {}, \
+         \"rf_delivered_gb\": {:.6}}},\n",
+        roll.mean_up_frac,
+        roll_rf.mean_up_frac,
+        roll.min_up_frac,
+        roll_rf.min_up_frac,
+        roll.sum_goodput_gbps,
+        roll_rf.sum_goodput_gbps,
+        roll_rf.mean_rf_frac,
+        roll_rf.total_failovers,
+        roll_rf.total_failbacks,
+        roll_rf.total_rf_slots,
+        roll_rf.rf_delivered_gb
+    ));
+    println!(
+        "fleet fallback ablation: up {:.4} -> {:.4}, goodput {:.2} -> {:.2} Gbps \
+         ({} failovers, mean rf_frac {:.4})",
+        roll.mean_up_frac,
+        roll_rf.mean_up_frac,
+        roll.sum_goodput_gbps,
+        roll_rf.sum_goodput_gbps,
+        roll_rf.total_failovers,
+        roll_rf.mean_rf_frac
+    );
     // Telemetry overhead: counters vs the NullSink dispatch floor on the
     // chaos workload (the ISSUE budget is <= 3% — reported, not asserted,
     // so a loaded CI host can't flake the build).

@@ -30,14 +30,15 @@ pub use cyclops_vrh::motion::{
 pub use cyclops_vrh::traces::{HeadTrace, TraceGenConfig};
 pub use cyclops_vrh::tracking::{TrackerConfig, TrackingReport, VrhTracker};
 
+pub use cyclops_link::channel::RfChannel;
 pub use cyclops_link::control::{
     ArqConfig, ControlLink, ControlPlaneConfig, ControlStats, DeadReckoningConfig, FaultPlan,
     FlapSchedule, ReacqConfig,
 };
 pub use cyclops_link::engine::{
-    run_fleet, EngineConfig, EngineConfigError, FirstReport, FleetConfig, FleetConfigBuilder,
-    FleetRollup, FleetSummary, LinkSession, SessionBuilder, SessionReport, SessionStats,
-    TxInstallation,
+    run_fleet, EngineConfig, EngineConfigError, FallbackPolicy, FirstReport, FleetConfig,
+    FleetConfigBuilder, FleetRollup, FleetSummary, LinkPolicy, LinkSession, RfStats,
+    SessionBuilder, SessionReport, SessionStats, TxInstallation,
 };
 pub use cyclops_link::handover::{HandoverSystem, Occluder, TxUnit};
 pub use cyclops_link::multi_tx::MultiTxSimulator;
@@ -46,4 +47,6 @@ pub use cyclops_link::telemetry::{
     Histogram, JsonlSink, NullSink, SessionTelemetry, Telemetry, TelemetryCounters, TelemetryEvent,
     TelemetrySink,
 };
-pub use cyclops_link::trace_sim::{simulate_trace, TraceSimParams};
+pub use cyclops_link::trace_sim::{
+    replay_with_fallback, simulate_trace, FallbackReplay, TraceSimParams,
+};

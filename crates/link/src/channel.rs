@@ -94,6 +94,74 @@ impl FsoChannel {
     }
 }
 
+/// mmWave-style RF fallback rates (Gbps), highest modulation first. The
+/// values follow the 802.11ad single-carrier MCS ladder shape: each rung
+/// down sheds modulation order as SNR drops with distance.
+pub const RF_RATE_LADDER_GBPS: [f64; 6] = [2.31, 1.925, 1.54, 1.155, 0.77, 0.385];
+
+/// A low-rate RF side channel used as a fallback while the FSO beam is
+/// re-acquiring (hybrid FSO/RF, cf. the RF-assisted-FSO literature).
+///
+/// Deliberately *not* an optical model: RF needs no pointing, no SFP
+/// re-lock, and survives occlusion by diffraction — so its rate is a pure,
+/// deterministic function of TX–RX distance and a line-of-sight flag. The
+/// rate ladder steps down one rung per `rung_range_m` of distance and
+/// `occlusion_rung_penalty` extra rungs when the path is blocked (reduced
+/// but nonzero: that is the whole point of the fallback). Beyond
+/// `max_range_m` (or for non-finite distance) the rate is zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfChannel {
+    /// Distance per modulation rung (m): rung `i` covers
+    /// `[i·rung_range_m, (i+1)·rung_range_m)`.
+    pub rung_range_m: f64,
+    /// Extra rungs lost when the direct path is occluded (diffraction loss).
+    pub occlusion_rung_penalty: usize,
+    /// Hard range limit (m); past this the RF link is unusable too.
+    pub max_range_m: f64,
+}
+
+impl Default for RfChannel {
+    /// Room-scale 60 GHz defaults: full rate within 2 m, one rung per
+    /// further 2 m, two rungs of diffraction penalty, 30 m hard range.
+    fn default() -> RfChannel {
+        RfChannel {
+            rung_range_m: 2.0,
+            occlusion_rung_penalty: 2,
+            max_range_m: 30.0,
+        }
+    }
+}
+
+impl RfChannel {
+    /// Ladder rung in use at this distance/occlusion, or `None` when out of
+    /// range (non-finite or negative distances are out of range). Total:
+    /// never panics on garbage input.
+    #[inline]
+    pub fn rung(&self, distance_m: f64, occluded: bool) -> Option<usize> {
+        if !(distance_m >= 0.0 && distance_m <= self.max_range_m) {
+            return None;
+        }
+        let base = (distance_m / self.rung_range_m) as usize;
+        let rung = base.saturating_add(if occluded {
+            self.occlusion_rung_penalty
+        } else {
+            0
+        });
+        Some(rung.min(RF_RATE_LADDER_GBPS.len() - 1))
+    }
+
+    /// Deliverable RF rate (Gbps) at this distance/occlusion; `0.0` when out
+    /// of range. No pointing, no lock hysteresis: the rate is available the
+    /// instant the policy switches traffic onto the RF link.
+    #[inline]
+    pub fn rate_gbps(&self, distance_m: f64, occluded: bool) -> f64 {
+        match self.rung(distance_m, occluded) {
+            Some(r) => RF_RATE_LADDER_GBPS[r],
+            None => 0.0,
+        }
+    }
+}
+
 /// Hot-path wrapper over [`FsoChannel::frame_success_prob`] at a fixed frame
 /// size, used by the engine's slot loop.
 ///
@@ -418,6 +486,47 @@ mod tests {
     fn overload_degrades_q() {
         let c = ch();
         assert!(c.q_factor(12.0) < c.q_factor(5.0));
+    }
+
+    #[test]
+    fn rf_ladder_steps_down_with_distance() {
+        let rf = RfChannel::default();
+        // Room scale: full rate.
+        assert_eq!(rf.rate_gbps(1.75, false), RF_RATE_LADDER_GBPS[0]);
+        let mut last = f64::INFINITY;
+        for d in [0.5, 2.5, 4.5, 6.5, 8.5, 10.5, 25.0] {
+            let r = rf.rate_gbps(d, false);
+            assert!(r <= last, "rate must not rise with distance ({d} m: {r})");
+            assert!(r > 0.0, "in-range distance must keep a nonzero rate");
+            last = r;
+        }
+        // Past the hard range: dead.
+        assert_eq!(rf.rate_gbps(31.0, false), 0.0);
+    }
+
+    #[test]
+    fn rf_occlusion_degrades_but_does_not_kill() {
+        let rf = RfChannel::default();
+        let clear = rf.rate_gbps(1.75, false);
+        let blocked = rf.rate_gbps(1.75, true);
+        assert!(blocked < clear, "occlusion must cost rate");
+        assert!(
+            blocked > 0.0,
+            "RF diffracts: occlusion must not zero the rate"
+        );
+        assert_eq!(rf.rung(1.75, true), Some(rf.rung(1.75, false).unwrap() + 2));
+    }
+
+    #[test]
+    fn rf_is_total_on_garbage_input() {
+        let rf = RfChannel::default();
+        for d in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 1e308] {
+            assert_eq!(rf.rate_gbps(d, false), 0.0, "rate({d})");
+            assert_eq!(rf.rung(d, true), None, "rung({d})");
+        }
+        // Deep rungs saturate at the bottom of the ladder, never index OOB.
+        let r = rf.rate_gbps(29.9, true);
+        assert_eq!(r, RF_RATE_LADDER_GBPS[RF_RATE_LADDER_GBPS.len() - 1]);
     }
 
     #[test]

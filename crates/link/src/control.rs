@@ -220,6 +220,19 @@ impl ControlStats {
     }
 }
 
+/// Number of slots in a run of `run_s` seconds at `slot_s` per slot,
+/// rounded to the nearest integer.
+///
+/// Naive truncation (`(run_s / slot_s) as usize`) silently drops the final
+/// slot whenever the quotient lands just below an integer — e.g.
+/// `0.3 / 1e-3` is `299.999…` in binary floating point, so a 300-slot run
+/// would poll only 299 slots. The engine's slot loop rounds
+/// ([`crate::engine::LinkSession::run_each`]); drivers stepping a
+/// [`ControlLink`] by hand should use this for the same contract.
+pub fn slots_in(run_s: f64, slot_s: f64) -> usize {
+    (run_s / slot_s).round() as usize
+}
+
 #[derive(Debug, Clone, Copy)]
 struct InFlight<T> {
     arrive_t: f64,
@@ -578,7 +591,7 @@ mod tests {
         let mut link: ControlLink<u64> = ControlLink::new(plan, arq, 0.5e-3);
         let mut out = Vec::new();
         let slot = 1e-3;
-        let n_slots = (run_s / slot) as usize;
+        let n_slots = slots_in(run_s, slot);
         let mut sent = 0usize;
         for k in 0..n_slots {
             let t = (k + 1) as f64 * slot;
@@ -589,6 +602,21 @@ mod tests {
             out.extend(link.poll(t));
         }
         (out, link.stats())
+    }
+
+    #[test]
+    fn slots_in_does_not_truncate_the_final_slot() {
+        // 0.35 / 1e-3 is 349.999… in binary floating point: truncation gave
+        // 349 and silently dropped the run's final slot (same for 8.1 s).
+        assert_eq!((0.35_f64 / 1e-3) as usize, 349, "the naive cast truncates");
+        assert_eq!(slots_in(0.35, 1e-3), 350);
+        assert_eq!((8.1_f64 / 1e-3) as usize, 8099, "the naive cast truncates");
+        assert_eq!(slots_in(8.1, 1e-3), 8100);
+        // Exact and near-exact quotients on both sides.
+        assert_eq!(slots_in(2.0, 1e-3), 2000);
+        assert_eq!(slots_in(6.0, 1e-3), 6000);
+        assert_eq!(slots_in(0.0999999999, 1e-3), 100);
+        assert_eq!(slots_in(0.1000000001, 1e-3), 100);
     }
 
     #[test]

@@ -57,7 +57,7 @@
 //! has happened, so attaching a sink cannot move the engine's RNG or float
 //! streams (pinned by the `engine_digest` identity checks).
 
-use crate::channel::FsoChannel;
+use crate::channel::{FsoChannel, RfChannel};
 use crate::control::{unit, ControlLink, ControlPlaneConfig, ControlStats};
 use crate::handover::Occluder;
 use crate::sfp_state::SfpLinkState;
@@ -184,6 +184,10 @@ pub struct EngineConfig {
     /// Track per-slot true linear/angular speeds (costs one extra motion
     /// sample at the start of each run).
     pub track_speeds: bool,
+    /// Hybrid FSO/RF fallback. [`FallbackPolicy::Off`] (the default) skips
+    /// the fallback path entirely and preserves the pre-fallback slot
+    /// stream bit-exactly.
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for EngineConfig {
@@ -201,6 +205,7 @@ impl Default for EngineConfig {
             goodput: true,
             los_gating: false,
             track_speeds: true,
+            fallback: FallbackPolicy::Off,
         }
     }
 }
@@ -648,7 +653,10 @@ impl TxSelector for DarkDebounce {
             .min_by(|&a, &b| {
                 let da = ctx.tx_positions[a].distance(ctx.rx_pos);
                 let db = ctx.tx_positions[b].distance(ctx.rx_pos);
-                da.partial_cmp(&db).unwrap()
+                // total_cmp sorts NaN above +inf, so a unit whose distance
+                // degenerates to NaN is never preferred — and the old
+                // partial_cmp().unwrap() panic is gone.
+                da.total_cmp(&db)
             });
         if best.is_some() {
             self.dark_s = 0.0;
@@ -693,7 +701,7 @@ impl TxSelector for BestMargin {
         let margin = |i: usize| aligned_margin_db(&self.design, ctx.tx_positions[i], ctx.rx_pos);
         let best = (0..ctx.tx_positions.len())
             .filter(|&i| i != ctx.active && ctx.los(i) && margin(i) >= 0.0)
-            .max_by(|&a, &b| margin(a).partial_cmp(&margin(b)).unwrap());
+            .max_by(|&a, &b| margin(a).total_cmp(&margin(b)));
         if best.is_some() {
             self.dark_s = 0.0;
         }
@@ -766,9 +774,11 @@ impl MarginSelector {
             if let Some(h) = self.hysteresis_db {
                 // Greedy upgrade: only on a *strict* improvement beyond the
                 // hysteresis — equal margins never switch.
+                // The `>= 0.0` filter already excludes NaN margins (NaN
+                // compares false); total_cmp makes the max itself NaN-proof.
                 let best = (0..n)
                     .filter(|&i| i != active && margin(i) >= 0.0)
-                    .max_by(|&a, &b| margin(a).partial_cmp(&margin(b)).unwrap());
+                    .max_by(|&a, &b| margin(a).total_cmp(&margin(b)));
                 if let Some(b) = best {
                     if margin(b) > m_active + h {
                         self.switch_remaining_s = self.switch_time_s;
@@ -781,7 +791,7 @@ impl MarginSelector {
         // Pick the usable unit with the highest margin.
         let best = (0..n)
             .filter(|&i| margin(i) >= 0.0)
-            .max_by(|&a, &b| margin(a).partial_cmp(&margin(b)).unwrap());
+            .max_by(|&a, &b| margin(a).total_cmp(&margin(b)));
         match best {
             Some(i) => {
                 self.switch_remaining_s = self.switch_time_s;
@@ -790,6 +800,171 @@ impl MarginSelector {
             None => (false, active), // everything blocked or out of reach
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Components: hybrid FSO/RF fallback
+// ---------------------------------------------------------------------------
+
+/// Whether a session may degrade to the RF side channel during FSO outages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FallbackPolicy {
+    /// Pure FSO (the paper's system): an outage delivers zero rate. The
+    /// default — and the determinism contract: with `Off` the engine skips
+    /// the fallback path entirely and the slot stream stays bit-identical
+    /// to the pre-fallback engine (the `engine_digest` goldens pin this).
+    #[default]
+    Off,
+    /// Fail over to the low-rate RF channel ([`RfChannel`]) while the FSO
+    /// link is down; fail back once FSO has held for the failback hold —
+    /// flicker-safe hysteresis mirroring [`SfpLinkState`].
+    RfOnOutage,
+}
+
+/// The hybrid-link failover state machine: decides, per slot, whether
+/// traffic rides the RF side channel.
+///
+/// Deterministic and RNG-free, like [`SfpLinkState`] (whose flicker-safe
+/// hysteresis it mirrors on the failback edge):
+///
+/// - *Failover*: FSO must be down continuously for `failover_delay_s`
+///   before traffic moves to RF (a one-slot dark blip doesn't thrash).
+/// - *Failback*: FSO must be up continuously for `failback_hold_s` before
+///   traffic moves back; any flicker resets the hold and traffic stays on
+///   RF — the same "no residual credit" rule as the SFP re-lock timer.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkPolicy {
+    /// Continuous FSO-down time before failing over to RF (seconds).
+    pub failover_delay_s: f64,
+    /// Continuous FSO-up time before failing back to FSO (seconds).
+    pub failback_hold_s: f64,
+    rf_active: bool,
+    down_held_s: f64,
+    up_held_s: f64,
+    cur_rf_s: f64,
+    last_rf_s: f64,
+    n_failovers: u64,
+    n_failbacks: u64,
+}
+
+impl Default for LinkPolicy {
+    /// 5 ms failover debounce, 250 ms failback hold.
+    fn default() -> LinkPolicy {
+        LinkPolicy::new(5e-3, 0.25)
+    }
+}
+
+impl LinkPolicy {
+    /// Creates the machine on FSO (RF inactive).
+    pub fn new(failover_delay_s: f64, failback_hold_s: f64) -> LinkPolicy {
+        LinkPolicy {
+            failover_delay_s,
+            failback_hold_s,
+            rf_active: false,
+            down_held_s: 0.0,
+            up_held_s: 0.0,
+            cur_rf_s: 0.0,
+            last_rf_s: 0.0,
+            n_failovers: 0,
+            n_failbacks: 0,
+        }
+    }
+
+    /// Advances by `dt` seconds given the FSO link state after this slot's
+    /// SFP step. Returns whether RF carries traffic this slot (the failover
+    /// slot itself already counts as an RF slot).
+    ///
+    /// The 1 ns slack on both thresholds matches [`SfpLinkState::step`]:
+    /// float accumulation over thousands of sub-millisecond slots must not
+    /// land a transition a full slot late.
+    #[inline]
+    pub fn step(&mut self, fso_up: bool, dt: f64) -> bool {
+        if fso_up {
+            self.down_held_s = 0.0;
+            if self.rf_active {
+                self.up_held_s += dt;
+                if self.up_held_s >= self.failback_hold_s - 1e-9 {
+                    self.rf_active = false;
+                    self.n_failbacks += 1;
+                    self.last_rf_s = self.cur_rf_s;
+                    self.cur_rf_s = 0.0;
+                    self.up_held_s = 0.0;
+                }
+            }
+        } else {
+            self.up_held_s = 0.0;
+            if !self.rf_active {
+                self.down_held_s += dt;
+                if self.down_held_s >= self.failover_delay_s - 1e-9 {
+                    self.rf_active = true;
+                    self.n_failovers += 1;
+                    self.down_held_s = 0.0;
+                }
+            }
+        }
+        if self.rf_active {
+            self.cur_rf_s += dt;
+        }
+        self.rf_active
+    }
+
+    /// Whether RF currently carries traffic.
+    #[inline]
+    pub fn is_rf_active(&self) -> bool {
+        self.rf_active
+    }
+
+    /// Failovers (FSO → RF transitions) so far.
+    pub fn n_failovers(&self) -> u64 {
+        self.n_failovers
+    }
+
+    /// Failbacks (RF → FSO transitions) so far.
+    pub fn n_failbacks(&self) -> u64 {
+        self.n_failbacks
+    }
+
+    /// Duration of the most recently *ended* RF episode (seconds); the
+    /// current episode's accumulated time while one is in progress.
+    pub fn last_rf_episode_s(&self) -> f64 {
+        if self.rf_active {
+            self.cur_rf_s
+        } else {
+            self.last_rf_s
+        }
+    }
+}
+
+/// RF-fallback counters, with [`ControlStats`]-style saturating deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RfStats {
+    /// FSO → RF failovers.
+    pub failovers: u64,
+    /// RF → FSO failbacks.
+    pub failbacks: u64,
+    /// Slots during which RF carried traffic.
+    pub rf_slots: u64,
+}
+
+impl RfStats {
+    /// Counters accumulated since `earlier` — field-wise `saturating_sub`,
+    /// consistent with [`ControlStats::since`]: a stale or swapped snapshot
+    /// clamps to zero instead of wrapping.
+    pub fn since(&self, earlier: &RfStats) -> RfStats {
+        RfStats {
+            failovers: self.failovers.saturating_sub(earlier.failovers),
+            failbacks: self.failbacks.saturating_sub(earlier.failbacks),
+            rf_slots: self.rf_slots.saturating_sub(earlier.rf_slots),
+        }
+    }
+}
+
+/// A session's RF fallback attachment: the failover machine plus the RF
+/// channel it degrades to.
+#[derive(Debug, Clone, Copy, Default)]
+struct RfFallback {
+    policy: LinkPolicy,
+    channel: RfChannel,
 }
 
 // ---------------------------------------------------------------------------
@@ -821,12 +996,16 @@ pub struct SessionStats {
     pub outage_s: f64,
     /// Longest single link-down episode (seconds).
     pub longest_outage_s: f64,
+    /// RF-fallback counters (all zero with [`FallbackPolicy::Off`]).
+    pub rf: RfStats,
+    /// Data delivered over the RF fallback (gigabits: Σ rate · slot).
+    pub rf_delivered_gb: f64,
 }
 
 /// Per-slot record of a [`LinkSession`] — the union of every wrapper's
 /// record fields (wrappers project it onto their public record types).
 ///
-/// Layout audit: with the default (compiler-chosen) repr the two `bool`s
+/// Layout audit: with the default (compiler-chosen) repr the three `bool`s
 /// pack into the trailing word next to `active`, giving 56 bytes — five
 /// doubles, one `usize`, and one flag word. A run's record vector is the
 /// engine's dominant allocation, so the size is pinned by a compile-time
@@ -842,9 +1021,15 @@ pub struct EngineSlot {
     pub los: bool,
     /// Received optical power on the active unit (dBm).
     pub power_dbm: f64,
-    /// Whether the SFP link is up.
+    /// Whether the link delivers data this slot: the SFP is up, or — with
+    /// [`FallbackPolicy::RfOnOutage`] — the RF fallback carries traffic.
+    /// With the fallback off this is exactly "the SFP is up".
     pub link_up: bool,
-    /// Goodput delivered this slot (Gbps; 0 when not accounted).
+    /// Whether the RF fallback carried this slot's traffic (always false
+    /// with [`FallbackPolicy::Off`]).
+    pub rf_active: bool,
+    /// Goodput delivered this slot (Gbps; 0 when not accounted). RF-carried
+    /// slots report the RF ladder rate.
     pub goodput_gbps: f64,
     /// True linear speed over the slot (m/s; 0 when not tracked).
     pub lin_speed: f64,
@@ -852,7 +1037,7 @@ pub struct EngineSlot {
     pub ang_speed: f64,
 }
 
-// 5 × f64 + usize + 2 packed bools, padded to 8-byte alignment.
+// 5 × f64 + usize + 3 packed bools, padded to 8-byte alignment.
 const _: () = assert!(std::mem::size_of::<EngineSlot>() == 56);
 const _: () = assert!(std::mem::align_of::<EngineSlot>() == 8);
 
@@ -893,6 +1078,13 @@ pub struct LinkSession<M: Motion, S: TxSelector> {
     outage_s: f64,
     cur_outage_s: f64,
     longest_outage_s: f64,
+    /// RF fallback attachment (`None` iff [`FallbackPolicy::Off`], which
+    /// keeps the data plane on the pre-fallback fast path).
+    rf: Option<RfFallback>,
+    /// Slots carried by the RF fallback.
+    rf_slots: u64,
+    /// Gigabits delivered over the RF fallback (Σ rate · slot).
+    rf_delivered_gb: f64,
     /// Telemetry attachment (observers only; never feeds the simulation).
     tele: Telemetry,
     /// Control-stats snapshot at the end of the previous slot, for
@@ -1028,6 +1220,12 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
             outage_s: 0.0,
             cur_outage_s: 0.0,
             longest_outage_s: 0.0,
+            rf: match cfg.fallback {
+                FallbackPolicy::Off => None,
+                FallbackPolicy::RfOnOutage => Some(RfFallback::default()),
+            },
+            rf_slots: 0,
+            rf_delivered_gb: 0.0,
             tele: telemetry,
             prev_ctrl: ControlStats::default(),
             clock: VirtualClock::default(),
@@ -1136,7 +1334,18 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
             n_outages: self.n_outages,
             outage_s: self.outage_s,
             longest_outage_s: self.longest_outage_s,
+            rf: RfStats {
+                failovers: self.rf.as_ref().map_or(0, |r| r.policy.n_failovers()),
+                failbacks: self.rf.as_ref().map_or(0, |r| r.policy.n_failbacks()),
+                rf_slots: self.rf_slots,
+            },
+            rf_delivered_gb: self.rf_delivered_gb,
         }
+    }
+
+    /// The RF failover machine, when the fallback is enabled.
+    pub fn rf_policy(&self) -> Option<&LinkPolicy> {
+        self.rf.as_ref().map(|r| &r.policy)
     }
 
     /// TP metrics merged across all units.
@@ -1533,19 +1742,59 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
                 });
             }
         }
-        let goodput = if self.cfg.goodput && up {
+        let mut goodput = if self.cfg.goodput && up {
             let rate = self.units[self.active].dep.design.sfp.optimal_goodput_gbps;
             rate * self.fsp.frame_success_prob(power)
         } else {
             0.0
         };
 
+        // 4b. Hybrid fallback: the RF side channel rides through FSO
+        // outages (and through the failback hold — traffic only moves back
+        // onto FSO once it has proven stable). With `FallbackPolicy::Off`
+        // this whole block is skipped: no extra world queries, no float
+        // changes, and the goldens' slot stream is preserved bit-exactly.
+        let mut rf_active = false;
+        if let Some(rf) = self.rf.as_mut() {
+            let was_rf = rf.policy.is_rf_active();
+            rf_active = rf.policy.step(up, slot_s);
+            if rf_active {
+                let rx = if need_rx {
+                    rx_pos
+                } else {
+                    self.units[self.active].dep.rx_world_params().q2
+                };
+                let tx = self.tx_positions[self.active];
+                let occluded = self.occluders.iter().any(|o| o.blocks(tx, rx));
+                let rf_rate = if self.cfg.goodput {
+                    rf.channel.rate_gbps(tx.distance(rx), occluded)
+                } else {
+                    0.0
+                };
+                goodput = rf_rate;
+                self.rf_slots += 1;
+                self.rf_delivered_gb += rf_rate * slot_s;
+            }
+            if tele_on && was_rf != rf_active {
+                if rf_active {
+                    self.tele.emit(&TelemetryEvent::RfFailover { t: t_slot });
+                } else {
+                    self.tele.emit(&TelemetryEvent::RfFailback {
+                        t: t_slot,
+                        rf_s: rf.policy.last_rf_episode_s(),
+                    });
+                }
+            }
+        }
+        let delivering = up || rf_active;
+
         let rec = EngineSlot {
             t: t_slot,
             active: self.active,
             los,
             power_dbm: power,
-            link_up: up,
+            link_up: delivering,
+            rf_active,
             goodput_gbps: goodput,
             lin_speed: lin,
             ang_speed: ang,
@@ -1557,7 +1806,8 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
                 active: self.active as u32,
                 power_dbm: power,
                 margin_db: power - self.channel.sensitivity_dbm,
-                link_up: up,
+                link_up: delivering,
+                rf_active,
                 goodput_gbps: goodput,
             });
         }
@@ -1682,6 +1932,12 @@ impl<M: Motion, S: TxSelector> SessionBuilder<M, S> {
     /// Sets the §5.3 pause-on-outage operator protocol.
     pub fn pause_on_outage(mut self, pause: bool) -> Self {
         self.cfg.pause_on_outage = pause;
+        self
+    }
+
+    /// Sets the hybrid FSO/RF fallback policy.
+    pub fn fallback(mut self, fallback: FallbackPolicy) -> Self {
+        self.cfg.fallback = fallback;
         self
     }
 
@@ -2078,6 +2334,8 @@ pub struct FleetConfig {
     /// roll them up in the [`FleetRollup`]. Off by default (telemetry is
     /// zero-cost when disabled).
     pub collect_telemetry: bool,
+    /// Hybrid FSO/RF fallback applied to every session (default: off).
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for FleetConfig {
@@ -2093,6 +2351,7 @@ impl Default for FleetConfig {
             debounce_s: 0.03,
             pause_on_outage: true,
             collect_telemetry: false,
+            fallback: FallbackPolicy::Off,
         }
     }
 }
@@ -2174,6 +2433,12 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Sets the hybrid FSO/RF fallback policy for every session.
+    pub fn fallback(mut self, fallback: FallbackPolicy) -> Self {
+        self.cfg.fallback = fallback;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<FleetConfig, EngineConfigError> {
         let c = &self.cfg;
@@ -2211,6 +2476,9 @@ pub struct SessionReport {
     pub signal_frac: f64,
     /// Mean goodput over the run (Gbps).
     pub mean_goodput_gbps: f64,
+    /// Fraction of slots carried by the RF fallback (0 with the fallback
+    /// off; counted toward `up_frac`).
+    pub rf_frac: f64,
     /// Mean received power over the run (dBm).
     pub mean_power_dbm: f64,
     /// Handovers performed.
@@ -2256,6 +2524,16 @@ pub struct FleetRollup {
     pub ctrl_delivered: u64,
     /// Total ARQ retransmissions.
     pub ctrl_retransmits: u64,
+    /// Mean of the per-session RF-carried fractions.
+    pub mean_rf_frac: f64,
+    /// Total FSO → RF failovers across the fleet.
+    pub total_failovers: u64,
+    /// Total RF → FSO failbacks across the fleet.
+    pub total_failbacks: u64,
+    /// Total RF-carried slots across the fleet.
+    pub total_rf_slots: u64,
+    /// Total gigabits delivered over the RF fallback across the fleet.
+    pub rf_delivered_gb: f64,
     /// Merged per-session telemetry (`Some` iff the fleet ran with
     /// [`FleetConfig::collect_telemetry`]).
     pub telemetry: Option<SessionTelemetry>,
@@ -2288,6 +2566,11 @@ impl FleetSummary {
             ctrl_sent: 0,
             ctrl_delivered: 0,
             ctrl_retransmits: 0,
+            mean_rf_frac: 0.0,
+            total_failovers: 0,
+            total_failbacks: 0,
+            total_rf_slots: 0,
+            rf_delivered_gb: 0.0,
             telemetry: None,
         };
         for s in &self.sessions {
@@ -2301,6 +2584,11 @@ impl FleetSummary {
             r.worst_outage_s = r.worst_outage_s.max(s.stats.longest_outage_s);
             r.total_extrapolated += s.stats.n_extrapolated;
             r.total_reacq_steps += s.stats.n_reacq_steps;
+            r.mean_rf_frac += s.rf_frac;
+            r.total_failovers += s.stats.rf.failovers;
+            r.total_failbacks += s.stats.rf.failbacks;
+            r.total_rf_slots += s.stats.rf.rf_slots;
+            r.rf_delivered_gb += s.stats.rf_delivered_gb;
             if let Some(c) = s.stats.control {
                 r.ctrl_sent += c.sent;
                 r.ctrl_delivered += c.delivered;
@@ -2316,6 +2604,7 @@ impl FleetSummary {
         if n > 0 {
             r.mean_up_frac /= n as f64;
             r.mean_signal_frac /= n as f64;
+            r.mean_rf_frac /= n as f64;
         } else {
             r.min_up_frac = 0.0;
         }
@@ -2348,6 +2637,7 @@ fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> S
         control,
         los_gating: !occluders.is_empty(),
         pause_on_outage: cfg.pause_on_outage,
+        fallback: cfg.fallback,
         ..EngineConfig::default()
     };
     let selector = BestMargin::new(units[0].dep.design, cfg.debounce_s);
@@ -2377,12 +2667,14 @@ fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> S
     let mut slots = 0usize;
     let mut n_up = 0usize;
     let mut n_sig = 0usize;
+    let mut n_rf = 0usize;
     let mut goodput_sum = 0.0;
     let mut power_sum = 0.0;
     session.run_each(cfg.duration_s, |r| {
         slots += 1;
         n_up += r.link_up as usize;
         n_sig += (r.power_dbm >= sens) as usize;
+        n_rf += r.rf_active as usize;
         goodput_sum += r.goodput_gbps;
         power_sum += r.power_dbm;
     });
@@ -2405,6 +2697,7 @@ fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> S
         up_frac: up,
         signal_frac: sig,
         mean_goodput_gbps: goodput,
+        rf_frac: n_rf as f64 / n,
         mean_power_dbm: power,
         handovers: session.n_handovers(),
         stats: session.session_stats(),
@@ -2614,6 +2907,7 @@ mod tests {
             assert_eq!(x.los, y.los);
             assert_eq!(x.power_dbm.to_bits(), y.power_dbm.to_bits());
             assert_eq!(x.link_up, y.link_up);
+            assert_eq!(x.rf_active, y.rf_active);
             assert_eq!(x.goodput_gbps.to_bits(), y.goodput_gbps.to_bits());
             assert_eq!(x.lin_speed.to_bits(), y.lin_speed.to_bits());
             assert_eq!(x.ang_speed.to_bits(), y.ang_speed.to_bits());
@@ -2834,5 +3128,250 @@ mod tests {
         // Errors render human-readable messages.
         assert!(!EngineConfigError::NoUnits.to_string().is_empty());
         assert!(!EngineConfigError::InvalidFleet("x").to_string().is_empty());
+    }
+
+    // -- NaN-safe selector comparisons --------------------------------------
+
+    #[test]
+    fn selectors_survive_nan_margins_from_degenerate_geometry() {
+        // Regression: a pose degenerating to NaN (rx collapsing onto a TX,
+        // an unnormalizable direction) used to reach the selectors'
+        // `partial_cmp().unwrap()` and panic. `total_cmp` sorts NaN above
+        // +inf, so a NaN candidate loses every min-scan and the comparison
+        // is total.
+        let nan = f64::NAN;
+        let txs = [v3(0.0, 0.0, 3.0), v3(nan, nan, nan), v3(2.0, 0.0, 3.0)];
+        let ctx = SelectCtx {
+            active: 0,
+            signal: false,
+            slot_s: 1.0, // one slot clears any debounce
+            rx_pos: v3(0.1, 0.0, 1.75),
+            tx_positions: &txs,
+            occluders: &[],
+        };
+        let mut dd = DarkDebounce::new(0.0);
+        // The NaN-distance unit must lose to the finite sibling.
+        assert_eq!(dd.on_slot(&ctx), Some(2));
+
+        // NaN rx makes *every* distance NaN: the scan must stay total
+        // (returning some candidate) rather than panic.
+        let ctx = SelectCtx {
+            rx_pos: v3(nan, 0.0, 0.0),
+            ..ctx
+        };
+        let mut dd = DarkDebounce::new(0.0);
+        assert!(dd.on_slot(&ctx).is_some());
+
+        // MarginSelector: the `>= 0` filter drops NaN margins and the
+        // max-scan itself is NaN-proof.
+        let mut ms = MarginSelector::new(0.0);
+        let (up, active) = ms.step(0, 3, |i| [nan, 1.0, 3.0][i], 1e-3);
+        assert!(!up);
+        assert_eq!(active, 2);
+        // All margins NaN: nothing usable, stay put, no panic.
+        let mut ms = MarginSelector::new(0.0);
+        assert_eq!(ms.step(1, 3, |_| nan, 1e-3), (false, 1));
+        // Greedy-upgrade path with a NaN sibling in the pool.
+        let mut ms = MarginSelector::new(0.0);
+        ms.hysteresis_db = Some(1.0);
+        assert_eq!(ms.step(1, 3, |i| [nan, 1.0, 3.0][i], 1e-3), (false, 2));
+    }
+
+    // -- Hybrid FSO/RF fallback ---------------------------------------------
+
+    #[test]
+    fn link_policy_debounces_failover_and_holds_failback() {
+        let slot = 1e-3;
+        let mut p = LinkPolicy::new(5e-3, 0.25);
+        // A 4 ms dark blip stays below the failover delay.
+        for _ in 0..4 {
+            assert!(!p.step(false, slot));
+        }
+        assert!(!p.step(true, slot));
+        assert_eq!(p.n_failovers(), 0);
+        // 5 continuous dark ms fail over; the failover slot itself is RF.
+        for i in 0..5 {
+            assert_eq!(p.step(false, slot), i == 4, "slot {i}");
+        }
+        assert!(p.is_rf_active());
+        assert_eq!(p.n_failovers(), 1);
+        // FSO back up: traffic stays on RF through the whole failback hold.
+        for _ in 0..249 {
+            assert!(p.step(true, slot));
+        }
+        assert!(!p.step(true, slot), "250 ms of hold completes the failback");
+        assert_eq!(p.n_failbacks(), 1);
+        // Episode = failover slot + 249 held slots (the failback slot
+        // itself is back on FSO).
+        assert!((p.last_rf_episode_s() - 0.250).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_flapping_faster_than_failback_hold_never_fails_back() {
+        // Mirror of sfp_state's
+        // `periodic_flapping_faster_than_relink_never_relocks`: FSO up for
+        // 100 ms then dark for one slot, forever. The up-hold resets on
+        // every flicker before reaching the 250 ms failback hold, so the
+        // session rides RF indefinitely — no residual credit across blips.
+        let slot = 1e-3;
+        let mut p = LinkPolicy::new(5e-3, 0.25);
+        for _ in 0..5 {
+            p.step(false, slot);
+        }
+        assert!(p.is_rf_active());
+        for cycle in 0..50 {
+            for _ in 0..100 {
+                assert!(p.step(true, slot), "cycle {cycle}");
+            }
+            assert!(p.step(false, slot), "cycle {cycle}");
+        }
+        assert_eq!(p.n_failbacks(), 0);
+        assert_eq!(p.n_failovers(), 1);
+    }
+
+    #[test]
+    fn rf_stats_since_saturates_like_control_stats() {
+        let a = RfStats {
+            failovers: 3,
+            failbacks: 2,
+            rf_slots: 100,
+        };
+        let b = RfStats {
+            failovers: 5,
+            failbacks: 2,
+            rf_slots: 140,
+        };
+        assert_eq!(
+            b.since(&a),
+            RfStats {
+                failovers: 2,
+                failbacks: 0,
+                rf_slots: 40,
+            }
+        );
+        // Swapped snapshots clamp to zero instead of wrapping.
+        assert_eq!(a.since(&b), RfStats::default());
+    }
+
+    /// Occluded multi-TX session used by the fallback tests: the occluder
+    /// sits on the unit-0 beam, forcing outages and a handover.
+    fn occluded_session(fallback: FallbackPolicy) -> LinkSession<StaticPose, DarkDebounce> {
+        let units = crate::multi_tx::tests::two_units(902);
+        let tx0 = units[0].dep.tx_world_params().q2;
+        let rx = v3(0.0, 0.0, 1.75);
+        let occ = Occluder::new(tx0.lerp(rx, 0.5), 0.12, 0.0, 1);
+        let mut cfg = EngineConfig::multi_tx(TrackerConfig::default());
+        cfg.fallback = fallback;
+        LinkSession::builder(StaticPose(Pose::translation(rx)))
+            .units(units)
+            .occluder(occ)
+            .selector(DarkDebounce::new(0.03))
+            .config(cfg)
+            .first_report(FirstReport::AtZero)
+            .telemetry(Telemetry::counters())
+            .build()
+            .expect("valid multi-TX config")
+    }
+
+    #[test]
+    fn fallback_preserves_fso_timeline_and_only_adds_delivery() {
+        // The policy observes the SFP machine but never feeds it: the FSO
+        // side of every slot must be bit-identical between Off and
+        // RfOnOutage, and the fallback may only *add* delivering slots.
+        let mut off_s = occluded_session(FallbackPolicy::Off);
+        let mut on_s = occluded_session(FallbackPolicy::RfOnOutage);
+        let off = off_s.run(4.0);
+        let on = on_s.run(4.0);
+        assert_eq!(off.len(), on.len());
+        let mut n_rf = 0u64;
+        for (x, y) in off.iter().zip(&on) {
+            assert_eq!(x.t.to_bits(), y.t.to_bits());
+            assert_eq!(x.active, y.active);
+            assert_eq!(x.los, y.los);
+            assert_eq!(x.power_dbm.to_bits(), y.power_dbm.to_bits());
+            assert_eq!(x.lin_speed.to_bits(), y.lin_speed.to_bits());
+            assert_eq!(x.ang_speed.to_bits(), y.ang_speed.to_bits());
+            assert!(!x.rf_active, "Off must never ride RF");
+            // Delivering is exactly "FSO up or RF carrying".
+            assert_eq!(y.link_up, x.link_up || y.rf_active);
+            // The multi-TX profile disables goodput accounting; the RF path
+            // must respect that gate too.
+            assert_eq!(y.goodput_gbps.to_bits(), 0.0f64.to_bits());
+            n_rf += y.rf_active as u64;
+        }
+        assert!(n_rf > 0, "occlusion must trigger the fallback");
+        // FSO outage accounting keeps its meaning under the fallback.
+        let so = off_s.session_stats();
+        let sn = on_s.session_stats();
+        assert_eq!(so.n_outages, sn.n_outages);
+        assert_eq!(so.outage_s.to_bits(), sn.outage_s.to_bits());
+        assert_eq!(so.rf, RfStats::default());
+        assert_eq!(sn.rf.rf_slots, n_rf);
+        assert!(sn.rf.failovers >= 1, "{:?}", sn.rf);
+        // Strictly more delivering slots with the fallback on.
+        let ups = |v: &[EngineSlot]| v.iter().filter(|r| r.link_up).count();
+        assert!(ups(&on) > ups(&off), "{} vs {}", ups(&on), ups(&off));
+    }
+
+    #[test]
+    fn failover_survives_handover_and_lands_in_telemetry() {
+        // RF fallback is session-level state (the radio is independent of
+        // which ceiling unit serves FSO): a handover mid-outage must not
+        // reset it. The occluded workload hands over while dark, so RF must
+        // be active on some slot where the active unit just changed.
+        let mut s = occluded_session(FallbackPolicy::RfOnOutage);
+        let recs = s.run(4.0);
+        let rf_through_handover = recs
+            .windows(2)
+            .any(|w| w[1].rf_active && w[1].active != w[0].active);
+        assert!(rf_through_handover, "RF must persist across the handover");
+        let stats = s.session_stats();
+        let c = s.telemetry().copied().expect("counters attached");
+        assert!(c.events.handovers >= 1, "{:?}", c.events);
+        assert_eq!(c.events.rf_failovers, stats.rf.failovers);
+        assert_eq!(c.events.rf_failbacks, stats.rf.failbacks);
+        assert_eq!(c.events.rf_slots, stats.rf.rf_slots);
+        // The policy view agrees with the stats.
+        let p = s.rf_policy().expect("policy attached");
+        assert_eq!(p.n_failovers(), stats.rf.failovers);
+    }
+
+    #[test]
+    fn fleet_fallback_counts_rf_slots_and_never_hurts_availability() {
+        let units = crate::multi_tx::tests::two_units(911);
+        let tx0 = units[0].dep.tx_world_params().q2;
+        let base = v3(0.0, 0.0, 1.75);
+        let fleet = |fallback: FallbackPolicy| {
+            let cfg = FleetConfig::builder()
+                .n_sessions(4)
+                .duration_s(1.5)
+                .seed(424)
+                .control(ControlPlaneConfig::hardened(FaultPlan::stress(5)))
+                .occluder(Occluder::new(tx0.lerp(base, 0.5), 0.12, 0.4, 1))
+                .fallback(fallback)
+                .build()
+                .expect("valid fleet config");
+            run_fleet(&units, &cfg).rollup()
+        };
+        let off = fleet(FallbackPolicy::Off);
+        let on = fleet(FallbackPolicy::RfOnOutage);
+        // Off: the RF aggregates stay identically zero.
+        assert_eq!(off.mean_rf_frac, 0.0);
+        assert_eq!(off.total_failovers, 0);
+        assert_eq!(off.total_rf_slots, 0);
+        assert_eq!(off.rf_delivered_gb, 0.0);
+        // On: the hostile fleet actually exercises the fallback, and RF
+        // slots can only add to availability and goodput.
+        assert!(on.total_failovers >= 1);
+        assert!(on.total_rf_slots >= on.total_failovers);
+        assert!(on.mean_rf_frac > 0.0);
+        assert!(on.rf_delivered_gb > 0.0, "fleet profile accounts goodput");
+        assert!(
+            on.mean_up_frac > off.mean_up_frac,
+            "{} vs {}",
+            on.mean_up_frac,
+            off.mean_up_frac
+        );
+        assert!(on.sum_goodput_gbps >= off.sum_goodput_gbps);
     }
 }

@@ -67,7 +67,11 @@ impl Frame {
         }
         let seq = u64::from_le_bytes(buf[4..12].try_into().unwrap());
         let len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
-        if buf.len() != 20 + len {
+        // Compare against `buf.len() - 20` (guarded non-negative above)
+        // instead of `20 + len`: an adversarial length field close to
+        // u32::MAX would overflow `20 + len` on 32-bit targets and could
+        // alias a valid buffer size.
+        if buf.len() - 20 != len {
             return Err(FrameError::BadLength);
         }
         let crc_expect = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
@@ -131,5 +135,56 @@ mod tests {
     fn large_frame() {
         let f = Frame::new(u64::MAX, vec![0x5A; 9000]); // jumbo
         assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn adversarial_length_field_is_rejected_not_misparsed() {
+        // A length field near u32::MAX must read as BadLength — on 32-bit
+        // targets the old `20 + len` comparison overflowed for these.
+        for evil_len in [u32::MAX, u32::MAX - 19, u32::MAX - 20, 1 << 31] {
+            let mut buf = Frame::new(3, vec![9; 8]).encode();
+            buf[12..16].copy_from_slice(&evil_len.to_le_bytes());
+            assert_eq!(
+                Frame::decode(&buf),
+                Err(FrameError::BadLength),
+                "len {evil_len}"
+            );
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Decode is total: truncated, corrupted, and oversized-length
+        /// buffers all return an error (or a valid frame), never panic —
+        /// and a valid frame is only returned when the bytes round-trip.
+        #[test]
+        fn decode_never_panics(
+            payload in prop::collection::vec(any::<u8>(), 0..256),
+            seq in any::<u64>(),
+            cut in 0usize..300,
+            flip_pos in 0usize..300,
+            flip_mask in any::<u8>(),
+            evil_len in any::<u32>(),
+        ) {
+            let enc = Frame::new(seq, payload).encode();
+            // Truncation at every prefix length.
+            let cut = cut.min(enc.len());
+            let _ = Frame::decode(&enc[..cut]);
+            // Single-byte corruption anywhere, including the length field.
+            let mut bad = enc.clone();
+            let pos = flip_pos.min(bad.len() - 1);
+            bad[pos] ^= flip_mask;
+            if let Ok(f) = Frame::decode(&bad) {
+                // Only an identity flip may still decode.
+                prop_assert_eq!(f.encode(), bad);
+            }
+            // Adversarial declared length over an otherwise valid buffer.
+            let mut evil = enc;
+            evil[12..16].copy_from_slice(&evil_len.to_le_bytes());
+            if let Ok(f) = Frame::decode(&evil) {
+                prop_assert_eq!(f.encode(), evil);
+            }
+        }
     }
 }

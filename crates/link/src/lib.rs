@@ -52,16 +52,16 @@ pub mod telemetry;
 pub mod trace_sim;
 pub mod video;
 
-pub use channel::FsoChannel;
+pub use channel::{FsoChannel, RfChannel};
 pub use control::{
-    ArqConfig, ControlLink, ControlPlaneConfig, ControlStats, DeadReckoningConfig, FaultPlan,
-    FlapSchedule, ReacqConfig,
+    slots_in, ArqConfig, ControlLink, ControlPlaneConfig, ControlStats, DeadReckoningConfig,
+    FaultPlan, FlapSchedule, ReacqConfig,
 };
 pub use engine::{
     run_fleet, run_slots, BestMargin, DarkDebounce, EngineConfig, EngineConfigError, EngineSlot,
-    FirstReport, FleetConfig, FleetConfigBuilder, FleetRollup, FleetSummary, LinkSession,
-    MarginSelector, SessionBuilder, SessionReport, SessionStats, SingleTx, SlotSession,
-    TxInstallation, TxSelector,
+    FallbackPolicy, FirstReport, FleetConfig, FleetConfigBuilder, FleetRollup, FleetSummary,
+    LinkPolicy, LinkSession, MarginSelector, RfStats, SessionBuilder, SessionReport, SessionStats,
+    SingleTx, SlotSession, TxInstallation, TxSelector,
 };
 pub use framing::Frame;
 pub use iperf::ThroughputMeter;
@@ -72,4 +72,6 @@ pub use telemetry::{
     CommandSource, DropReason, Histogram, JsonlSink, NullSink, SessionTelemetry, Telemetry,
     TelemetryCounters, TelemetryEvent, TelemetrySink,
 };
-pub use trace_sim::{simulate_trace, TraceSimParams, TraceSimResult};
+pub use trace_sim::{
+    replay_with_fallback, simulate_trace, FallbackReplay, TraceSimParams, TraceSimResult,
+};

@@ -98,8 +98,11 @@ pub enum TelemetryEvent {
         power_dbm: f64,
         /// Link margin over the SFP sensitivity (dB).
         margin_db: f64,
-        /// Whether the SFP link is up.
+        /// Whether the link delivers data this slot (SFP up, or the RF
+        /// fallback carrying traffic).
         link_up: bool,
+        /// Whether the RF fallback carried this slot's traffic.
+        rf_active: bool,
         /// Goodput delivered this slot (Gbps).
         goodput_gbps: f64,
     },
@@ -193,6 +196,18 @@ pub enum TelemetryEvent {
         /// budget was exhausted or a handover abandoned the search.
         recovered: bool,
     },
+    /// Traffic failed over from FSO to the RF fallback.
+    RfFailover {
+        /// Slot end time (s).
+        t: f64,
+    },
+    /// Traffic failed back from the RF fallback onto FSO.
+    RfFailback {
+        /// Slot end time (s).
+        t: f64,
+        /// Duration of the RF episode that just ended (s).
+        rf_s: f64,
+    },
 }
 
 /// Formats an `f64` as JSON (non-finite values become `null`).
@@ -238,6 +253,8 @@ impl TelemetryEvent {
             TelemetryEvent::ReacqStarted { .. } => "reacq_started",
             TelemetryEvent::ReacqProbe { .. } => "reacq_probe",
             TelemetryEvent::ReacqEnded { .. } => "reacq_ended",
+            TelemetryEvent::RfFailover { .. } => "rf_failover",
+            TelemetryEvent::RfFailback { .. } => "rf_failback",
         }
     }
 
@@ -278,12 +295,13 @@ impl TelemetryEvent {
                 power_dbm,
                 margin_db,
                 link_up,
+                rf_active,
                 goodput_gbps,
             } => write!(
                 buf,
                 "{{\"ev\":\"{kind}\",\"k\":{k},\"t\":{},\"active\":{active},\
                  \"power_dbm\":{},\"margin_db\":{},\"link_up\":{link_up},\
-                 \"goodput_gbps\":{}}}",
+                 \"rf_active\":{rf_active},\"goodput_gbps\":{}}}",
                 Jf(t),
                 Jf(power_dbm),
                 Jf(margin_db),
@@ -361,6 +379,15 @@ impl TelemetryEvent {
                 buf,
                 "{{\"ev\":\"{kind}\",\"t\":{},\"recovered\":{recovered}}}",
                 Jf(t)
+            ),
+            TelemetryEvent::RfFailover { t } => {
+                write!(buf, "{{\"ev\":\"{kind}\",\"t\":{}}}", Jf(t))
+            }
+            TelemetryEvent::RfFailback { t, rf_s } => write!(
+                buf,
+                "{{\"ev\":\"{kind}\",\"t\":{},\"rf_s\":{}}}",
+                Jf(t),
+                Jf(rf_s)
             ),
         };
     }
@@ -679,6 +706,12 @@ pub struct TelemetryCounters {
     pub reacq_recovered: u64,
     /// Spirals abandoned (budget exhausted or handover).
     pub reacq_abandoned: u64,
+    /// FSO → RF failovers.
+    pub rf_failovers: u64,
+    /// RF → FSO failbacks.
+    pub rf_failbacks: u64,
+    /// Slots carried by the RF fallback.
+    pub rf_slots: u64,
 }
 
 impl TelemetryCounters {
@@ -701,6 +734,9 @@ impl TelemetryCounters {
         self.reacq_probes += o.reacq_probes;
         self.reacq_recovered += o.reacq_recovered;
         self.reacq_abandoned += o.reacq_abandoned;
+        self.rf_failovers += o.rf_failovers;
+        self.rf_failbacks += o.rf_failbacks;
+        self.rf_slots += o.rf_slots;
     }
 
     /// One-line JSON rendering.
@@ -710,7 +746,8 @@ impl TelemetryCounters {
              \"tp_handover_shots\":{},\"tp_applied\":{},\"ctrl_sent\":{},\
              \"ctrl_delivered\":{},\"ctrl_retransmits\":{},\"ctrl_dropped\":{},\
              \"sfp_downs\":{},\"sfp_ups\":{},\"handovers\":{},\"reacq_started\":{},\
-             \"reacq_probes\":{},\"reacq_recovered\":{},\"reacq_abandoned\":{}}}",
+             \"reacq_probes\":{},\"reacq_recovered\":{},\"reacq_abandoned\":{},\
+             \"rf_failovers\":{},\"rf_failbacks\":{},\"rf_slots\":{}}}",
             self.sessions,
             self.slots,
             self.tp_commands,
@@ -727,7 +764,10 @@ impl TelemetryCounters {
             self.reacq_started,
             self.reacq_probes,
             self.reacq_recovered,
-            self.reacq_abandoned
+            self.reacq_abandoned,
+            self.rf_failovers,
+            self.rf_failbacks,
+            self.rf_slots
         )
     }
 }
@@ -755,6 +795,8 @@ pub struct SessionTelemetry {
     pub ctrl_age_ms: Histogram,
     /// Outage durations (s), over `[0, 8)`.
     pub outage_s: Histogram,
+    /// RF-fallback episode durations (s), over `[0, 8)`.
+    pub rf_s: Histogram,
 }
 
 impl Default for SessionTelemetry {
@@ -768,6 +810,7 @@ impl Default for SessionTelemetry {
             tp_iters: Histogram::new(0.0, 16.0),
             ctrl_age_ms: Histogram::new(0.0, 40.0),
             outage_s: Histogram::new(0.0, 8.0),
+            rf_s: Histogram::new(0.0, 8.0),
         }
     }
 }
@@ -783,10 +826,12 @@ impl SessionTelemetry {
             TelemetryEvent::SlotEnd {
                 power_dbm,
                 margin_db,
+                rf_active,
                 goodput_gbps,
                 ..
             } => {
                 c.slots += 1;
+                c.rf_slots += rf_active as u64;
                 self.power_dbm.record(power_dbm);
                 self.margin_db.record(margin_db);
                 self.goodput_gbps.record(goodput_gbps);
@@ -829,6 +874,11 @@ impl SessionTelemetry {
                     c.reacq_abandoned += 1;
                 }
             }
+            TelemetryEvent::RfFailover { .. } => c.rf_failovers += 1,
+            TelemetryEvent::RfFailback { rf_s, .. } => {
+                c.rf_failbacks += 1;
+                self.rf_s.record(rf_s);
+            }
         }
     }
 
@@ -842,13 +892,15 @@ impl SessionTelemetry {
         self.tp_iters.merge(&o.tp_iters);
         self.ctrl_age_ms.merge(&o.ctrl_age_ms);
         self.outage_s.merge(&o.outage_s);
+        self.rf_s.merge(&o.rf_s);
     }
 
     /// One-line JSON rendering (counters + histograms).
     pub fn to_json(&self) -> String {
         format!(
             "{{\"events\":{},\"power_dbm\":{},\"margin_db\":{},\"goodput_gbps\":{},\
-             \"tp_latency_ms\":{},\"tp_iters\":{},\"ctrl_age_ms\":{},\"outage_s\":{}}}",
+             \"tp_latency_ms\":{},\"tp_iters\":{},\"ctrl_age_ms\":{},\"outage_s\":{},\
+             \"rf_s\":{}}}",
             self.events.to_json(),
             self.power_dbm.to_json(),
             self.margin_db.to_json(),
@@ -856,7 +908,8 @@ impl SessionTelemetry {
             self.tp_latency_ms.to_json(),
             self.tp_iters.to_json(),
             self.ctrl_age_ms.to_json(),
-            self.outage_s.to_json()
+            self.outage_s.to_json(),
+            self.rf_s.to_json()
         )
     }
 }
@@ -1119,6 +1172,7 @@ mod tests {
                 power_dbm: -21.25,
                 margin_db: f64::NAN,
                 link_up: true,
+                rf_active: false,
                 goodput_gbps: 9.6,
             },
             TelemetryEvent::TpCommandIssued {
@@ -1157,6 +1211,8 @@ mod tests {
                 t: 0.95,
                 recovered: false,
             },
+            TelemetryEvent::RfFailover { t: 0.96 },
+            TelemetryEvent::RfFailback { t: 1.2, rf_s: 0.24 },
         ];
         let mut sink = JsonlSink::in_memory();
         let mut expected = String::new();
@@ -1178,6 +1234,7 @@ mod tests {
             power_dbm: f64::NEG_INFINITY,
             margin_db: f64::NAN,
             link_up: false,
+            rf_active: false,
             goodput_gbps: 0.0,
         };
         let j = ev.to_json();
@@ -1195,6 +1252,7 @@ mod tests {
             power_dbm: -20.0,
             margin_db: 5.0,
             link_up: true,
+            rf_active: true,
             goodput_gbps: 9.4,
         });
         a.observe(&TelemetryEvent::TpCommandIssued {
@@ -1209,10 +1267,16 @@ mod tests {
             t: 0.1,
             recovered: false,
         });
+        a.observe(&TelemetryEvent::RfFailover { t: 0.2 });
+        a.observe(&TelemetryEvent::RfFailback { t: 0.5, rf_s: 0.3 });
         assert_eq!(a.events.slots, 1);
+        assert_eq!(a.events.rf_slots, 1);
         assert_eq!(a.events.tp_commands, 1);
         assert_eq!(a.events.tp_dead_reckoned, 1);
         assert_eq!(a.events.reacq_abandoned, 1);
+        assert_eq!(a.events.rf_failovers, 1);
+        assert_eq!(a.events.rf_failbacks, 1);
+        assert_eq!(a.rf_s.samples(), 1);
         assert_eq!(a.power_dbm.samples(), 1);
         assert!((a.tp_latency_ms.mean() - 1.4).abs() < 1e-12);
         let mut b = a;

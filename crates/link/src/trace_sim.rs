@@ -20,7 +20,8 @@
 //! that needs per-slot control or telemetry should drive
 //! [`crate::engine::TraceSession`] through [`run_slots`] directly.
 
-use crate::engine::TraceSession;
+use crate::engine::{FallbackPolicy, LinkPolicy, TraceSession};
+use crate::sfp_state::SfpLinkState;
 use cyclops_vrh::traces::HeadTrace;
 
 /// Parameters of the §5.4 simulation — defaults are the paper's 25G values.
@@ -115,6 +116,78 @@ impl TraceSimResult {
             }
         }
         scattered as f64 / total_off as f64
+    }
+}
+
+/// Outcome of replaying a trace's per-slot alignment through the SFP
+/// re-lock machine and the hybrid-fallback policy
+/// ([`replay_with_fallback`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FallbackReplay {
+    /// Fraction of slots with the FSO link up (after SFP re-lock).
+    pub fso_up_frac: f64,
+    /// Fraction of slots carried by the RF fallback (0 with the policy
+    /// off).
+    pub rf_frac: f64,
+    /// Fraction of slots delivering data on either medium.
+    pub up_frac: f64,
+    /// Mean delivered rate over the run (Gbps): FSO rate on FSO slots, RF
+    /// rate on RF slots, zero otherwise.
+    pub effective_gbps: f64,
+    /// FSO → RF failovers.
+    pub failovers: u64,
+}
+
+/// Replays a trace's per-slot optical alignment (`slots_on`, e.g.
+/// [`TraceSimResult::slots_on`]) through the SFP link-state machine (the
+/// multi-second `relink_s` re-lock of §5.3) and then the hybrid FSO/RF
+/// [`LinkPolicy`] — the Fig 16 fallback ablation: what the availability CDF
+/// looks like when an outage degrades to `rf_rate_gbps` instead of zero.
+///
+/// Deterministic and RNG-free; with [`FallbackPolicy::Off`] the RF leg is
+/// skipped entirely and `up_frac == fso_up_frac` (availability is exactly
+/// the pure-FSO replay).
+pub fn replay_with_fallback(
+    slots_on: &[bool],
+    slot_ms: f64,
+    relink_s: f64,
+    fallback: FallbackPolicy,
+    rf_rate_gbps: f64,
+    fso_rate_gbps: f64,
+) -> FallbackReplay {
+    let dt = slot_ms * 1e-3;
+    let mut sfp = SfpLinkState::new_up(relink_s);
+    let mut policy = match fallback {
+        FallbackPolicy::Off => None,
+        FallbackPolicy::RfOnOutage => Some(LinkPolicy::default()),
+    };
+    let mut n_fso = 0usize;
+    let mut n_rf = 0usize;
+    let mut n_up = 0usize;
+    let mut rate_sum = 0.0;
+    for &aligned in slots_on {
+        let up = sfp.step(aligned, dt);
+        let rf = policy.as_mut().is_some_and(|p| p.step(up, dt));
+        n_fso += up as usize;
+        n_rf += rf as usize;
+        n_up += (up || rf) as usize;
+        // During the failback hold traffic stays on RF even while FSO is
+        // instantaneously up — same accounting as the engine.
+        rate_sum += if rf {
+            rf_rate_gbps
+        } else if up {
+            fso_rate_gbps
+        } else {
+            0.0
+        };
+    }
+    let n = slots_on.len().max(1) as f64;
+    FallbackReplay {
+        fso_up_frac: n_fso as f64 / n,
+        rf_frac: n_rf as f64 / n,
+        up_frac: n_up as f64 / n,
+        effective_gbps: rate_sum / n,
+        failovers: policy.map_or(0, |p| p.n_failovers()),
     }
 }
 
@@ -393,6 +466,57 @@ mod tests {
             let expect = naive.iter().filter(|&&b| b).count();
             assert_eq!(count, expect, "counting run diverged (p = {p:?})");
         }
+    }
+
+    #[test]
+    fn fallback_replay_off_equals_pure_fso_and_on_only_improves() {
+        // A mid-trace alignment loss long enough to drop the SFP, with the
+        // multi-second re-lock afterwards.
+        let mut slots_on = vec![true; 4000];
+        for s in slots_on.iter_mut().take(1200).skip(1000) {
+            *s = false;
+        }
+        let off = replay_with_fallback(&slots_on, 1.0, 2.5, FallbackPolicy::Off, 2.31, 23.5);
+        let on = replay_with_fallback(&slots_on, 1.0, 2.5, FallbackPolicy::RfOnOutage, 2.31, 23.5);
+        // Off: no RF leg at all; availability is the pure-FSO replay.
+        assert_eq!(off.rf_frac, 0.0);
+        assert_eq!(off.failovers, 0);
+        assert_eq!(off.up_frac, off.fso_up_frac);
+        // The outage is real: 200 dark slots + 2.5 s re-lock.
+        assert!(off.fso_up_frac < 0.4, "{}", off.fso_up_frac);
+        // On: the FSO timeline is untouched, RF covers the hole.
+        assert_eq!(on.fso_up_frac.to_bits(), off.fso_up_frac.to_bits());
+        assert_eq!(on.failovers, 1);
+        assert!(on.rf_frac > 0.5, "{}", on.rf_frac);
+        assert!(on.up_frac > 0.99, "{}", on.up_frac);
+        assert!(on.effective_gbps > off.effective_gbps);
+        // RF is a degraded medium: effective rate sits strictly between
+        // the outage-punched FSO rate and full FSO rate.
+        assert!(on.effective_gbps < 23.5);
+    }
+
+    #[test]
+    fn fallback_replay_is_deterministic() {
+        let tr = uniform_trace(0.16, 0.3, 10.0);
+        let r = simulate_trace(&tr, &TraceSimParams::default());
+        let a = replay_with_fallback(
+            &r.slots_on,
+            1.0,
+            2.5,
+            FallbackPolicy::RfOnOutage,
+            2.31,
+            23.5,
+        );
+        let b = replay_with_fallback(
+            &r.slots_on,
+            1.0,
+            2.5,
+            FallbackPolicy::RfOnOutage,
+            2.31,
+            23.5,
+        );
+        assert_eq!(a, b);
+        assert!(a.up_frac >= a.fso_up_frac);
     }
 
     #[test]
