@@ -326,6 +326,69 @@ fn main() {
         emit("trace_corpus", d);
     }
 
+    // --- Scheduled fleet: the shared-TX grant engine under all three
+    // policies (static partition, greedy max-margin, proportional-fair)
+    // with the bursty viewport traffic source, folded into one digest.
+    {
+        let units = two_units(905);
+        let fleet = FleetConfig {
+            n_sessions: 4,
+            duration_s: 1.5,
+            seed: 905,
+            ..FleetConfig::default()
+        };
+        let mut d = Digest::new();
+        for sc in [
+            SchedConfig::static_partition(),
+            SchedConfig::greedy(),
+            SchedConfig::proportional_fair(1.0),
+        ] {
+            let sum = run_fleet_scheduled(&units, &fleet, &sc);
+            for s in &sum.sessions {
+                d.u64(s.seed);
+                d.f64(s.up_frac);
+                d.f64(s.signal_frac);
+                d.f64(s.mean_goodput_gbps);
+                d.f64(s.mean_power_dbm);
+                d.u64(s.handovers);
+                let st = s.sched.expect("scheduled session stats");
+                d.bool(st.admitted);
+                for n in [
+                    st.granted_slots,
+                    st.served_slots,
+                    st.denied_slots,
+                    st.retarget_slots,
+                    st.preempts,
+                    st.stall_events,
+                    st.frames_generated,
+                    st.frames_played,
+                ] {
+                    d.u64(n);
+                }
+                for x in [
+                    st.availability,
+                    st.delivered_gb,
+                    st.mean_served_gbps,
+                    st.offered_gb,
+                    st.stall_s,
+                    st.stall_frac,
+                ] {
+                    d.f64(x);
+                }
+            }
+            let r = sum.rollup().sched.expect("scheduled rollup");
+            d.u64(r.n_admitted as u64);
+            d.u64(r.total_served);
+            d.u64(r.total_preempts);
+            d.f64(r.mean_availability);
+            d.f64(r.min_availability);
+            d.f64(r.sum_served_gbps);
+            d.f64(r.worst_stall_s);
+            d.f64(r.fairness_jain);
+        }
+        emit("fleet_sched", d);
+    }
+
     let body = lines.join("\n") + "\n";
     if write {
         std::fs::create_dir_all("goldens").expect("mkdir goldens");

@@ -26,8 +26,8 @@ fn main() {
     );
 
     // Sort once; `quantile` would re-sort the 600k-sample vectors per call.
-    lin_all.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    ang_all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lin_all.sort_by(f64::total_cmp);
+    ang_all.sort_by(f64::total_cmp);
     let pick = |sorted: &[f64], q: f64| -> f64 {
         let pos = q * (sorted.len() - 1) as f64;
         let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);

@@ -223,6 +223,35 @@ fn fleet_signature(summary: &cyclops::link::engine::FleetSummary) -> Vec<f64> {
     sig
 }
 
+/// Flattens a scheduled fleet run into the bit-identity signature vector:
+/// the physics signature plus every scheduling/QoE counter, so a
+/// thread-count-dependent divergence in the grant engine or the traffic
+/// layer fails the bit-identical check.
+fn sched_signature(summary: &cyclops::link::engine::FleetSummary) -> Vec<f64> {
+    let mut sig = fleet_signature(summary);
+    for s in &summary.sessions {
+        let st = s.sched.expect("scheduled session stats");
+        sig.extend([
+            st.admitted as u64 as f64,
+            st.granted_slots as f64,
+            st.served_slots as f64,
+            st.denied_slots as f64,
+            st.retarget_slots as f64,
+            st.preempts as f64,
+            st.availability,
+            st.delivered_gb,
+            st.mean_served_gbps,
+            st.offered_gb,
+            st.stall_s,
+            st.stall_frac,
+            st.stall_events as f64,
+            st.frames_generated as f64,
+            st.frames_played as f64,
+        ]);
+    }
+    sig
+}
+
 /// Outcome of the telemetry overhead probe.
 struct TelemetryProbe {
     null_sink_s: f64,
@@ -354,6 +383,13 @@ fn main() {
         ..fleet_cfg.clone()
     };
 
+    // The scheduled-fleet contention workload: the same 8 hostile sessions
+    // treat the 2 TX installations as a shared pool under proportional-fair
+    // scheduling with the bursty viewport traffic source. The driver is
+    // serial by construction (shared grant state), so the two legs trend
+    // the overlay's cost rather than a speedup.
+    let sched_cfg = SchedConfig::proportional_fair(1.0);
+
     // Slot counts per run, for the slots/s headline. All slot loops run on
     // the default 1 ms engine slot (`EngineConfig::default().slot_s`).
     let slot_params = TraceSimParams::default();
@@ -430,6 +466,13 @@ fn main() {
         // divergence in the fallback path fails the bit-identical check.
         run_workload("fleet_fallback", threads, fleet_slots, || {
             fleet_signature(&run_fleet(&units, &fleet_rf_cfg))
+        }),
+        // Scheduled fleet: the shared-TX grant engine + traffic/QoE layer
+        // on the hostile 8-session workload. Every scheduling counter is in
+        // the signature, so any thread-count sensitivity in the overlay
+        // fails the bit-identical check.
+        run_workload("fleet_sched", threads, fleet_slots, || {
+            sched_signature(&run_fleet_scheduled(&units, &fleet_cfg, &sched_cfg))
         }),
         // 1000-session scale: the slot-throughput headline at fleet width.
         run_workload("fleet_1k", threads, fleet_1k_slots, || {
@@ -684,6 +727,60 @@ fn main() {
         roll_rf.total_failovers,
         roll_rf.mean_rf_frac
     );
+    // Scheduling ablation block: one canonical pass per policy over the
+    // same hostile fleet, so the JSON trends the contention tradeoff
+    // (aggregate service vs worst-session stall vs fairness) alongside the
+    // timings. The strict policy-ordering asserts live in `ext_multi_user`,
+    // which tunes the regime where they are meaningful.
+    json.push_str("  \"fleet_sched\": {\n");
+    let sched_policies = [
+        ("static_partition", SchedConfig::static_partition()),
+        ("greedy_max_margin", SchedConfig::greedy()),
+        ("proportional_fair", SchedConfig::proportional_fair(1.0)),
+    ];
+    for (i, (name, sc)) in sched_policies.iter().enumerate() {
+        let r = run_fleet_scheduled(&units, &fleet_cfg, sc)
+            .rollup()
+            .sched
+            .expect("scheduled fleet must roll up");
+        json.push_str(&format!(
+            "    \"{}\": {{\"n_admitted\": {}, \"total_granted\": {}, \
+             \"total_served\": {}, \"total_denied\": {}, \"total_preempts\": {}, \
+             \"mean_availability\": {:.6}, \"min_availability\": {:.6}, \
+             \"sum_served_gbps\": {:.6}, \"mean_stall_frac\": {:.6}, \
+             \"worst_stall_s\": {:.4}, \"total_stall_events\": {}, \
+             \"total_frames_played\": {}, \"fairness_jain\": {:.6}}}{}\n",
+            name,
+            r.n_admitted,
+            r.total_granted,
+            r.total_served,
+            r.total_denied,
+            r.total_preempts,
+            r.mean_availability,
+            r.min_availability,
+            r.sum_served_gbps,
+            r.mean_stall_frac,
+            r.worst_stall_s,
+            r.total_stall_events,
+            r.total_frames_played,
+            r.fairness_jain,
+            if i + 1 < sched_policies.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+        println!(
+            "fleet sched [{name}]: avail {:.4}/{:.4} (mean/min), {:.2} Gbps, \
+             worst stall {:.3} s, jain {:.3}",
+            r.mean_availability,
+            r.min_availability,
+            r.sum_served_gbps,
+            r.worst_stall_s,
+            r.fairness_jain
+        );
+    }
+    json.push_str("  },\n");
     // Telemetry overhead: counters vs the NullSink dispatch floor on the
     // chaos workload (the ISSUE budget is <= 3% — reported, not asserted,
     // so a loaded CI host can't flake the build).

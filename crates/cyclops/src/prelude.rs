@@ -36,12 +36,17 @@ pub use cyclops_link::control::{
     FlapSchedule, ReacqConfig,
 };
 pub use cyclops_link::engine::{
-    run_fleet, EngineConfig, EngineConfigError, FallbackPolicy, FirstReport, FleetConfig,
-    FleetConfigBuilder, FleetRollup, FleetSummary, LinkPolicy, LinkSession, RfStats,
-    SessionBuilder, SessionReport, SessionStats, TxInstallation,
+    run_fleet, run_fleet_rollup, EngineConfig, EngineConfigError, FallbackPolicy, FirstReport,
+    FleetConfig, FleetConfigBuilder, FleetRollup, FleetRollupAcc, FleetSummary, LinkPolicy,
+    LinkSession, RfStats, SessionBuilder, SessionReport, SessionStats, TxInstallation,
 };
 pub use cyclops_link::handover::{HandoverSystem, Occluder, TxUnit};
 pub use cyclops_link::multi_tx::MultiTxSimulator;
+pub use cyclops_link::sched::{
+    run_fleet_scheduled, run_fleet_with_scheduler, GrantEngine, GrantSet, GreedyMaxMargin,
+    ProportionalFair, SchedConfig, SchedCtx, SchedPolicy, SchedRollup, SchedSessionStats,
+    SessionSlotState, StaticPartition, TxScheduler,
+};
 pub use cyclops_link::simulator::{LinkSimConfig, LinkSimulator, SlotRecord};
 pub use cyclops_link::telemetry::{
     Histogram, JsonlSink, NullSink, SessionTelemetry, Telemetry, TelemetryCounters, TelemetryEvent,
@@ -50,3 +55,4 @@ pub use cyclops_link::telemetry::{
 pub use cyclops_link::trace_sim::{
     replay_with_fallback, simulate_trace, FallbackReplay, TraceSimParams,
 };
+pub use cyclops_link::traffic::{TrafficConfig, TrafficSource, TrafficStats};

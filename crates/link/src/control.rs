@@ -430,12 +430,7 @@ impl<T: Copy> ControlLink<T> {
                 i += 1;
             }
         }
-        ready.sort_by(|a, b| {
-            a.arrive_t
-                .partial_cmp(&b.arrive_t)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.seq.cmp(&b.seq))
-        });
+        ready.sort_by(|a, b| a.arrive_t.total_cmp(&b.arrive_t).then(a.seq.cmp(&b.seq)));
 
         let mut delivered = Vec::new();
         for f in ready {

@@ -1319,6 +1319,21 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
         self.tele.flush();
     }
 
+    /// Prologue of [`LinkSession::run_each`] for external slot drivers
+    /// (the scheduled fleet steps sessions in lockstep through
+    /// [`SlotSession::step_slot`]): primes the speed-tracking pose.
+    pub(crate) fn begin_external_run(&mut self) {
+        if self.cfg.track_speeds {
+            self.prev_pose = self.motion.pose_at(self.motion_t);
+        }
+    }
+
+    /// Epilogue of [`LinkSession::run_each`] for external slot drivers:
+    /// flushes the telemetry sink.
+    pub(crate) fn end_external_run(&mut self) {
+        self.tele.flush();
+    }
+
     /// Fault-handling counters accumulated across all [`LinkSession::run`]
     /// calls: control-channel stats, dead-reckoning and re-acquisition
     /// activity, and outage durations.
@@ -2491,6 +2506,10 @@ pub struct SessionReport {
     pub tp_failures: u64,
     /// Aggregated telemetry (`Some` iff [`FleetConfig::collect_telemetry`]).
     pub telemetry: Option<SessionTelemetry>,
+    /// Scheduling/QoE accounting (`Some` iff the fleet ran through
+    /// [`run_fleet_scheduled`](crate::sched::run_fleet_scheduled);
+    /// `None` on the unscheduled private-clone path).
+    pub sched: Option<crate::sched::SchedSessionStats>,
 }
 
 /// Fleet-level rollup of the per-session counters.
@@ -2537,6 +2556,10 @@ pub struct FleetRollup {
     /// Merged per-session telemetry (`Some` iff the fleet ran with
     /// [`FleetConfig::collect_telemetry`]).
     pub telemetry: Option<SessionTelemetry>,
+    /// Scheduling/QoE rollup (`Some` iff the sessions carry scheduling
+    /// accounting, i.e. the fleet ran through
+    /// [`run_fleet_scheduled`](crate::sched::run_fleet_scheduled)).
+    pub sched: Option<crate::sched::SchedRollup>,
 }
 
 /// Outcome of [`run_fleet`]: per-session reports (in session order) plus
@@ -2548,72 +2571,227 @@ pub struct FleetSummary {
 }
 
 impl FleetSummary {
-    /// Aggregates the per-session counters.
+    /// Aggregates the per-session counters. Streams the reports through a
+    /// [`FleetRollupAcc`] in session order, so the result is bit-identical
+    /// to the historical single-fold implementation.
     pub fn rollup(&self) -> FleetRollup {
-        let n = self.sessions.len();
-        let mut r = FleetRollup {
-            n_sessions: n,
-            total_slots: 0,
-            mean_up_frac: 0.0,
-            mean_signal_frac: 0.0,
-            min_up_frac: f64::INFINITY,
-            sum_goodput_gbps: 0.0,
-            total_handovers: 0,
-            total_outages: 0,
-            worst_outage_s: 0.0,
-            total_extrapolated: 0,
-            total_reacq_steps: 0,
-            ctrl_sent: 0,
-            ctrl_delivered: 0,
-            ctrl_retransmits: 0,
-            mean_rf_frac: 0.0,
-            total_failovers: 0,
-            total_failbacks: 0,
-            total_rf_slots: 0,
-            rf_delivered_gb: 0.0,
-            telemetry: None,
-        };
+        let mut acc = FleetRollupAcc::new();
         for s in &self.sessions {
-            r.total_slots += s.slots;
-            r.mean_up_frac += s.up_frac;
-            r.mean_signal_frac += s.signal_frac;
-            r.min_up_frac = r.min_up_frac.min(s.up_frac);
-            r.sum_goodput_gbps += s.mean_goodput_gbps;
-            r.total_handovers += s.handovers;
-            r.total_outages += s.stats.n_outages;
-            r.worst_outage_s = r.worst_outage_s.max(s.stats.longest_outage_s);
-            r.total_extrapolated += s.stats.n_extrapolated;
-            r.total_reacq_steps += s.stats.n_reacq_steps;
-            r.mean_rf_frac += s.rf_frac;
-            r.total_failovers += s.stats.rf.failovers;
-            r.total_failbacks += s.stats.rf.failbacks;
-            r.total_rf_slots += s.stats.rf.rf_slots;
-            r.rf_delivered_gb += s.stats.rf_delivered_gb;
-            if let Some(c) = s.stats.control {
-                r.ctrl_sent += c.sent;
-                r.ctrl_delivered += c.delivered;
-                r.ctrl_retransmits += c.retransmits;
-            }
-            if let Some(t) = s.telemetry.as_ref() {
-                match r.telemetry.as_mut() {
-                    Some(acc) => acc.merge(t),
-                    None => r.telemetry = Some(*t),
-                }
-            }
+            acc.absorb(s);
         }
-        if n > 0 {
-            r.mean_up_frac /= n as f64;
-            r.mean_signal_frac /= n as f64;
-            r.mean_rf_frac /= n as f64;
-        } else {
-            r.min_up_frac = 0.0;
-        }
-        r
+        acc.finish()
     }
 }
 
-/// Runs one fleet session (index `i`) against a private clone of `units`.
-fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> SessionReport {
+/// Streaming accumulator behind [`FleetSummary::rollup`]: absorbs
+/// [`SessionReport`]s one at a time (or merges partial accumulators), so a
+/// fleet rollup needs O(1) memory instead of a materialized report vector
+/// — the aggregation substrate for venue-scale fleets (ROADMAP item 1).
+///
+/// Mean-valued [`FleetRollup`] fields are carried as running sums and only
+/// divided in [`FleetRollupAcc::finish`], so `absorb`-in-session-order
+/// reproduces the historical fold bit-for-bit. [`FleetRollupAcc::merge`]
+/// combines accumulators built over disjoint session ranges; the counters
+/// are exact, while the float sums re-associate (merge order changes the
+/// rounding, not the math).
+#[derive(Debug, Clone)]
+pub struct FleetRollupAcc {
+    r: FleetRollup,
+    n_sched: usize,
+    avail_sum: f64,
+    stall_frac_sum: f64,
+    jain_sum: f64,
+    jain_sum_sq: f64,
+}
+
+impl Default for FleetRollupAcc {
+    fn default() -> Self {
+        FleetRollupAcc::new()
+    }
+}
+
+impl FleetRollupAcc {
+    /// An empty accumulator.
+    pub fn new() -> FleetRollupAcc {
+        FleetRollupAcc {
+            r: FleetRollup {
+                n_sessions: 0,
+                total_slots: 0,
+                mean_up_frac: 0.0,
+                mean_signal_frac: 0.0,
+                min_up_frac: f64::INFINITY,
+                sum_goodput_gbps: 0.0,
+                total_handovers: 0,
+                total_outages: 0,
+                worst_outage_s: 0.0,
+                total_extrapolated: 0,
+                total_reacq_steps: 0,
+                ctrl_sent: 0,
+                ctrl_delivered: 0,
+                ctrl_retransmits: 0,
+                mean_rf_frac: 0.0,
+                total_failovers: 0,
+                total_failbacks: 0,
+                total_rf_slots: 0,
+                rf_delivered_gb: 0.0,
+                telemetry: None,
+                sched: None,
+            },
+            n_sched: 0,
+            avail_sum: 0.0,
+            stall_frac_sum: 0.0,
+            jain_sum: 0.0,
+            jain_sum_sq: 0.0,
+        }
+    }
+
+    /// Folds one session report into the accumulator.
+    pub fn absorb(&mut self, s: &SessionReport) {
+        let r = &mut self.r;
+        r.n_sessions += 1;
+        r.total_slots += s.slots;
+        r.mean_up_frac += s.up_frac;
+        r.mean_signal_frac += s.signal_frac;
+        r.min_up_frac = r.min_up_frac.min(s.up_frac);
+        r.sum_goodput_gbps += s.mean_goodput_gbps;
+        r.total_handovers += s.handovers;
+        r.total_outages += s.stats.n_outages;
+        r.worst_outage_s = r.worst_outage_s.max(s.stats.longest_outage_s);
+        r.total_extrapolated += s.stats.n_extrapolated;
+        r.total_reacq_steps += s.stats.n_reacq_steps;
+        r.mean_rf_frac += s.rf_frac;
+        r.total_failovers += s.stats.rf.failovers;
+        r.total_failbacks += s.stats.rf.failbacks;
+        r.total_rf_slots += s.stats.rf.rf_slots;
+        r.rf_delivered_gb += s.stats.rf_delivered_gb;
+        if let Some(c) = s.stats.control {
+            r.ctrl_sent += c.sent;
+            r.ctrl_delivered += c.delivered;
+            r.ctrl_retransmits += c.retransmits;
+        }
+        if let Some(t) = s.telemetry.as_ref() {
+            match r.telemetry.as_mut() {
+                Some(acc) => acc.merge(t),
+                None => r.telemetry = Some(*t),
+            }
+        }
+        if let Some(sc) = s.sched {
+            let sr = r.sched.get_or_insert_with(|| crate::sched::SchedRollup {
+                min_availability: f64::INFINITY,
+                ..Default::default()
+            });
+            sr.n_admitted += sc.admitted as usize;
+            sr.total_granted += sc.granted_slots;
+            sr.total_served += sc.served_slots;
+            sr.total_denied += sc.denied_slots;
+            sr.total_preempts += sc.preempts;
+            sr.min_availability = sr.min_availability.min(sc.availability);
+            sr.sum_served_gbps += sc.mean_served_gbps;
+            sr.worst_stall_s = sr.worst_stall_s.max(sc.stall_s);
+            sr.total_stall_events += sc.stall_events;
+            sr.total_frames_played += sc.frames_played;
+            self.n_sched += 1;
+            self.avail_sum += sc.availability;
+            self.stall_frac_sum += sc.stall_frac;
+            if sc.admitted {
+                self.jain_sum += sc.mean_served_gbps;
+                self.jain_sum_sq += sc.mean_served_gbps * sc.mean_served_gbps;
+            }
+        }
+    }
+
+    /// Combines another accumulator (built over a disjoint session range)
+    /// into this one.
+    pub fn merge(&mut self, o: &FleetRollupAcc) {
+        let r = &mut self.r;
+        let q = &o.r;
+        r.n_sessions += q.n_sessions;
+        r.total_slots += q.total_slots;
+        r.mean_up_frac += q.mean_up_frac;
+        r.mean_signal_frac += q.mean_signal_frac;
+        r.min_up_frac = r.min_up_frac.min(q.min_up_frac);
+        r.sum_goodput_gbps += q.sum_goodput_gbps;
+        r.total_handovers += q.total_handovers;
+        r.total_outages += q.total_outages;
+        r.worst_outage_s = r.worst_outage_s.max(q.worst_outage_s);
+        r.total_extrapolated += q.total_extrapolated;
+        r.total_reacq_steps += q.total_reacq_steps;
+        r.ctrl_sent += q.ctrl_sent;
+        r.ctrl_delivered += q.ctrl_delivered;
+        r.ctrl_retransmits += q.ctrl_retransmits;
+        r.mean_rf_frac += q.mean_rf_frac;
+        r.total_failovers += q.total_failovers;
+        r.total_failbacks += q.total_failbacks;
+        r.total_rf_slots += q.total_rf_slots;
+        r.rf_delivered_gb += q.rf_delivered_gb;
+        if let Some(t) = q.telemetry.as_ref() {
+            match r.telemetry.as_mut() {
+                Some(acc) => acc.merge(t),
+                None => r.telemetry = Some(*t),
+            }
+        }
+        if let Some(qs) = q.sched.as_ref() {
+            let sr = r.sched.get_or_insert_with(|| crate::sched::SchedRollup {
+                min_availability: f64::INFINITY,
+                ..Default::default()
+            });
+            sr.n_admitted += qs.n_admitted;
+            sr.total_granted += qs.total_granted;
+            sr.total_served += qs.total_served;
+            sr.total_denied += qs.total_denied;
+            sr.total_preempts += qs.total_preempts;
+            sr.min_availability = sr.min_availability.min(qs.min_availability);
+            sr.sum_served_gbps += qs.sum_served_gbps;
+            sr.worst_stall_s = sr.worst_stall_s.max(qs.worst_stall_s);
+            sr.total_stall_events += qs.total_stall_events;
+            sr.total_frames_played += qs.total_frames_played;
+        }
+        self.n_sched += o.n_sched;
+        self.avail_sum += o.avail_sum;
+        self.stall_frac_sum += o.stall_frac_sum;
+        self.jain_sum += o.jain_sum;
+        self.jain_sum_sq += o.jain_sum_sq;
+    }
+
+    /// Finalizes the rollup: divides the running sums into means and
+    /// computes the Jain fairness index over the admitted sessions.
+    pub fn finish(mut self) -> FleetRollup {
+        let n = self.r.n_sessions;
+        if n > 0 {
+            self.r.mean_up_frac /= n as f64;
+            self.r.mean_signal_frac /= n as f64;
+            self.r.mean_rf_frac /= n as f64;
+        } else {
+            self.r.min_up_frac = 0.0;
+        }
+        if let Some(sr) = self.r.sched.as_mut() {
+            let ns = self.n_sched.max(1) as f64;
+            sr.mean_availability = self.avail_sum / ns;
+            sr.mean_stall_frac = self.stall_frac_sum / ns;
+            sr.fairness_jain = if self.jain_sum_sq > 0.0 {
+                (self.jain_sum * self.jain_sum) / (sr.n_admitted.max(1) as f64 * self.jain_sum_sq)
+            } else {
+                1.0
+            };
+        }
+        self.r
+    }
+}
+
+/// The concrete session type fleet drivers run.
+pub(crate) type FleetSession = LinkSession<ArbitraryMotion, BestMargin>;
+
+/// Builds fleet session `i` against a private clone of `units` — the one
+/// constructor shared by [`run_fleet`] and the scheduled driver
+/// ([`crate::sched::run_fleet_scheduled`]), so both paths derive the same
+/// per-session seed, motion, fault, and occluder streams and their physics
+/// timelines are bit-identical. Emits the `SessionStart` telemetry event.
+/// Returns the session and its derived seed.
+pub(crate) fn build_fleet_session(
+    units: &[TxInstallation],
+    cfg: &FleetConfig,
+    i: usize,
+) -> (FleetSession, u64) {
     let seed = cyclops_par::mix64(cfg.seed, 1 + i as u64);
     let motion = ArbitraryMotion::new(cfg.base_pose, cfg.motion, seed);
     let mut control = cfg.control;
@@ -2661,50 +2839,83 @@ fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> S
             seed,
         });
     }
-    // Stream the slots through a fold (counts and running sums) instead of
-    // materializing a duration-proportional Vec<EngineSlot> per session.
+    (session, seed)
+}
+
+/// Streaming per-slot sums a fleet session folds into its report — shared
+/// by [`run_fleet`]'s internal fold and the scheduled driver so the
+/// derived [`SessionReport`] fields are computed identically on both paths
+/// (counts and running sums; no duration-proportional buffering).
+pub(crate) struct SlotSums {
+    pub(crate) slots: usize,
+    n_up: usize,
+    n_sig: usize,
+    n_rf: usize,
+    goodput_sum: f64,
+    power_sum: f64,
+}
+
+impl SlotSums {
+    pub(crate) fn new() -> SlotSums {
+        SlotSums {
+            slots: 0,
+            n_up: 0,
+            n_sig: 0,
+            n_rf: 0,
+            goodput_sum: 0.0,
+            power_sum: 0.0,
+        }
+    }
+
+    pub(crate) fn absorb(&mut self, r: &EngineSlot, sens_dbm: f64) {
+        self.slots += 1;
+        self.n_up += r.link_up as usize;
+        self.n_sig += (r.power_dbm >= sens_dbm) as usize;
+        self.n_rf += r.rf_active as usize;
+        self.goodput_sum += r.goodput_gbps;
+        self.power_sum += r.power_dbm;
+    }
+
+    pub(crate) fn report<M: Motion, S: TxSelector>(
+        &self,
+        i: usize,
+        seed: u64,
+        session: &LinkSession<M, S>,
+    ) -> SessionReport {
+        let n = self.slots.max(1) as f64;
+        let tp = session.tp_metrics();
+        SessionReport {
+            session: i,
+            seed,
+            slots: self.slots,
+            up_frac: self.n_up as f64 / n,
+            signal_frac: self.n_sig as f64 / n,
+            mean_goodput_gbps: self.goodput_sum / n,
+            rf_frac: self.n_rf as f64 / n,
+            mean_power_dbm: self.power_sum / n,
+            handovers: session.n_handovers(),
+            stats: session.session_stats(),
+            tp_reports: tp.n_reports,
+            tp_failures: tp.n_failures,
+            telemetry: session.telemetry().copied(),
+            sched: None,
+        }
+    }
+}
+
+/// Runs one fleet session (index `i`) against a private clone of `units`.
+fn run_fleet_session(units: &[TxInstallation], cfg: &FleetConfig, i: usize) -> SessionReport {
+    let (mut session, seed) = build_fleet_session(units, cfg, i);
     let sens = units[0].dep.design.sfp.rx_sensitivity_dbm;
-    let mut slots = 0usize;
-    let mut n_up = 0usize;
-    let mut n_sig = 0usize;
-    let mut n_rf = 0usize;
-    let mut goodput_sum = 0.0;
-    let mut power_sum = 0.0;
-    session.run_each(cfg.duration_s, |r| {
-        slots += 1;
-        n_up += r.link_up as usize;
-        n_sig += (r.power_dbm >= sens) as usize;
-        n_rf += r.rf_active as usize;
-        goodput_sum += r.goodput_gbps;
-        power_sum += r.power_dbm;
-    });
+    let mut sums = SlotSums::new();
+    session.run_each(cfg.duration_s, |r| sums.absorb(&r, sens));
     if cfg.collect_telemetry {
         session.telemetry_mut().emit(&TelemetryEvent::SessionEnd {
             session: i as u64,
-            slots: slots as u64,
+            slots: sums.slots as u64,
         });
     }
-    let n = slots.max(1) as f64;
-    let up = n_up as f64 / n;
-    let sig = n_sig as f64 / n;
-    let goodput = goodput_sum / n;
-    let power = power_sum / n;
-    let tp = session.tp_metrics();
-    SessionReport {
-        session: i,
-        seed,
-        slots,
-        up_frac: up,
-        signal_frac: sig,
-        mean_goodput_gbps: goodput,
-        rf_frac: n_rf as f64 / n,
-        mean_power_dbm: power,
-        handovers: session.n_handovers(),
-        stats: session.session_stats(),
-        tp_reports: tp.n_reports,
-        tp_failures: tp.n_failures,
-        telemetry: session.telemetry().copied(),
-    }
+    sums.report(i, seed, &session)
 }
 
 /// Runs `cfg.n_sessions` independently-seeded sessions, each against its
@@ -2721,6 +2932,32 @@ pub fn run_fleet(units: &[TxInstallation], cfg: &FleetConfig) -> FleetSummary {
     #[cfg(not(feature = "parallel"))]
     let sessions: Vec<SessionReport> = idx.iter().map(one).collect();
     FleetSummary { sessions }
+}
+
+/// [`run_fleet`] that streams straight into the rollup: sessions run in
+/// fixed-size batches and each report is absorbed into a
+/// [`FleetRollupAcc`] in session order, so memory stays O(batch) instead
+/// of O(sessions) — and the absorb order matches
+/// [`FleetSummary::rollup`]'s fold exactly, making the result
+/// bit-identical to `run_fleet(units, cfg).rollup()` at any thread count.
+pub fn run_fleet_rollup(units: &[TxInstallation], cfg: &FleetConfig) -> FleetRollup {
+    const BATCH: usize = 64;
+    let mut acc = FleetRollupAcc::new();
+    let mut lo = 0;
+    while lo < cfg.n_sessions {
+        let hi = (lo + BATCH).min(cfg.n_sessions);
+        let idx: Vec<usize> = (lo..hi).collect();
+        let one = |&i: &usize| run_fleet_session(units, cfg, i);
+        #[cfg(feature = "parallel")]
+        let reports = cyclops_par::par_map(&idx, 1, one);
+        #[cfg(not(feature = "parallel"))]
+        let reports: Vec<SessionReport> = idx.iter().map(one).collect();
+        for r in &reports {
+            acc.absorb(r);
+        }
+        lo = hi;
+    }
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -2862,6 +3099,86 @@ mod tests {
         // Telemetry is off by default: no per-session or rolled-up counters.
         assert!(a.sessions.iter().all(|s| s.telemetry.is_none()));
         assert!(r.telemetry.is_none());
+    }
+
+    /// Satellite: the streaming rollup accumulator. `rollup()` must match a
+    /// hand-written single fold bit-for-bit, chunked `merge` must agree on
+    /// every counter (floats re-associate, so those compare approximately),
+    /// and `run_fleet_rollup` (which never materializes the report vector)
+    /// must be bit-identical to `run_fleet(..).rollup()`.
+    #[test]
+    fn rollup_streaming_merge_matches_manual_fold() {
+        let units = crate::multi_tx::tests::two_units(911);
+        let cfg = FleetConfig {
+            n_sessions: 6,
+            duration_s: 0.3,
+            seed: 42,
+            collect_telemetry: true,
+            ..Default::default()
+        };
+        let summary = run_fleet(&units, &cfg);
+        let direct = summary.rollup();
+
+        // Manual fold, the historical implementation.
+        let n = summary.sessions.len();
+        let mut mean_up = 0.0;
+        let mut mean_sig = 0.0;
+        let mut min_up = f64::INFINITY;
+        let mut sum_goodput = 0.0;
+        let mut handovers = 0u64;
+        let mut slots = 0usize;
+        for s in &summary.sessions {
+            slots += s.slots;
+            mean_up += s.up_frac;
+            mean_sig += s.signal_frac;
+            min_up = min_up.min(s.up_frac);
+            sum_goodput += s.mean_goodput_gbps;
+            handovers += s.handovers;
+        }
+        mean_up /= n as f64;
+        mean_sig /= n as f64;
+        assert_eq!(direct.total_slots, slots);
+        assert_eq!(direct.mean_up_frac.to_bits(), mean_up.to_bits());
+        assert_eq!(direct.mean_signal_frac.to_bits(), mean_sig.to_bits());
+        assert_eq!(direct.min_up_frac.to_bits(), min_up.to_bits());
+        assert_eq!(direct.sum_goodput_gbps.to_bits(), sum_goodput.to_bits());
+        assert_eq!(direct.total_handovers, handovers);
+
+        // Chunked merge: counters exact, float sums re-associate.
+        let mut a = FleetRollupAcc::new();
+        let mut b = FleetRollupAcc::new();
+        for s in &summary.sessions[..3] {
+            a.absorb(s);
+        }
+        for s in &summary.sessions[3..] {
+            b.absorb(s);
+        }
+        a.merge(&b);
+        let merged = a.finish();
+        assert_eq!(merged.n_sessions, direct.n_sessions);
+        assert_eq!(merged.total_slots, direct.total_slots);
+        assert_eq!(merged.total_handovers, direct.total_handovers);
+        assert_eq!(merged.total_outages, direct.total_outages);
+        assert_eq!(merged.ctrl_sent, direct.ctrl_sent);
+        assert_eq!(merged.min_up_frac.to_bits(), direct.min_up_frac.to_bits());
+        assert!((merged.mean_up_frac - direct.mean_up_frac).abs() < 1e-12);
+        assert!((merged.sum_goodput_gbps - direct.sum_goodput_gbps).abs() < 1e-9);
+        let (mt, dt) = (merged.telemetry.unwrap(), direct.telemetry.unwrap());
+        assert_eq!(mt.events.slots, dt.events.slots);
+        assert_eq!(mt.events.handovers, dt.events.handovers);
+
+        // Streaming driver: same absorb order as rollup(), so bit-identical.
+        let streamed = run_fleet_rollup(&units, &cfg);
+        assert_eq!(streamed.total_slots, direct.total_slots);
+        assert_eq!(
+            streamed.mean_up_frac.to_bits(),
+            direct.mean_up_frac.to_bits()
+        );
+        assert_eq!(
+            streamed.sum_goodput_gbps.to_bits(),
+            direct.sum_goodput_gbps.to_bits()
+        );
+        assert_eq!(streamed.total_handovers, direct.total_handovers);
     }
 
     use crate::control::FaultPlan;

@@ -46,10 +46,12 @@ pub mod framing;
 pub mod handover;
 pub mod iperf;
 pub mod multi_tx;
+pub mod sched;
 pub mod sfp_state;
 pub mod simulator;
 pub mod telemetry;
 pub mod trace_sim;
+pub mod traffic;
 pub mod video;
 
 pub use channel::{FsoChannel, RfChannel};

@@ -208,6 +208,29 @@ pub enum TelemetryEvent {
         /// Duration of the RF episode that just ended (s).
         rf_s: f64,
     },
+    /// The fleet scheduler granted this session a TX unit (emitted on
+    /// acquiring or changing a grant, not every slot).
+    SchedGrant {
+        /// Slot end time (s).
+        t: f64,
+        /// Index of the granted TX unit.
+        unit: u64,
+    },
+    /// The fleet scheduler revoked this session's TX grant while it still
+    /// had traffic queued.
+    SchedPreempt {
+        /// Slot end time (s).
+        t: f64,
+        /// Index of the TX unit that was taken away.
+        unit: u64,
+    },
+    /// A playout-buffer stall (rebuffering episode) ended.
+    PlayoutStall {
+        /// Slot end time (s).
+        t: f64,
+        /// Duration of the stall episode that just ended (s).
+        stall_s: f64,
+    },
 }
 
 /// Formats an `f64` as JSON (non-finite values become `null`).
@@ -255,6 +278,9 @@ impl TelemetryEvent {
             TelemetryEvent::ReacqEnded { .. } => "reacq_ended",
             TelemetryEvent::RfFailover { .. } => "rf_failover",
             TelemetryEvent::RfFailback { .. } => "rf_failback",
+            TelemetryEvent::SchedGrant { .. } => "sched_grant",
+            TelemetryEvent::SchedPreempt { .. } => "sched_preempt",
+            TelemetryEvent::PlayoutStall { .. } => "playout_stall",
         }
     }
 
@@ -388,6 +414,18 @@ impl TelemetryEvent {
                 "{{\"ev\":\"{kind}\",\"t\":{},\"rf_s\":{}}}",
                 Jf(t),
                 Jf(rf_s)
+            ),
+            TelemetryEvent::SchedGrant { t, unit } => {
+                write!(buf, "{{\"ev\":\"{kind}\",\"t\":{},\"unit\":{unit}}}", Jf(t))
+            }
+            TelemetryEvent::SchedPreempt { t, unit } => {
+                write!(buf, "{{\"ev\":\"{kind}\",\"t\":{},\"unit\":{unit}}}", Jf(t))
+            }
+            TelemetryEvent::PlayoutStall { t, stall_s } => write!(
+                buf,
+                "{{\"ev\":\"{kind}\",\"t\":{},\"stall_s\":{}}}",
+                Jf(t),
+                Jf(stall_s)
             ),
         };
     }
@@ -712,6 +750,12 @@ pub struct TelemetryCounters {
     pub rf_failbacks: u64,
     /// Slots carried by the RF fallback.
     pub rf_slots: u64,
+    /// Scheduler TX grants acquired (grant start or unit change).
+    pub sched_grants: u64,
+    /// Scheduler TX grants revoked with traffic still queued.
+    pub sched_preempts: u64,
+    /// Playout-buffer stall episodes ended.
+    pub playout_stalls: u64,
 }
 
 impl TelemetryCounters {
@@ -737,6 +781,9 @@ impl TelemetryCounters {
         self.rf_failovers += o.rf_failovers;
         self.rf_failbacks += o.rf_failbacks;
         self.rf_slots += o.rf_slots;
+        self.sched_grants += o.sched_grants;
+        self.sched_preempts += o.sched_preempts;
+        self.playout_stalls += o.playout_stalls;
     }
 
     /// One-line JSON rendering.
@@ -747,7 +794,8 @@ impl TelemetryCounters {
              \"ctrl_delivered\":{},\"ctrl_retransmits\":{},\"ctrl_dropped\":{},\
              \"sfp_downs\":{},\"sfp_ups\":{},\"handovers\":{},\"reacq_started\":{},\
              \"reacq_probes\":{},\"reacq_recovered\":{},\"reacq_abandoned\":{},\
-             \"rf_failovers\":{},\"rf_failbacks\":{},\"rf_slots\":{}}}",
+             \"rf_failovers\":{},\"rf_failbacks\":{},\"rf_slots\":{},\
+             \"sched_grants\":{},\"sched_preempts\":{},\"playout_stalls\":{}}}",
             self.sessions,
             self.slots,
             self.tp_commands,
@@ -767,7 +815,10 @@ impl TelemetryCounters {
             self.reacq_abandoned,
             self.rf_failovers,
             self.rf_failbacks,
-            self.rf_slots
+            self.rf_slots,
+            self.sched_grants,
+            self.sched_preempts,
+            self.playout_stalls
         )
     }
 }
@@ -797,6 +848,8 @@ pub struct SessionTelemetry {
     pub outage_s: Histogram,
     /// RF-fallback episode durations (s), over `[0, 8)`.
     pub rf_s: Histogram,
+    /// Playout-stall episode durations (s), over `[0, 8)`.
+    pub stall_s: Histogram,
 }
 
 impl Default for SessionTelemetry {
@@ -811,6 +864,7 @@ impl Default for SessionTelemetry {
             ctrl_age_ms: Histogram::new(0.0, 40.0),
             outage_s: Histogram::new(0.0, 8.0),
             rf_s: Histogram::new(0.0, 8.0),
+            stall_s: Histogram::new(0.0, 8.0),
         }
     }
 }
@@ -879,6 +933,12 @@ impl SessionTelemetry {
                 c.rf_failbacks += 1;
                 self.rf_s.record(rf_s);
             }
+            TelemetryEvent::SchedGrant { .. } => c.sched_grants += 1,
+            TelemetryEvent::SchedPreempt { .. } => c.sched_preempts += 1,
+            TelemetryEvent::PlayoutStall { stall_s, .. } => {
+                c.playout_stalls += 1;
+                self.stall_s.record(stall_s);
+            }
         }
     }
 
@@ -893,6 +953,7 @@ impl SessionTelemetry {
         self.ctrl_age_ms.merge(&o.ctrl_age_ms);
         self.outage_s.merge(&o.outage_s);
         self.rf_s.merge(&o.rf_s);
+        self.stall_s.merge(&o.stall_s);
     }
 
     /// One-line JSON rendering (counters + histograms).
@@ -900,7 +961,7 @@ impl SessionTelemetry {
         format!(
             "{{\"events\":{},\"power_dbm\":{},\"margin_db\":{},\"goodput_gbps\":{},\
              \"tp_latency_ms\":{},\"tp_iters\":{},\"ctrl_age_ms\":{},\"outage_s\":{},\
-             \"rf_s\":{}}}",
+             \"rf_s\":{},\"stall_s\":{}}}",
             self.events.to_json(),
             self.power_dbm.to_json(),
             self.margin_db.to_json(),
@@ -909,7 +970,8 @@ impl SessionTelemetry {
             self.tp_iters.to_json(),
             self.ctrl_age_ms.to_json(),
             self.outage_s.to_json(),
-            self.rf_s.to_json()
+            self.rf_s.to_json(),
+            self.stall_s.to_json()
         )
     }
 }

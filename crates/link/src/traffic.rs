@@ -1,0 +1,443 @@
+//! **Viewport traffic + playout QoE** — the demand side of a fleet session.
+//!
+//! The fleet workloads used to assume a constant full-rate offered load:
+//! every up-slot delivered `rate × slot` and goodput was the only rollup.
+//! Real VR streaming is bursty — frames arrive on a display clock, keyframes
+//! and viewport changes inflate them — and what the user feels is not mean
+//! goodput but *stall time*: how long the playout buffer sat empty. This
+//! module models that demand side deterministically (per-stream `mix64`
+//! draws, no shared RNG) so the scheduled fleet can roll goodput up into a
+//! QoE-style stall metric.
+//!
+//! Pipeline per session:
+//!
+//! ```text
+//! FrameCursor (arrivals) ──> sender queue ──link slots──> FrameCursor
+//!   fps, keyframes,           (backlog)      (granted &    (delivery) ──>
+//!   viewport bursts                           link up)      playout buffer
+//!                                                           ──> stall clock
+//! ```
+//!
+//! Memory is O(1) per session: frame sizes are a pure function of
+//! `(seed, frame index, burst state)`, so the arrival and delivery sides
+//! each walk the same deterministic cursor instead of queueing per-frame
+//! records.
+
+use crate::control::unit;
+use cyclops_par::mix64;
+
+/// Configuration of the per-session viewport/frame traffic source.
+///
+/// Defaults model a 72 fps headset stream at ≈ 6.5 Gbps mean offered load
+/// (83 Mbit base frames, a 2.5× keyframe every 24 frames, 5 %-per-frame
+/// viewport changes bursting 6 frames at 2×) — heavy enough that a handful
+/// of sessions oversubscribe one ~8.6 Gbps Cyclops TX.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Display/frame rate (frames per second).
+    pub fps: f64,
+    /// Nominal frame size (megabits).
+    pub base_frame_mbit: f64,
+    /// Every `keyframe_every`-th frame is a keyframe (0 disables).
+    pub keyframe_every: u64,
+    /// Keyframe size multiplier.
+    pub keyframe_mult: f64,
+    /// Per-frame probability of a viewport change (deterministic
+    /// `mix64(seed, frame)` draw).
+    pub viewport_switch_prob: f64,
+    /// Frames inflated after a viewport change (fresh tiles streaming in).
+    pub burst_frames: u64,
+    /// Burst size multiplier.
+    pub burst_mult: f64,
+    /// Playout starts once this many frames are buffered.
+    pub startup_frames: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            fps: 72.0,
+            base_frame_mbit: 83.0,
+            keyframe_every: 24,
+            keyframe_mult: 2.5,
+            viewport_switch_prob: 0.05,
+            burst_frames: 6,
+            burst_mult: 2.0,
+            startup_frames: 2,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// Validates the configuration (finite, positive rate and sizes,
+    /// multipliers ≥ 1, probability in `[0, 1]`).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.fps.is_finite() && self.fps > 0.0) {
+            return Err("fps must be finite and positive");
+        }
+        if !(self.base_frame_mbit.is_finite() && self.base_frame_mbit > 0.0) {
+            return Err("base_frame_mbit must be finite and positive");
+        }
+        if !(self.keyframe_mult.is_finite() && self.keyframe_mult >= 1.0) {
+            return Err("keyframe_mult must be finite and >= 1");
+        }
+        if !(self.burst_mult.is_finite() && self.burst_mult >= 1.0) {
+            return Err("burst_mult must be finite and >= 1");
+        }
+        if !(0.0..=1.0).contains(&self.viewport_switch_prob) {
+            return Err("viewport_switch_prob must be in [0, 1]");
+        }
+        Ok(())
+    }
+
+    /// Approximate mean offered load (Gbps): base rate × the expected
+    /// keyframe and viewport-burst inflation.
+    pub fn mean_offered_gbps(&self) -> f64 {
+        let kf = if self.keyframe_every > 0 {
+            1.0 + (self.keyframe_mult - 1.0) / self.keyframe_every as f64
+        } else {
+            1.0
+        };
+        let burst = 1.0
+            + (self.burst_mult - 1.0)
+                * (self.viewport_switch_prob * self.burst_frames as f64).min(1.0);
+        self.fps * self.base_frame_mbit * 1e6 * kf * burst / 1e9
+    }
+}
+
+/// A deterministic walk over the frame-size sequence. Arrival and delivery
+/// each hold one cursor over the *same* stream, which is what keeps the
+/// source O(1) in memory: no per-frame queue, just two replay positions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct FrameCursor {
+    idx: u64,
+    burst_left: u64,
+}
+
+impl FrameCursor {
+    /// Size of the next frame (bits), advancing the cursor.
+    fn next_bits(&mut self, cfg: &TrafficConfig, seed: u64) -> f64 {
+        let mut mult = 1.0;
+        if cfg.keyframe_every > 0 && self.idx % cfg.keyframe_every == 0 {
+            mult *= cfg.keyframe_mult;
+        }
+        if cfg.viewport_switch_prob > 0.0 && unit(mix64(seed, self.idx)) < cfg.viewport_switch_prob
+        {
+            self.burst_left = cfg.burst_frames;
+        }
+        if self.burst_left > 0 {
+            mult *= cfg.burst_mult;
+            self.burst_left -= 1;
+        }
+        self.idx += 1;
+        cfg.base_frame_mbit * 1e6 * mult
+    }
+}
+
+/// Cumulative traffic/QoE counters of one [`TrafficSource`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Frames generated by the source.
+    pub frames_generated: u64,
+    /// Frames fully delivered over the link.
+    pub frames_delivered: u64,
+    /// Frames consumed by the display.
+    pub frames_played: u64,
+    /// Stall (rebuffering) episodes entered.
+    pub stall_events: u64,
+    /// Total stall time (seconds, slot-quantized).
+    pub stall_s: f64,
+    /// Gigabits offered (generated into the sender queue).
+    pub offered_gb: f64,
+    /// Gigabits delivered over the link.
+    pub delivered_gb: f64,
+    /// Peak sender backlog (megabits).
+    pub peak_backlog_mbit: f64,
+}
+
+/// Per-slot playout outcome of [`TrafficSource::playout_step`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlayoutSlot {
+    /// Whether the display is stalled at the end of this slot.
+    pub stalled: bool,
+    /// A stall episode started this slot.
+    pub stall_started: bool,
+    /// A stall episode ended this slot; the payload is its duration (s).
+    pub stall_ended: Option<f64>,
+}
+
+/// One session's traffic state: deterministic bursty frame arrivals, a
+/// sender backlog drained by granted link slots, and a playout buffer whose
+/// starvation is the stall-time QoE metric.
+#[derive(Debug, Clone)]
+pub struct TrafficSource {
+    cfg: TrafficConfig,
+    seed: u64,
+    /// Arrival-side cursor (frames generated so far).
+    arrive: FrameCursor,
+    /// Delivery-side cursor (frames fetched for transmission so far).
+    deliver: FrameCursor,
+    /// Remaining bits of the frame currently in transmission (0 = none).
+    head_left_bits: f64,
+    /// Bits queued at the sender (including the partial head frame).
+    backlog_bits: f64,
+    /// Complete frames at the receiver awaiting display.
+    buffered_frames: u64,
+    /// Playout has started (startup buffer filled once).
+    started: bool,
+    /// Display clock: when the next frame is due.
+    next_play_t: f64,
+    /// Currently stalled (display starved).
+    stalled: bool,
+    /// Length of the running stall episode (s).
+    cur_stall_s: f64,
+    stats: TrafficStats,
+}
+
+impl TrafficSource {
+    /// Creates a source over its own deterministic `seed` stream.
+    pub fn new(cfg: TrafficConfig, seed: u64) -> TrafficSource {
+        TrafficSource {
+            cfg,
+            seed,
+            arrive: FrameCursor::default(),
+            deliver: FrameCursor::default(),
+            head_left_bits: 0.0,
+            backlog_bits: 0.0,
+            buffered_frames: 0,
+            started: false,
+            next_play_t: 0.0,
+            stalled: false,
+            cur_stall_s: 0.0,
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// The source configuration.
+    pub fn cfg(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    /// Generates every frame due by time `t` (frame `i` arrives at
+    /// `i / fps`) into the sender queue.
+    pub fn arrive_until(&mut self, t: f64) {
+        while (self.arrive.idx as f64) <= t * self.cfg.fps + 1e-9 {
+            let bits = self.arrive.next_bits(&self.cfg, self.seed);
+            self.backlog_bits += bits;
+            self.stats.frames_generated += 1;
+            self.stats.offered_gb += bits / 1e9;
+        }
+        let mbit = self.backlog_bits / 1e6;
+        if mbit > self.stats.peak_backlog_mbit {
+            self.stats.peak_backlog_mbit = mbit;
+        }
+    }
+
+    /// Whether the sender has queued traffic (the scheduler's demand bit).
+    pub fn has_demand(&self) -> bool {
+        self.head_left_bits > 0.0 || self.deliver.idx < self.arrive.idx
+    }
+
+    /// Bits queued at the sender.
+    pub fn backlog_bits(&self) -> f64 {
+        self.backlog_bits
+    }
+
+    /// Drains up to `capacity_bits` from the sender queue (the slot's link
+    /// capacity when granted and up); completed frames land in the playout
+    /// buffer. Returns the bits actually delivered.
+    pub fn deliver(&mut self, mut capacity_bits: f64) -> f64 {
+        let mut delivered = 0.0;
+        while capacity_bits > 0.0 {
+            if self.head_left_bits <= 0.0 {
+                if self.deliver.idx >= self.arrive.idx {
+                    break; // queue empty
+                }
+                self.head_left_bits = self.deliver.next_bits(&self.cfg, self.seed);
+            }
+            let take = capacity_bits.min(self.head_left_bits);
+            self.head_left_bits -= take;
+            capacity_bits -= take;
+            delivered += take;
+            if self.head_left_bits <= 0.0 {
+                self.buffered_frames += 1;
+                self.stats.frames_delivered += 1;
+            }
+        }
+        self.backlog_bits = (self.backlog_bits - delivered).max(0.0);
+        self.stats.delivered_gb += delivered / 1e9;
+        delivered
+    }
+
+    /// Advances the display clock to slot-end time `t` (slot length
+    /// `slot_s`): frames are consumed once per period; an empty buffer at a
+    /// frame deadline is a stall, and the clock pauses until a frame lands.
+    pub fn playout_step(&mut self, t: f64, slot_s: f64) -> PlayoutSlot {
+        let mut out = PlayoutSlot::default();
+        let period = 1.0 / self.cfg.fps;
+        if !self.started {
+            if self.buffered_frames >= self.cfg.startup_frames.max(1) {
+                self.started = true;
+                self.next_play_t = t; // first frame plays immediately below
+            } else {
+                return out;
+            }
+        }
+        loop {
+            if self.stalled {
+                if self.buffered_frames > 0 {
+                    self.buffered_frames -= 1;
+                    self.stats.frames_played += 1;
+                    self.stalled = false;
+                    out.stall_ended = Some(self.cur_stall_s);
+                    self.cur_stall_s = 0.0;
+                    // The clock restarts from the resume point.
+                    self.next_play_t = t + period;
+                }
+                break;
+            } else if self.next_play_t <= t + 1e-9 {
+                if self.buffered_frames > 0 {
+                    self.buffered_frames -= 1;
+                    self.stats.frames_played += 1;
+                    self.next_play_t += period;
+                } else {
+                    self.stalled = true;
+                    self.stats.stall_events += 1;
+                    out.stall_started = true;
+                }
+            } else {
+                break;
+            }
+        }
+        if self.stalled {
+            self.stats.stall_s += slot_s;
+            self.cur_stall_s += slot_s;
+        }
+        out.stalled = self.stalled;
+        out
+    }
+
+    /// Whether the display is currently stalled.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(cfg: TrafficConfig, seed: u64, slots: usize, cap_bits: f64) -> TrafficStats {
+        let mut src = TrafficSource::new(cfg, seed);
+        let slot_s = 1e-3;
+        for k in 0..slots {
+            let t = (k + 1) as f64 * slot_s;
+            src.arrive_until(t);
+            src.deliver(cap_bits);
+            src.playout_step(t, slot_s);
+        }
+        src.stats()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = drive(TrafficConfig::default(), 7, 4000, 6e6);
+        let b = drive(TrafficConfig::default(), 7, 4000, 6e6);
+        assert_eq!(a, b);
+        let c = drive(TrafficConfig::default(), 8, 4000, 6e6);
+        assert_ne!(a, c, "different seeds must draw different bursts");
+    }
+
+    #[test]
+    fn ample_capacity_never_stalls() {
+        // 40 Mbit/slot = 40 Gbps against ~6.5 Gbps offered.
+        let s = drive(TrafficConfig::default(), 3, 6000, 40e6);
+        assert_eq!(s.stall_events, 0);
+        assert_eq!(s.stall_s, 0.0);
+        assert!(s.frames_played > 0);
+        // Everything generated is eventually delivered (minus the tail).
+        assert!(s.frames_delivered >= s.frames_generated - 2);
+    }
+
+    #[test]
+    fn starved_link_stalls() {
+        // 1 Mbit/slot = 1 Gbps against ~6.5 Gbps offered: the buffer drains.
+        let s = drive(TrafficConfig::default(), 3, 6000, 1e6);
+        assert!(s.stall_events > 0, "{s:?}");
+        assert!(s.stall_s > 1.0, "{s:?}");
+        assert!(s.delivered_gb < s.offered_gb);
+    }
+
+    #[test]
+    fn zero_capacity_plays_nothing() {
+        let s = drive(TrafficConfig::default(), 3, 2000, 0.0);
+        assert_eq!(s.frames_delivered, 0);
+        assert_eq!(s.frames_played, 0);
+        // Playout never started, so no stall is charged either.
+        assert_eq!(s.stall_s, 0.0);
+        assert!(s.offered_gb > 0.0);
+    }
+
+    #[test]
+    fn arrival_and_delivery_cursors_replay_the_same_stream() {
+        let cfg = TrafficConfig::default();
+        let mut a = FrameCursor::default();
+        let mut b = FrameCursor::default();
+        for _ in 0..500 {
+            assert_eq!(
+                a.next_bits(&cfg, 42).to_bits(),
+                b.next_bits(&cfg, 42).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn keyframes_and_bursts_inflate_frames() {
+        let cfg = TrafficConfig {
+            viewport_switch_prob: 0.0,
+            ..TrafficConfig::default()
+        };
+        let mut c = FrameCursor::default();
+        let f0 = c.next_bits(&cfg, 1); // frame 0: keyframe
+        let f1 = c.next_bits(&cfg, 1);
+        assert!((f0 / f1 - cfg.keyframe_mult).abs() < 1e-12);
+        assert_eq!(f1, cfg.base_frame_mbit * 1e6);
+    }
+
+    #[test]
+    fn mean_offered_matches_simulation_roughly() {
+        let cfg = TrafficConfig::default();
+        let s = drive(cfg, 11, 20_000, 0.0);
+        let measured = s.offered_gb / 20.0; // 20 s
+        let predicted = cfg.mean_offered_gbps();
+        assert!(
+            (measured - predicted).abs() / predicted < 0.25,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TrafficConfig::default().validate().is_ok());
+        let bad = TrafficConfig {
+            fps: 0.0,
+            ..TrafficConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = TrafficConfig {
+            viewport_switch_prob: 1.5,
+            ..TrafficConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = TrafficConfig {
+            burst_mult: 0.5,
+            ..TrafficConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

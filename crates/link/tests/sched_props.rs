@@ -1,0 +1,130 @@
+//! Property-based tests for the shared-TX scheduler invariants: no
+//! double-booking under any policy/churn, admission bounded by the pool,
+//! and proportional-fair convergence under symmetric demand.
+
+use cyclops_link::sched::{
+    GrantEngine, GreedyMaxMargin, ProportionalFair, SchedConfig, SessionSlotState, StaticPartition,
+    TxScheduler,
+};
+use cyclops_par::mix64;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A synthetic slot state (no physics): servable iff `ok`.
+fn state(session: usize, active: usize, ok: bool, rate: f64) -> SessionSlotState {
+    SessionSlotState {
+        session,
+        admitted: true,
+        active_unit: active,
+        signal: ok,
+        link_up: ok,
+        margin_db: rate,
+        rate_gbps: rate,
+        demand: ok,
+        backlog_bits: if ok { 1e9 } else { 0.0 },
+        handed_over: false,
+        served_ewma_gbps: 0.0,
+        stalled: false,
+    }
+}
+
+fn policy_for(pick: u8) -> Box<dyn TxScheduler> {
+    match pick % 3 {
+        0 => Box::new(StaticPartition { quantum_slots: 8 }),
+        1 => Box::new(GreedyMaxMargin),
+        _ => Box::new(ProportionalFair { alpha: 1.0 }),
+    }
+}
+
+proptest! {
+    /// Core invariant: across all policies and arbitrary per-slot churn of
+    /// usability/active-unit/rate, no TX unit ever serves two sessions in
+    /// one slot, the grant map stays bidirectionally consistent, and a
+    /// session only transports on the unit its beam actually uses.
+    #[test]
+    fn no_unit_serves_two_sessions(
+        n in 1usize..12,
+        m in 1usize..6,
+        pick in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SchedConfig::greedy();
+        let mut ge = GrantEngine::new(n, m, &cfg, 1e-3);
+        let mut policy = policy_for(pick);
+        let mut states: Vec<SessionSlotState> =
+            (0..n).map(|i| state(i, 0, true, 8.0)).collect();
+        for k in 0..200u64 {
+            for (i, st) in states.iter_mut().enumerate() {
+                let h = mix64(seed, k.wrapping_mul(131).wrapping_add(i as u64));
+                let ok = h & 3 != 0; // servable ~75% of slots
+                let active = ((h >> 2) as usize) % m;
+                *st = state(i, active, ok, 4.0 + ((h >> 8) & 0xf) as f64);
+            }
+            ge.step(k, 1e-3, &mut states, policy.as_mut());
+            prop_assert!(ge.grants().is_consistent());
+            prop_assert!(ge.grants().n_granted() <= m.min(n));
+            let mut served_units = HashSet::new();
+            for (i, st) in states.iter().enumerate() {
+                if ge.deliverable(i, st) {
+                    let u = ge.unit_of(i).unwrap();
+                    prop_assert_eq!(u, st.active_unit);
+                    prop_assert!(served_units.insert(u), "unit {} served twice in slot {}", u, k);
+                }
+            }
+        }
+    }
+
+    /// Admission control never exceeds the pool's capacity, under every
+    /// policy's `admit`.
+    #[test]
+    fn admission_never_exceeds_pool(
+        n in 1usize..40,
+        m in 1usize..8,
+        per in 1usize..4,
+        pick in 0u8..3,
+    ) {
+        let mut policy = policy_for(pick);
+        let cap = m * per;
+        let mut admitted = 0usize;
+        for i in 0..n {
+            if policy.admit(i, admitted, cap) {
+                admitted += 1;
+            }
+        }
+        prop_assert!(admitted <= cap);
+        prop_assert_eq!(admitted, n.min(cap));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Proportional-fair converges to even service shares when demand and
+    /// channel quality are symmetric.
+    #[test]
+    fn pf_converges_under_symmetric_demand(n in 2usize..6, rate in 4.0..10.0f64) {
+        let cfg = SchedConfig::proportional_fair(1.0);
+        let mut pf = ProportionalFair { alpha: 1.0 };
+        let mut ge = GrantEngine::new(n, 1, &cfg, 1e-3);
+        let mut states: Vec<SessionSlotState> =
+            (0..n).map(|i| state(i, 0, true, rate)).collect();
+        let mut served = vec![0u64; n];
+        for k in 0..20_000u64 {
+            ge.step(k, 1e-3, &mut states, &mut pf);
+            for i in 0..n {
+                let ok = ge.deliverable(i, &states[i]);
+                served[i] += ok as u64;
+                ge.note_rate(i, if ok { rate } else { 0.0 });
+            }
+        }
+        let total: u64 = served.iter().sum();
+        prop_assert!(total > 0);
+        for &s in &served {
+            let share = s as f64 / total as f64;
+            prop_assert!(
+                (share - 1.0 / n as f64).abs() < 0.05,
+                "share {} of 1/{} (served {:?})", share, n, served
+            );
+        }
+    }
+}

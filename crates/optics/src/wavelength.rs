@@ -158,7 +158,7 @@ mod tests {
         let worst = commodity
             .lane_margins_db()
             .into_iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         assert!(
             worst.0 == 1271.0 || worst.0 == 1331.0,

@@ -72,7 +72,7 @@ where
     while n_evals < opts.max_evals {
         // Order the simplex by objective.
         let mut idx: Vec<usize> = (0..=n).collect();
-        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         let reorder = |v: &mut Vec<Vec<f64>>, w: &mut Vec<f64>, idx: &[usize]| {
             let nv: Vec<Vec<f64>> = idx.iter().map(|&i| v[i].clone()).collect();
             let nw: Vec<f64> = idx.iter().map(|&i| w[i]).collect();
@@ -157,7 +157,7 @@ where
     let (best_i, _) = values
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     NmReport {
         params: simplex[best_i].clone(),

@@ -52,7 +52,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q));
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -68,7 +68,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
 /// `≤ t` for each `t`.
 pub fn ecdf_at(values: &[f64], thresholds: &[f64]) -> Vec<f64> {
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     thresholds
         .iter()
         .map(|t| {
@@ -121,5 +121,18 @@ mod tests {
     fn quantile_unsorted_input() {
         let v = [5.0, 1.0, 3.0, 2.0, 4.0];
         assert_eq!(quantile(&v, 0.5), 3.0);
+    }
+
+    /// Regression for the `partial_cmp().unwrap()` sweep: a NaN in the
+    /// sample must not panic the sort. `total_cmp` places NaN above every
+    /// real value, so low quantiles and finite thresholds are unaffected.
+    #[test]
+    fn nan_samples_do_not_panic() {
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert!((quantile(&v, 1.0 / 3.0) - 2.0).abs() < 1e-12);
+        assert!(quantile(&v, 1.0).is_nan());
+        let cdf = ecdf_at(&v, &[1.5, 3.5]);
+        assert_eq!(cdf, vec![0.25, 0.75]);
     }
 }
