@@ -237,6 +237,49 @@ fn main() {
             "explicit FallbackPolicy::Off perturbed the link_chaos digest"
         );
         println!("link_chaos: fallback-off identity holds");
+
+        // Environment-identity guard (not a golden line): an explicitly
+        // attached empty `Environment`, and one whose only stage attenuates
+        // nothing (density-0 fog), must leave the digest bit-identical —
+        // opting out of weather is free, per the registry/environment
+        // determinism contract.
+        let env_digest = |env: Environment| -> u64 {
+            let mut sys = CyclopsSystem::commission(&SystemConfig::fast_10g(9_007));
+            sys.control = Some(ControlPlaneConfig::hardened(FaultPlan::stress(17)));
+            let base = Pose::translation(Vec3::new(0.0, 0.0, 1.75));
+            let motion = ArbitraryMotion::new(base, ArbitraryMotionConfig::default(), 613);
+            let mut session = sys
+                .into_session_builder(motion)
+                .environment(env)
+                .build()
+                .expect("valid engine config");
+            let recs = session.run(3.0);
+            let mut d = Digest::new();
+            for r in &recs {
+                d.f64(r.t);
+                d.f64(r.power_dbm);
+                d.bool(r.link_up);
+                d.f64(r.goodput_gbps);
+                d.f64(r.lin_speed);
+                d.f64(r.ang_speed);
+            }
+            d.session_stats(&session.session_stats());
+            d.0
+        };
+        assert_eq!(
+            env_digest(Environment::new()),
+            chaos_digest,
+            "empty Environment perturbed the link_chaos digest"
+        );
+        assert_eq!(
+            env_digest(
+                Environment::new()
+                    .stage(FogStage::from_density(0.0, 1550.0).expect("valid density"))
+            ),
+            chaos_digest,
+            "density-0 fog perturbed the link_chaos digest"
+        );
+        println!("link_chaos: environment-off identity holds");
     }
 
     // --- Single-TX: pause-on-outage operator protocol on a too-fast rail.
@@ -343,7 +386,7 @@ fn main() {
             SchedConfig::greedy(),
             SchedConfig::proportional_fair(1.0),
         ] {
-            let sum = run_fleet_scheduled(&units, &fleet, &sc);
+            let sum = run_fleet_scheduled(&units, &fleet, &sc).expect("valid sched config");
             for s in &sum.sessions {
                 d.u64(s.seed);
                 d.f64(s.up_frac);

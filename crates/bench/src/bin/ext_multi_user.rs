@@ -274,7 +274,7 @@ fn main() {
     );
     let mut rolls = Vec::new();
     for (name, sc) in &policies {
-        let sum = run_fleet_scheduled(&sched_units, &sched_fleet, sc);
+        let sum = run_fleet_scheduled(&sched_units, &sched_fleet, sc).expect("valid sched config");
         for s in &sum.sessions {
             let sc = s.sched.expect("scheduled session stats");
             println!(

@@ -252,6 +252,29 @@ fn sched_signature(summary: &cyclops::link::engine::FleetSummary) -> Vec<f64> {
     sig
 }
 
+/// Flattens a mixed-hardware fleet into the bit-identity signature: the
+/// physics signature plus each session's pool stamp and the per-profile
+/// rollups, so pool dispatch or environment re-keying divergence between
+/// the serial and parallel legs fails the check.
+fn hetero_signature(summary: &cyclops::link::engine::FleetSummary) -> Vec<f64> {
+    let mut sig = fleet_signature(summary);
+    for s in &summary.sessions {
+        sig.push(s.profile.map_or(-1.0, |p| p as f64));
+    }
+    for (pool, r) in summary.profile_rollups() {
+        sig.extend([
+            pool as f64,
+            r.n_sessions as f64,
+            r.mean_up_frac,
+            r.min_up_frac,
+            r.sum_goodput_gbps,
+            r.total_outages as f64,
+            r.worst_outage_s,
+        ]);
+    }
+    sig
+}
+
 /// Outcome of the telemetry overhead probe.
 struct TelemetryProbe {
     null_sink_s: f64,
@@ -382,6 +405,31 @@ fn main() {
         fallback: FallbackPolicy::RfOnOutage,
         ..fleet_cfg.clone()
     };
+    // The heterogeneous-fleet workload: the same 8 hostile sessions split
+    // across two hardware pools — the paper build (Rift-S tracking) and the
+    // registry's noisier Quest class — under a light environment (fog +
+    // scintillation), so mixed-pool dispatch, per-session environment
+    // re-keying, and the per-slot attenuation sum are all on the timed path.
+    let hetero_pools = vec![
+        FleetPool {
+            label: "10g/rift-s".into(),
+            units: units.clone(),
+            tracker: TrackerConfig::default(),
+        },
+        FleetPool {
+            label: "10g/quest".into(),
+            units: units.clone(),
+            tracker: headset_profile("quest").expect("registered preset").tracker,
+        },
+    ];
+    let fleet_hetero_cfg = FleetConfig {
+        environment: Some(
+            Environment::new()
+                .stage(FogStage::from_density(0.3, 1550.0).expect("valid density"))
+                .stage(ScintillationStage::new(0.6, 10e-3, 77).expect("valid scintillation")),
+        ),
+        ..fleet_cfg.clone()
+    };
 
     // The scheduled-fleet contention workload: the same 8 hostile sessions
     // treat the 2 TX installations as a shared pool under proportional-fair
@@ -472,7 +520,18 @@ fn main() {
         // the signature, so any thread-count sensitivity in the overlay
         // fails the bit-identical check.
         run_workload("fleet_sched", threads, fleet_slots, || {
-            sched_signature(&run_fleet_scheduled(&units, &fleet_cfg, &sched_cfg))
+            sched_signature(
+                &run_fleet_scheduled(&units, &fleet_cfg, &sched_cfg).expect("valid sched config"),
+            )
+        }),
+        // Heterogeneous fleet: mixed hardware pools + environment layer on
+        // the hostile 8-session workload. Pool stamps and per-profile
+        // rollups are in the signature, so a divergence in mixed dispatch
+        // or environment re-keying fails the bit-identical check.
+        run_workload("fleet_hetero", threads, fleet_slots, || {
+            hetero_signature(
+                &run_fleet_mixed(&hetero_pools, &fleet_hetero_cfg).expect("valid mixed fleet"),
+            )
         }),
         // 1000-session scale: the slot-throughput headline at fleet width.
         run_workload("fleet_1k", threads, fleet_1k_slots, || {
@@ -740,6 +799,7 @@ fn main() {
     ];
     for (i, (name, sc)) in sched_policies.iter().enumerate() {
         let r = run_fleet_scheduled(&units, &fleet_cfg, sc)
+            .expect("valid sched config")
             .rollup()
             .sched
             .expect("scheduled fleet must roll up");

@@ -30,18 +30,27 @@ pub use cyclops_vrh::motion::{
 pub use cyclops_vrh::traces::{HeadTrace, TraceGenConfig};
 pub use cyclops_vrh::tracking::{TrackerConfig, TrackingReport, VrhTracker};
 
-pub use cyclops_link::channel::RfChannel;
+pub use cyclops_link::channel::{
+    EnvChannel, EnvStage, Environment, FogStage, HumanOccluderStage, RainStage, RfChannel,
+    ScintillationStage,
+};
 pub use cyclops_link::control::{
     ArqConfig, ControlLink, ControlPlaneConfig, ControlStats, DeadReckoningConfig, FaultPlan,
     FlapSchedule, ReacqConfig,
 };
 pub use cyclops_link::engine::{
-    run_fleet, run_fleet_rollup, EngineConfig, EngineConfigError, FallbackPolicy, FirstReport,
-    FleetConfig, FleetConfigBuilder, FleetRollup, FleetRollupAcc, FleetSummary, LinkPolicy,
-    LinkSession, RfStats, SessionBuilder, SessionReport, SessionStats, TxInstallation,
+    run_fleet, run_fleet_mixed, run_fleet_rollup, EngineConfig, EngineConfigError, EngineSlot,
+    FallbackPolicy, FirstReport, FleetConfig, FleetConfigBuilder, FleetPool, FleetRollup,
+    FleetRollupAcc, FleetSummary, LinkPolicy, LinkSession, RfStats, SessionBuilder, SessionReport,
+    SessionStats, TxInstallation,
 };
 pub use cyclops_link::handover::{HandoverSystem, Occluder, TxUnit};
 pub use cyclops_link::multi_tx::MultiTxSimulator;
+pub use cyclops_link::registry::{
+    galvo_profile, galvo_profiles, headset_profile, headset_profiles, sfp_profile, sfp_profiles,
+    GalvoProfile, GalvoProfileDef, HardwareProfile, HardwareProfileBuilder, HeadsetProfile,
+    HeadsetProfileDef, RegistryError, SfpProfile, SfpProfileDef,
+};
 pub use cyclops_link::sched::{
     run_fleet_scheduled, run_fleet_with_scheduler, GrantEngine, GrantSet, GreedyMaxMargin,
     ProportionalFair, SchedConfig, SchedCtx, SchedPolicy, SchedRollup, SchedSessionStats,

@@ -79,6 +79,18 @@ impl SystemConfig {
             ..SystemConfig::paper_10g(seed)
         }
     }
+
+    /// Builds a commissioning config from a registry hardware profile
+    /// (`cyclops_link::registry`): the profile's optical design and galvo
+    /// non-idealities over the paper's assembly tolerances, the profile's
+    /// headset tracker, and the fast training budget (the CLI's default).
+    pub fn from_profile(hw: &cyclops_link::registry::HardwareProfile, seed: u64) -> SystemConfig {
+        SystemConfig {
+            deployment: hw.deployment_config(seed),
+            tracker: hw.tracker(),
+            ..SystemConfig::fast_10g(seed)
+        }
+    }
 }
 
 /// Training diagnostics (the numbers behind Table 2).

@@ -179,7 +179,7 @@ impl RfChannel {
 ///    an occlusion) are answered without recomputation.
 ///
 /// Under the opt-in `fast-channel` feature the computation is delegated to
-/// the interpolated [`fast::ChannelLut`] instead (error-bounded, see the
+/// the interpolated `fast::ChannelLut` instead (error-bounded, see the
 /// module docs) — digests may then legitimately differ.
 #[derive(Debug, Clone)]
 pub struct FrameSuccessCache {
@@ -302,6 +302,478 @@ impl FrameSuccessCache {
         self.last_in_bits = bits;
         self.last_out = out;
         out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composable environment stages
+// ---------------------------------------------------------------------------
+
+/// Converts a `mix64` output to a uniform draw in the half-open unit
+/// interval, bounded away from zero so `ln` stays finite.
+#[inline]
+fn unit_open(x: u64) -> f64 {
+    (((x >> 11) + 1) as f64) * (1.0 / ((1u64 << 53) as f64 + 1.0))
+}
+
+/// A standard normal deviate derived purely from `(seed, stream)` via two
+/// `mix64` draws and Box–Muller — no RNG object, so stages sampling per
+/// epoch/event are bit-deterministic and order-independent.
+#[inline]
+fn gauss_at(seed: u64, stream: u64) -> f64 {
+    let u1 = unit_open(cyclops_par::mix64(seed, 2 * stream + 1));
+    let u2 = unit_open(cyclops_par::mix64(seed, 2 * stream + 2));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// One composable channel-impairment stage: an extra optical loss (dB ≥ 0)
+/// applied to the received power each slot, as a pure function of slot time
+/// and TX→RX path length.
+///
+/// Contract (relied on by the engine and enforced by the environment
+/// proptests):
+///
+/// - **loss-only** — the returned attenuation is clamped at ≥ 0 dB by
+///   [`Environment::attenuation_db`], so applying a stage is monotone
+///   non-increasing in received power;
+/// - **bit-deterministic** — any randomness must derive from the stage's
+///   seed via per-stream [`cyclops_par::mix64`] keyed by epoch/event index,
+///   never from a shared RNG, so stages cannot perturb the engine's
+///   deployment/fault streams and replays are bit-identical per seed;
+/// - **monotone time** — `attenuation_db` is called once per slot with
+///   non-decreasing `t_s` (stages may keep a forward cursor).
+pub trait EnvStage: std::fmt::Debug + Send + Sync {
+    /// Short stable stage name (telemetry / CLI listings).
+    fn name(&self) -> &'static str;
+
+    /// Extra optical loss (dB) during the slot ending at `t_s` over a
+    /// TX→RX path of `path_m` metres.
+    fn attenuation_db(&mut self, t_s: f64, path_m: f64) -> f64;
+
+    /// Re-keys the stage's random stream (per-session fleet seeding) and
+    /// resets any forward cursor. Deterministic stages ignore it.
+    fn reseed(&mut self, _stream: u64) {}
+
+    /// Clones the stage behind the object-safe interface.
+    fn boxed_clone(&self) -> Box<dyn EnvStage>;
+}
+
+impl Clone for Box<dyn EnvStage> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// Static fog/smoke extinction via Beer–Lambert: `loss = α · L` with a
+/// constant extinction coefficient α (dB/km) from the Kim visibility model.
+/// Deterministic — no random stream.
+#[derive(Debug, Clone, Copy)]
+pub struct FogStage {
+    /// Extinction coefficient (dB per km of path).
+    pub alpha_db_per_km: f64,
+}
+
+impl FogStage {
+    /// A fog/smoke stage from a raw extinction coefficient (dB/km).
+    pub fn new(alpha_db_per_km: f64) -> Result<FogStage, crate::engine::EngineConfigError> {
+        if !(alpha_db_per_km.is_finite() && alpha_db_per_km >= 0.0) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "fog extinction must be finite and >= 0 dB/km",
+            ));
+        }
+        Ok(FogStage { alpha_db_per_km })
+    }
+
+    /// Kim-model extinction from meteorological visibility: `α =
+    /// (3.91/V)·(λ/550 nm)^−q` dB/km with Kim's piecewise size-distribution
+    /// exponent `q(V)` (wavelength dependence vanishes below 500 m — dense
+    /// fog scatters all bands equally).
+    pub fn from_visibility(
+        visibility_m: f64,
+        wavelength_nm: f64,
+    ) -> Result<FogStage, crate::engine::EngineConfigError> {
+        if !(visibility_m.is_finite() && visibility_m > 0.0) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "visibility must be finite and > 0 m",
+            ));
+        }
+        if !(wavelength_nm.is_finite() && wavelength_nm > 0.0) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "wavelength must be finite and > 0 nm",
+            ));
+        }
+        let v_km = visibility_m / 1000.0;
+        let q = if v_km > 50.0 {
+            1.6
+        } else if v_km > 6.0 {
+            1.3
+        } else if v_km > 1.0 {
+            0.16 * v_km + 0.34
+        } else if v_km > 0.5 {
+            v_km - 0.5
+        } else {
+            0.0
+        };
+        let alpha = (3.91 / v_km) * (wavelength_nm / 550.0).powf(-q);
+        FogStage::new(alpha)
+    }
+
+    /// Indoor haze/smoke density knob for the CLI: `d ∈ [0, 1]` maps
+    /// log-linearly from clear air (d = 0, no loss) through light haze to
+    /// theatrical-smoke visibility of 1 m at d = 1.
+    pub fn from_density(
+        density: f64,
+        wavelength_nm: f64,
+    ) -> Result<FogStage, crate::engine::EngineConfigError> {
+        if !(density.is_finite() && (0.0..=1.0).contains(&density)) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "fog density must be in [0, 1]",
+            ));
+        }
+        if density == 0.0 {
+            return FogStage::new(0.0);
+        }
+        // 100 m visibility at d→0+ down to 1 m at d = 1, log scale.
+        let visibility_m = 100.0 * 10f64.powf(-2.0 * density);
+        FogStage::from_visibility(visibility_m, wavelength_nm)
+    }
+}
+
+impl EnvStage for FogStage {
+    fn name(&self) -> &'static str {
+        "fog"
+    }
+
+    fn attenuation_db(&mut self, _t_s: f64, path_m: f64) -> f64 {
+        self.alpha_db_per_km * path_m * 1e-3
+    }
+
+    fn boxed_clone(&self) -> Box<dyn EnvStage> {
+        Box::new(*self)
+    }
+}
+
+/// Rain attenuation via the Carbonneau FSO power law `γ = 1.076·R^0.67`
+/// dB/km for rain rate `R` mm/h. Deterministic — no random stream.
+#[derive(Debug, Clone, Copy)]
+pub struct RainStage {
+    /// Rain rate (mm/h).
+    pub rate_mm_h: f64,
+    /// Specific attenuation (dB/km), precomputed from the rate.
+    gamma_db_per_km: f64,
+}
+
+impl RainStage {
+    /// A rain stage from a rain rate in mm/h (0 = dry).
+    pub fn new(rate_mm_h: f64) -> Result<RainStage, crate::engine::EngineConfigError> {
+        if !(rate_mm_h.is_finite() && rate_mm_h >= 0.0) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "rain rate must be finite and >= 0 mm/h",
+            ));
+        }
+        Ok(RainStage {
+            rate_mm_h,
+            gamma_db_per_km: 1.076 * rate_mm_h.powf(0.67),
+        })
+    }
+}
+
+impl EnvStage for RainStage {
+    fn name(&self) -> &'static str {
+        "rain"
+    }
+
+    fn attenuation_db(&mut self, _t_s: f64, path_m: f64) -> f64 {
+        self.gamma_db_per_km * path_m * 1e-3
+    }
+
+    fn boxed_clone(&self) -> Box<dyn EnvStage> {
+        Box::new(*self)
+    }
+}
+
+/// Log-normal scintillation: a zero-mean Gaussian fade (dB) redrawn every
+/// coherence interval, clipped to loss-only (enhancements are dropped —
+/// conservative, and it keeps the stage monotone non-increasing in power).
+/// The fade for epoch `k = ⌊t/τ⌋` is a pure function of `(seed, k)`, so the
+/// sequence is bit-deterministic per seed.
+#[derive(Debug, Clone, Copy)]
+pub struct ScintillationStage {
+    /// Fade standard deviation (dB).
+    pub sigma_db: f64,
+    /// Fade coherence interval τ (seconds).
+    pub coherence_s: f64,
+    seed: u64,
+}
+
+impl ScintillationStage {
+    /// A scintillation stage with fade σ (dB), coherence τ (s), and a seed.
+    pub fn new(
+        sigma_db: f64,
+        coherence_s: f64,
+        seed: u64,
+    ) -> Result<ScintillationStage, crate::engine::EngineConfigError> {
+        if !(sigma_db.is_finite() && sigma_db >= 0.0) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "scintillation sigma must be finite and >= 0 dB",
+            ));
+        }
+        if !(coherence_s.is_finite() && coherence_s > 0.0) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "scintillation coherence must be finite and > 0 s",
+            ));
+        }
+        Ok(ScintillationStage {
+            sigma_db,
+            coherence_s,
+            seed,
+        })
+    }
+}
+
+impl EnvStage for ScintillationStage {
+    fn name(&self) -> &'static str {
+        "scintillation"
+    }
+
+    fn attenuation_db(&mut self, t_s: f64, _path_m: f64) -> f64 {
+        let epoch = (t_s / self.coherence_s).floor() as u64;
+        (self.sigma_db * gauss_at(self.seed, epoch)).max(0.0)
+    }
+
+    fn reseed(&mut self, stream: u64) {
+        self.seed = cyclops_par::mix64(self.seed, stream);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn EnvStage> {
+        Box::new(*self)
+    }
+}
+
+/// Transient human occluders crossing the beam: a renewal process of
+/// blocking episodes — exponential inter-arrival gaps, log-uniform crossing
+/// durations around the mean, and a deep body-shadow loss while inside an
+/// episode. Every gap/duration is a pure `mix64` function of `(seed, event
+/// index)`; the stage keeps only a forward cursor, so identically-seeded
+/// replays are bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct HumanOccluderStage {
+    /// Mean crossings per minute.
+    pub rate_per_min: f64,
+    /// Mean crossing duration (seconds).
+    pub mean_duration_s: f64,
+    /// Loss while a body blocks the beam (dB). A torso at 1550 nm is
+    /// opaque; 30+ dB kills any indoor FSO budget.
+    pub block_db: f64,
+    seed: u64,
+    /// Start of the next (or current) crossing.
+    next_start_s: f64,
+    /// End of the current crossing (valid when `t >= next_start_s`).
+    cur_end_s: f64,
+    /// Crossing index for the per-event streams.
+    k: u64,
+    primed: bool,
+}
+
+impl HumanOccluderStage {
+    /// A crossing stage from a rate (crossings/minute), a mean crossing
+    /// duration (s), a body-shadow loss (dB) and a seed.
+    pub fn new(
+        rate_per_min: f64,
+        mean_duration_s: f64,
+        block_db: f64,
+        seed: u64,
+    ) -> Result<HumanOccluderStage, crate::engine::EngineConfigError> {
+        if !(rate_per_min.is_finite() && rate_per_min >= 0.0) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "crossing rate must be finite and >= 0 per minute",
+            ));
+        }
+        if !(mean_duration_s.is_finite() && mean_duration_s > 0.0) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "crossing duration must be finite and > 0 s",
+            ));
+        }
+        if !(block_db.is_finite() && block_db >= 0.0) {
+            return Err(crate::engine::EngineConfigError::InvalidEnvironment(
+                "body-shadow loss must be finite and >= 0 dB",
+            ));
+        }
+        Ok(HumanOccluderStage {
+            rate_per_min,
+            mean_duration_s,
+            block_db,
+            seed,
+            next_start_s: 0.0,
+            cur_end_s: 0.0,
+            k: 0,
+            primed: false,
+        })
+    }
+
+    /// Exponential gap before crossing `k` (seconds).
+    fn gap_s(&self, k: u64) -> f64 {
+        let mean_gap_s = 60.0 / self.rate_per_min;
+        -unit_open(cyclops_par::mix64(self.seed, 3 * k + 1)).ln() * mean_gap_s
+    }
+
+    /// Duration of crossing `k`: log-uniform in [½·mean, 2·mean].
+    fn duration_s(&self, k: u64) -> f64 {
+        let u = unit_open(cyclops_par::mix64(self.seed, 3 * k + 2));
+        self.mean_duration_s * 4f64.powf(u) * 0.5
+    }
+
+    fn reset_cursor(&mut self) {
+        self.k = 0;
+        self.primed = false;
+        self.next_start_s = 0.0;
+        self.cur_end_s = 0.0;
+    }
+}
+
+impl EnvStage for HumanOccluderStage {
+    fn name(&self) -> &'static str {
+        "occluders"
+    }
+
+    fn attenuation_db(&mut self, t_s: f64, _path_m: f64) -> f64 {
+        if self.rate_per_min == 0.0 {
+            return 0.0;
+        }
+        if !self.primed {
+            self.primed = true;
+            self.next_start_s = self.gap_s(0);
+            self.cur_end_s = self.next_start_s + self.duration_s(0);
+        }
+        // Advance the cursor past finished crossings.
+        while t_s > self.cur_end_s {
+            self.k += 1;
+            self.next_start_s = self.cur_end_s + self.gap_s(self.k);
+            self.cur_end_s = self.next_start_s + self.duration_s(self.k);
+        }
+        if t_s >= self.next_start_s {
+            self.block_db
+        } else {
+            0.0
+        }
+    }
+
+    fn reseed(&mut self, stream: u64) {
+        self.seed = cyclops_par::mix64(self.seed, stream);
+        self.reset_cursor();
+    }
+
+    fn boxed_clone(&self) -> Box<dyn EnvStage> {
+        Box::new(*self)
+    }
+}
+
+/// A stack of [`EnvStage`]s applied to the received optical power each
+/// slot. The empty environment is the engine default and is bit-free: the
+/// engine skips the whole path (no world queries, no float ops), so all
+/// goldens are preserved exactly; see `DESIGN.md` §15 for the determinism
+/// contract.
+#[derive(Debug, Clone, Default)]
+pub struct Environment {
+    stages: Vec<Box<dyn EnvStage>>,
+}
+
+impl Environment {
+    /// An empty (clear-air) environment.
+    pub fn new() -> Environment {
+        Environment::default()
+    }
+
+    /// Adds a stage (builder style).
+    pub fn stage(mut self, stage: impl EnvStage + 'static) -> Environment {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Adds an already-boxed stage.
+    pub fn push(&mut self, stage: Box<dyn EnvStage>) {
+        self.stages.push(stage);
+    }
+
+    /// Whether any stage is attached.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Number of attached stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Stage names in application order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Total extra loss (dB ≥ 0) for the slot ending at `t_s` over a path
+    /// of `path_m` metres. Each stage's contribution is clamped at ≥ 0, so
+    /// the environment is monotone non-increasing in received power.
+    pub fn attenuation_db(&mut self, t_s: f64, path_m: f64) -> f64 {
+        self.stages
+            .iter_mut()
+            .map(|s| s.attenuation_db(t_s, path_m).max(0.0))
+            .sum()
+    }
+
+    /// Applies the stack to a received power: `rx_dbm −` total attenuation.
+    pub fn apply_dbm(&mut self, t_s: f64, path_m: f64, rx_dbm: f64) -> f64 {
+        rx_dbm - self.attenuation_db(t_s, path_m)
+    }
+
+    /// A per-session copy with every stage's random stream re-keyed by
+    /// `mix64(stream, stage index)` — the fleet drivers use this so each
+    /// session sees independent scintillation/crossing streams derived from
+    /// its session seed.
+    pub fn reseeded(&self, stream: u64) -> Environment {
+        let mut env = self.clone();
+        for (j, s) in env.stages.iter_mut().enumerate() {
+            s.reseed(cyclops_par::mix64(stream, 0xe27 + j as u64));
+        }
+        env
+    }
+
+    /// Wraps a [`ChannelModel`](crate::engine::ChannelModel) so standalone
+    /// channel users inherit the stack: the wrapper attenuates the received
+    /// power, then delegates to the inner channel's math.
+    pub fn wrap(self, inner: FsoChannel) -> EnvChannel {
+        EnvChannel { env: self, inner }
+    }
+}
+
+/// A [`ChannelModel`](crate::engine::ChannelModel) wrapped in an
+/// [`Environment`]: every evaluation first applies the stack's attenuation
+/// at the given slot time and path, then runs the inner power→BER math —
+/// the standalone counterpart of the engine's in-loop application.
+#[derive(Debug, Clone)]
+pub struct EnvChannel {
+    /// The environment stack.
+    pub env: Environment,
+    /// The wrapped clear-air channel.
+    pub inner: FsoChannel,
+}
+
+impl EnvChannel {
+    /// Q factor after environmental attenuation.
+    pub fn q_factor(&mut self, t_s: f64, path_m: f64, rx_dbm: f64) -> f64 {
+        let p = self.env.apply_dbm(t_s, path_m, rx_dbm);
+        self.inner.q_factor(p)
+    }
+
+    /// Bit-error rate after environmental attenuation.
+    pub fn ber(&mut self, t_s: f64, path_m: f64, rx_dbm: f64) -> f64 {
+        let p = self.env.apply_dbm(t_s, path_m, rx_dbm);
+        self.inner.ber(p)
+    }
+
+    /// Frame success probability after environmental attenuation.
+    pub fn frame_success_prob(&mut self, t_s: f64, path_m: f64, rx_dbm: f64, n_bits: u64) -> f64 {
+        let p = self.env.apply_dbm(t_s, path_m, rx_dbm);
+        self.inner.frame_success_prob(p, n_bits)
     }
 }
 

@@ -313,6 +313,9 @@ pub enum EngineConfigError {
     InvalidControl(&'static str),
     /// A [`FleetConfig`] field is out of range.
     InvalidFleet(&'static str),
+    /// An [`Environment`](crate::channel::Environment) stage parameter is
+    /// out of range.
+    InvalidEnvironment(&'static str),
 }
 
 impl std::fmt::Display for EngineConfigError {
@@ -329,6 +332,7 @@ impl std::fmt::Display for EngineConfigError {
             EngineConfigError::InvalidTracker(what) => write!(f, "tracker config: {what}"),
             EngineConfigError::InvalidControl(what) => write!(f, "control config: {what}"),
             EngineConfigError::InvalidFleet(what) => write!(f, "fleet config: {what}"),
+            EngineConfigError::InvalidEnvironment(what) => write!(f, "environment config: {what}"),
         }
     }
 }
@@ -498,6 +502,7 @@ impl TpPolicy {
         flap_forced: bool,
         unit: &mut TxInstallation,
         channel: &ChannelModel,
+        env_att_db: f64,
         power: &mut f64,
         signal: &mut bool,
     ) -> ReacqActivity {
@@ -533,7 +538,9 @@ impl TpPolicy {
                         act.probed = true;
                         unit.dep.set_voltages(nv[0], nv[1], nv[2], nv[3]);
                         unit.ctl.note_reacq_step();
-                        *power = unit.dep.received_power_dbm();
+                        // Probe through the same environment the slot saw:
+                        // fog doesn't clear because the mirror moved.
+                        *power = unit.dep.received_power_dbm() - env_att_db;
                         *signal = *power >= channel.sensitivity_dbm;
                         if *power >= channel.sensitivity_dbm + rq.success_margin_db {
                             self.signal_lost_since = None;
@@ -1085,6 +1092,9 @@ pub struct LinkSession<M: Motion, S: TxSelector> {
     rf_slots: u64,
     /// Gigabits delivered over the RF fallback (Σ rate · slot).
     rf_delivered_gb: f64,
+    /// Composable environment attachment (`None` = clean air, which keeps
+    /// the power path bit-identical to the pre-environment engine).
+    env: Option<crate::channel::Environment>,
     /// Telemetry attachment (observers only; never feeds the simulation).
     tele: Telemetry,
     /// Control-stats snapshot at the end of the previous slot, for
@@ -1112,54 +1122,18 @@ impl<M: Motion> LinkSession<M, SingleTx> {
             cfg: EngineConfig::default(),
             telemetry: Telemetry::off(),
             first_report: None,
+            environment: None,
         }
-    }
-
-    /// Creates a single-TX session. Per the paper's methodology the link
-    /// "starts with a perfectly aligned beam": one TP step is run against
-    /// the motion's initial pose and applied before time zero, consuming
-    /// the t = 0 report; the next report arrives a full tracker period
-    /// later.
-    #[deprecated(
-        note = "use LinkSession::builder(motion).deployment(dep, ctl).config(cfg).build()"
-    )]
-    pub fn single(dep: Deployment, ctl: TpController, motion: M, cfg: EngineConfig) -> Self {
-        let mut b = LinkSession::builder(motion)
-            .deployment(dep, ctl)
-            .config(cfg);
-        b = b.first_report(FirstReport::AfterPeriod);
-        b.build().expect("invalid engine config")
     }
 }
 
 impl<M: Motion, S: TxSelector> LinkSession<M, S> {
-    /// Creates a multi-unit session; unit 0 starts active and aligned to
-    /// the motion's initial pose, and the first report fires at t = 0.
-    #[deprecated(
-        note = "use LinkSession::builder(motion).units(units).occluders(..).selector(sel).config(cfg).build()"
-    )]
-    pub fn with_units(
-        units: Vec<TxInstallation>,
-        motion: M,
-        occluders: Vec<Occluder>,
-        selector: S,
-        cfg: EngineConfig,
-    ) -> Self {
-        assert!(!units.is_empty());
-        let b = LinkSession::builder(motion)
-            .units(units)
-            .occluders(occluders)
-            .selector(selector)
-            .config(cfg)
-            .first_report(FirstReport::AtZero);
-        b.build().expect("invalid engine config")
-    }
-
-    /// The one true constructor behind the builder and the deprecated
-    /// shims. The RNG draw order here is part of the determinism contract:
+    /// The one true constructor behind the builder. The RNG draw order
+    /// here is part of the determinism contract:
     /// one `noisy_report_of` on unit 0's deployment RNG for the pre-start
     /// alignment, then (for [`FirstReport::AfterPeriod`] only) one
     /// `draw_period` on the same RNG.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         mut units: Vec<TxInstallation>,
         mut motion: M,
@@ -1168,6 +1142,7 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
         cfg: EngineConfig,
         telemetry: Telemetry,
         first_report: FirstReport,
+        env: Option<crate::channel::Environment>,
     ) -> Self {
         assert!(!units.is_empty());
         let relink = units[0].dep.design.sfp.relink_time_s;
@@ -1226,6 +1201,7 @@ impl<M: Motion, S: TxSelector> LinkSession<M, S> {
             },
             rf_slots: 0,
             rf_delivered_gb: 0.0,
+            env,
             tele: telemetry,
             prev_ctrl: ControlStats::default(),
             clock: VirtualClock::default(),
@@ -1636,6 +1612,26 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
         } else {
             Deployment::POWER_METER_FLOOR_DBM
         };
+        // 3a. Environment: path attenuation ahead of the SFP/channel math.
+        // Gated on attachment so clean-air sessions never evaluate a stage
+        // (the power stream stays bit-identical to the pre-environment
+        // engine), and the stages draw no engine RNG — each is a pure
+        // function of (t, path) via per-stream `mix64`.
+        let env_att_db = match self.env.as_mut() {
+            Some(env) => {
+                let rx = if need_rx {
+                    rx_pos
+                } else {
+                    self.units[self.active].dep.rx_world_params().q2
+                };
+                let path_m = rx.distance(self.tx_positions[self.active]);
+                env.attenuation_db(t_slot, path_m)
+            }
+            None => 0.0,
+        };
+        if env_att_db > 0.0 {
+            power -= env_att_db;
+        }
         let (lin, ang) = if self.cfg.track_speeds {
             pose_speeds(&self.prev_pose, &pose, slot_s)
         } else {
@@ -1660,6 +1656,7 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
                 flap_forced,
                 &mut self.units[self.active],
                 &self.channel,
+                env_att_db,
                 &mut power,
                 &mut signal,
             );
@@ -1860,10 +1857,9 @@ impl<M: Motion, S: TxSelector> SlotSession for LinkSession<M, S> {
 /// `build` validates the configuration ([`EngineConfig::validate`] plus the
 /// unit list) instead of panicking mid-run. Unless overridden with
 /// [`SessionBuilder::first_report`], single-unit sessions use
-/// [`FirstReport::AfterPeriod`] and multi-unit sessions
-/// [`FirstReport::AtZero`] — matching the deprecated
-/// `LinkSession::single` / `LinkSession::with_units` constructors
-/// bit-exactly.
+/// [`FirstReport::AfterPeriod`] (the single-TX methodology: pre-start
+/// alignment consumes the t = 0 report) and multi-unit sessions
+/// [`FirstReport::AtZero`] (the multi-TX methodology).
 #[derive(Debug)]
 pub struct SessionBuilder<M: Motion, S: TxSelector> {
     units: Vec<TxInstallation>,
@@ -1873,6 +1869,7 @@ pub struct SessionBuilder<M: Motion, S: TxSelector> {
     cfg: EngineConfig,
     telemetry: Telemetry,
     first_report: Option<FirstReport>,
+    environment: Option<crate::channel::Environment>,
 }
 
 impl<M: Motion, S: TxSelector> SessionBuilder<M, S> {
@@ -1916,6 +1913,7 @@ impl<M: Motion, S: TxSelector> SessionBuilder<M, S> {
             cfg: self.cfg,
             telemetry: self.telemetry,
             first_report: self.first_report,
+            environment: self.environment,
         }
     }
 
@@ -1988,6 +1986,16 @@ impl<M: Motion, S: TxSelector> SessionBuilder<M, S> {
         self
     }
 
+    /// Attaches a composable environment
+    /// ([`Environment`](crate::channel::Environment)): per-slot path
+    /// attenuation applied ahead of the SFP/channel math. An empty
+    /// environment is stored as `None`, keeping the clean-air fast path —
+    /// and the bit-identical power stream — of a session built without one.
+    pub fn environment(mut self, env: crate::channel::Environment) -> Self {
+        self.environment = if env.is_empty() { None } else { Some(env) };
+        self
+    }
+
     /// Validates and constructs the session.
     pub fn build(self) -> Result<LinkSession<M, S>, EngineConfigError> {
         if self.units.is_empty() {
@@ -2007,6 +2015,7 @@ impl<M: Motion, S: TxSelector> SessionBuilder<M, S> {
             self.cfg,
             self.telemetry,
             first_report,
+            self.environment,
         ))
     }
 }
@@ -2351,6 +2360,12 @@ pub struct FleetConfig {
     pub collect_telemetry: bool,
     /// Hybrid FSO/RF fallback applied to every session (default: off).
     pub fallback: FallbackPolicy,
+    /// Tracker timing/noise model applied to every session (default: the
+    /// Rift-S model, matching the pre-registry engine bit-exactly).
+    pub tracker: TrackerConfig,
+    /// Environment template applied to every session; each session re-keys
+    /// the stage streams by its session seed. `None` = clean air.
+    pub environment: Option<crate::channel::Environment>,
 }
 
 impl Default for FleetConfig {
@@ -2367,6 +2382,8 @@ impl Default for FleetConfig {
             pause_on_outage: true,
             collect_telemetry: false,
             fallback: FallbackPolicy::Off,
+            tracker: TrackerConfig::default(),
+            environment: None,
         }
     }
 }
@@ -2454,6 +2471,19 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Sets the tracker timing/noise model for every session.
+    pub fn tracker(mut self, tracker: TrackerConfig) -> Self {
+        self.cfg.tracker = tracker;
+        self
+    }
+
+    /// Sets the environment template; an empty environment is stored as
+    /// `None` (the clean-air fast path).
+    pub fn environment(mut self, env: crate::channel::Environment) -> Self {
+        self.cfg.environment = if env.is_empty() { None } else { Some(env) };
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<FleetConfig, EngineConfigError> {
         let c = &self.cfg;
@@ -2470,6 +2500,15 @@ impl FleetConfigBuilder {
                 "debounce_s must be finite and non-negative",
             ));
         }
+        // Pre-validate the per-session engine config the fleet driver will
+        // assemble, so bad tracker/control templates fail here instead of
+        // mid-fan-out.
+        EngineConfig {
+            tracker: c.tracker,
+            control: c.control,
+            ..EngineConfig::default()
+        }
+        .validate()?;
         Ok(self.cfg)
     }
 }
@@ -2510,6 +2549,9 @@ pub struct SessionReport {
     /// [`run_fleet_scheduled`](crate::sched::run_fleet_scheduled);
     /// `None` on the unscheduled private-clone path).
     pub sched: Option<crate::sched::SchedSessionStats>,
+    /// Hardware-pool index this session ran on (`Some` iff the fleet ran
+    /// through [`run_fleet_mixed`]; indexes the pool list passed there).
+    pub profile: Option<u32>,
 }
 
 /// Fleet-level rollup of the per-session counters.
@@ -2816,6 +2858,7 @@ pub(crate) fn build_fleet_session(
         los_gating: !occluders.is_empty(),
         pause_on_outage: cfg.pause_on_outage,
         fallback: cfg.fallback,
+        tracker: cfg.tracker,
         ..EngineConfig::default()
     };
     let selector = BestMargin::new(units[0].dep.design, cfg.debounce_s);
@@ -2824,15 +2867,19 @@ pub(crate) fn build_fleet_session(
     } else {
         Telemetry::off()
     };
-    let mut session = LinkSession::builder(motion)
+    let mut builder = LinkSession::builder(motion)
         .units(units.to_vec())
         .occluders(occluders)
         .selector(selector)
         .config(ecfg)
         .telemetry(telemetry)
-        .first_report(FirstReport::AtZero)
-        .build()
-        .expect("fleet engine config must be valid");
+        .first_report(FirstReport::AtZero);
+    if let Some(env) = &cfg.environment {
+        // Re-key every stage stream by the session seed so fleet sessions
+        // see independent scintillation/occluder draws.
+        builder = builder.environment(env.reseeded(seed));
+    }
+    let mut session = builder.build().expect("fleet engine config must be valid");
     if cfg.collect_telemetry {
         session.telemetry_mut().emit(&TelemetryEvent::SessionStart {
             session: i as u64,
@@ -2899,6 +2946,7 @@ impl SlotSums {
             tp_failures: tp.n_failures,
             telemetry: session.telemetry().copied(),
             sched: None,
+            profile: None,
         }
     }
 }
@@ -2958,6 +3006,87 @@ pub fn run_fleet_rollup(units: &[TxInstallation], cfg: &FleetConfig) -> FleetRol
         lo = hi;
     }
     acc.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous (mixed-hardware) fleets
+// ---------------------------------------------------------------------------
+
+/// One hardware pool of a mixed fleet: the TX installations plus the
+/// tracker model of the headset class served by them. Build from a
+/// registry profile ([`crate::registry::HardwareProfile`]) or by hand.
+#[derive(Debug, Clone)]
+pub struct FleetPool {
+    /// Display label (e.g. the profile's `"25g-lr/galvo-fast/quest"`).
+    pub label: String,
+    /// The TX installations sessions of this pool run against.
+    pub units: Vec<TxInstallation>,
+    /// The tracker model of this pool's headset class.
+    pub tracker: TrackerConfig,
+}
+
+/// Runs a mixed-hardware fleet: session `i` runs on pool `i % pools.len()`
+/// with the shared [`FleetConfig`] template (seeds, motion, faults,
+/// occluders, environment are all derived exactly as in [`run_fleet`], from
+/// the global session index — so pool membership never perturbs another
+/// session's streams). Each report is stamped with its pool index for
+/// per-profile accounting ([`FleetSummary::profile_rollups`]).
+pub fn run_fleet_mixed(
+    pools: &[FleetPool],
+    cfg: &FleetConfig,
+) -> Result<FleetSummary, EngineConfigError> {
+    if pools.is_empty() {
+        return Err(EngineConfigError::InvalidFleet(
+            "mixed fleet needs at least one pool",
+        ));
+    }
+    for p in pools {
+        if p.units.is_empty() {
+            return Err(EngineConfigError::NoUnits);
+        }
+    }
+    // Per-pool config clones up front: the only field that varies is the
+    // tracker; everything seed-bearing stays on the shared template.
+    let cfgs: Vec<FleetConfig> = pools
+        .iter()
+        .map(|p| FleetConfig {
+            tracker: p.tracker,
+            ..cfg.clone()
+        })
+        .collect();
+    let one = |&i: &usize| {
+        let pool = i % pools.len();
+        let mut r = run_fleet_session(&pools[pool].units, &cfgs[pool], i);
+        r.profile = Some(pool as u32);
+        r
+    };
+    let idx: Vec<usize> = (0..cfg.n_sessions).collect();
+    #[cfg(feature = "parallel")]
+    let sessions = cyclops_par::par_map(&idx, 1, one);
+    #[cfg(not(feature = "parallel"))]
+    let sessions: Vec<SessionReport> = idx.iter().map(one).collect();
+    Ok(FleetSummary { sessions })
+}
+
+impl FleetSummary {
+    /// Per-profile rollups of a mixed fleet: one `(pool index, rollup)` per
+    /// pool that ran at least one session, in pool order. Sessions without
+    /// a profile stamp (a homogeneous [`run_fleet`]) are skipped.
+    pub fn profile_rollups(&self) -> Vec<(u32, FleetRollup)> {
+        let mut pools: Vec<u32> = self.sessions.iter().filter_map(|s| s.profile).collect();
+        pools.sort_unstable();
+        pools.dedup();
+        pools
+            .into_iter()
+            .map(|p| {
+                let mut acc = FleetRollupAcc::new();
+                for s in self.sessions.iter().filter(|s| s.profile == Some(p)) {
+                    acc.absorb(s);
+                }
+                (p, acc.finish())
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -3307,41 +3436,58 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn builder_replays_deprecated_constructors_bit_identically() {
-        // `LinkSession::single` ≡ builder + AfterPeriod.
-        let unit = crate::multi_tx::tests::two_units(913).remove(0);
-        let cfg = EngineConfig::default();
-        let mut legacy = LinkSession::single(
-            unit.dep.clone(),
-            unit.ctl.clone(),
-            StaticPose(park_pose()),
-            cfg,
-        );
-        let mut built = LinkSession::builder(StaticPose(park_pose()))
-            .deployment(unit.dep, unit.ctl)
-            .config(cfg)
-            .build()
-            .expect("valid single-TX config");
-        assert_streams_identical(&legacy.run(0.5), &built.run(0.5));
+    fn empty_environment_is_bit_identical_to_none() {
+        // Builder contract: an empty Environment is stored as None, and a
+        // density-0 fog stage attenuates nothing — both must leave the slot
+        // stream bit-identical to a session built without an environment.
+        let run = |env: Option<crate::channel::Environment>| {
+            let unit = crate::multi_tx::tests::two_units(913).remove(0);
+            let mut b = LinkSession::builder(StaticPose(park_pose()))
+                .deployment(unit.dep, unit.ctl)
+                .config(EngineConfig::default());
+            if let Some(env) = env {
+                b = b.environment(env);
+            }
+            b.build().expect("valid config").run(0.5)
+        };
+        let base = run(None);
+        assert_streams_identical(&base, &run(Some(crate::channel::Environment::new())));
+        let zero_fog = crate::channel::Environment::new()
+            .stage(crate::channel::FogStage::from_density(0.0, 1550.0).expect("valid density"));
+        assert_streams_identical(&base, &run(Some(zero_fog)));
+    }
 
-        // `LinkSession::with_units` ≡ builder + units + AtZero.
-        let units = crate::multi_tx::tests::two_units(902);
-        let mcfg = EngineConfig::multi_tx(TrackerConfig::default());
-        let mut legacy = LinkSession::with_units(
-            units.clone(),
-            StaticPose(park_pose()),
-            vec![],
-            DarkDebounce::new(0.03),
-            mcfg,
-        );
-        let mut built = LinkSession::builder(StaticPose(park_pose()))
-            .units(units)
-            .selector(DarkDebounce::new(0.03))
-            .config(mcfg)
-            .build()
-            .expect("valid multi-TX config");
-        assert_streams_identical(&legacy.run(0.5), &built.run(0.5));
+    #[test]
+    fn fog_environment_attenuates_power() {
+        let run = |env: Option<crate::channel::Environment>| {
+            let unit = crate::multi_tx::tests::two_units(913).remove(0);
+            let mut b = LinkSession::builder(StaticPose(park_pose()))
+                .deployment(unit.dep, unit.ctl)
+                .config(EngineConfig::default());
+            if let Some(env) = env {
+                b = b.environment(env);
+            }
+            b.build().expect("valid config").run(0.5)
+        };
+        let clean = run(None);
+        let fog = crate::channel::Environment::new()
+            .stage(crate::channel::FogStage::from_density(0.8, 1550.0).expect("valid density"));
+        let foggy = run(Some(fog.clone()));
+        // Dense fog over the paper's 1.75 m path: every slot loses the same
+        // static Beer–Lambert amount.
+        let att = {
+            let mut probe = fog.clone();
+            probe.attenuation_db(0.0, 1.75)
+        };
+        assert!(att > 0.0, "dense fog must attenuate: {att}");
+        for (a, b) in clean.iter().zip(&foggy) {
+            assert!(
+                b.power_dbm <= a.power_dbm - att + 1e-9,
+                "fog slot {} vs clean {}",
+                b.power_dbm,
+                a.power_dbm
+            );
+        }
     }
 
     #[test]

@@ -23,17 +23,20 @@
 //! * [`telemetry`] — deterministic engine observability: slot/TP/control/
 //!   SFP/handover events, counter + histogram aggregation, a JSONL sink,
 //!   and the virtual clock that keeps instrumented runs bit-identical;
-//! * [`simulator`] — the end-to-end 1 ms-slot simulator joining motion,
-//!   tracking, TP and optics (Figs 13–15) — a single-TX engine session;
+//! * [`registry`] — the hardware device registry: data-driven
+//!   SFP/galvo/headset capability profiles with named presets and a
+//!   validating builder, so fleets mix heterogeneous hardware;
 //! * [`trace_sim`] — the §5.4 user-trace connectivity simulation (Fig 16),
 //!   implemented with exactly the paper's drift/tolerance methodology — a
 //!   trace engine session;
 //! * [`handover`] — the multi-TX occlusion/handover extension sketched in
 //!   §3 ("to circumvent occasional occlusions ... multiple TXs on the
-//!   ceiling with appropriate handover techniques") — geometric model;
-//! * [`multi_tx`] — the same extension on the full physical pipeline
-//!   (per-unit trained TP, real optics, real SFP re-lock) — a multi-unit
-//!   engine session.
+//!   ceiling with appropriate handover techniques") — geometric model.
+//!
+//! The composable environment layer (fog, rain, scintillation, human
+//! occluders) lives in [`channel`] as [`channel::EnvStage`] stacks; attach
+//! one to a session via [`engine::SessionBuilder::environment`] or a fleet
+//! via `FleetConfig`.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -45,16 +48,22 @@ pub mod engine;
 pub mod framing;
 pub mod handover;
 pub mod iperf;
+#[doc(hidden)]
 pub mod multi_tx;
+pub mod registry;
 pub mod sched;
 pub mod sfp_state;
+#[doc(hidden)]
 pub mod simulator;
 pub mod telemetry;
 pub mod trace_sim;
 pub mod traffic;
 pub mod video;
 
-pub use channel::{FsoChannel, RfChannel};
+pub use channel::{
+    EnvChannel, EnvStage, Environment, FogStage, FsoChannel, HumanOccluderStage, RainStage,
+    RfChannel, ScintillationStage,
+};
 pub use control::{
     slots_in, ArqConfig, ControlLink, ControlPlaneConfig, ControlStats, DeadReckoningConfig,
     FaultPlan, FlapSchedule, ReacqConfig,
@@ -65,9 +74,15 @@ pub use engine::{
     LinkPolicy, LinkSession, MarginSelector, RfStats, SessionBuilder, SessionReport, SessionStats,
     SingleTx, SlotSession, TxInstallation, TxSelector,
 };
+pub use engine::{run_fleet_mixed, FleetPool};
 pub use framing::Frame;
 pub use iperf::ThroughputMeter;
 pub use multi_tx::MultiTxSimulator;
+pub use registry::{
+    galvo_profile, galvo_profiles, headset_profile, headset_profiles, sfp_profile, sfp_profiles,
+    GalvoProfile, GalvoProfileDef, HardwareProfile, HardwareProfileBuilder, HeadsetProfile,
+    HeadsetProfileDef, RegistryError, SfpProfile, SfpProfileDef,
+};
 pub use sfp_state::SfpLinkState;
 pub use simulator::{LinkSimConfig, LinkSimulator, SlotRecord};
 pub use telemetry::{

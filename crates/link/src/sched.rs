@@ -1,6 +1,6 @@
 //! **Shared-TX scheduling** — the venue-scale contention layer.
 //!
-//! The unscheduled fleet ([`run_fleet`]) gives every session a private clone
+//! The unscheduled fleet ([`run_fleet`](crate::engine::run_fleet)) gives every session a private clone
 //! of the TX pool: N headsets, zero contention. This module makes the pool a
 //! shared, scheduled resource: each slot a [`TxScheduler`] assigns TX units
 //! to sessions, and a unit steering at session A is dark for session B that
@@ -19,7 +19,7 @@
 //! margin, demand) and gates *delivery* — an ungranted session transports
 //! nothing that slot no matter what its channel would have carried. The FSO
 //! timeline (power, outages, handovers, control) is therefore
-//! policy-invariant and bit-identical to [`run_fleet`] for every policy,
+//! policy-invariant and bit-identical to [`run_fleet`](crate::engine::run_fleet) for every policy,
 //! which is what keeps the engine-digest goldens stable and makes
 //! policy ablations apples-to-apples. The scheduled slot loop is serial and
 //! RNG-free, so per-seed bit-identity holds at any thread count.
@@ -648,7 +648,7 @@ impl GrantEngine {
 // ---------------------------------------------------------------------------
 
 /// Contention, fairness and QoE accounting of one scheduled session
-/// ([`SessionReport::sched`]; `None` when the fleet ran unscheduled).
+/// ([`SessionReport::sched`](crate::engine::SessionReport::sched); `None` when the fleet ran unscheduled).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SchedSessionStats {
     /// Passed admission control.
@@ -722,11 +722,13 @@ pub struct SchedRollup {
 
 /// Runs a fleet with the TX pool as a shared, scheduled resource, using the
 /// policy named in `sched`. See the module docs for the physics contract.
+/// Rejects an empty unit pool or an invalid [`SchedConfig`] with a typed
+/// error instead of panicking.
 pub fn run_fleet_scheduled(
     units: &[TxInstallation],
     fleet: &FleetConfig,
     sched: &SchedConfig,
-) -> FleetSummary {
+) -> Result<FleetSummary, EngineConfigError> {
     let mut policy = sched.policy.scheduler();
     run_fleet_with_scheduler(units, fleet, sched, policy.as_mut())
 }
@@ -738,9 +740,11 @@ pub fn run_fleet_with_scheduler(
     fleet: &FleetConfig,
     sched: &SchedConfig,
     policy: &mut dyn TxScheduler,
-) -> FleetSummary {
-    assert!(!units.is_empty(), "scheduled fleet needs at least one unit");
-    sched.validate().expect("invalid scheduling config");
+) -> Result<FleetSummary, EngineConfigError> {
+    if units.is_empty() {
+        return Err(EngineConfigError::NoUnits);
+    }
+    sched.validate()?;
     let n = fleet.n_sessions;
     let m = units.len();
 
@@ -916,7 +920,7 @@ pub fn run_fleet_with_scheduler(
         rep.sched = Some(*a);
         reports.push(rep);
     }
-    FleetSummary { sessions: reports }
+    Ok(FleetSummary { sessions: reports })
 }
 
 #[cfg(test)]
@@ -1084,7 +1088,7 @@ mod tests {
             SchedConfig::greedy(),
             SchedConfig::proportional_fair(1.0),
         ] {
-            let got = run_fleet_scheduled(units, &fleet, &sched);
+            let got = run_fleet_scheduled(units, &fleet, &sched).unwrap();
             assert_eq!(base.sessions.len(), got.sessions.len());
             for (a, b) in base.sessions.iter().zip(&got.sessions) {
                 assert_eq!(a.session, b.session);
@@ -1116,8 +1120,8 @@ mod tests {
             ..FleetConfig::default()
         };
         let sched = SchedConfig::proportional_fair(1.0);
-        let a = run_fleet_scheduled(units, &fleet, &sched);
-        let b = run_fleet_scheduled(units, &fleet, &sched);
+        let a = run_fleet_scheduled(units, &fleet, &sched).unwrap();
+        let b = run_fleet_scheduled(units, &fleet, &sched).unwrap();
         for (x, y) in a.sessions.iter().zip(&b.sessions) {
             let (xs, ys) = (x.sched.unwrap(), y.sched.unwrap());
             assert_eq!(xs.served_slots, ys.served_slots);
@@ -1138,7 +1142,7 @@ mod tests {
             seed: 9,
             ..FleetConfig::default()
         };
-        let sum = run_fleet_scheduled(units, &fleet, &SchedConfig::greedy());
+        let sum = run_fleet_scheduled(units, &fleet, &SchedConfig::greedy()).unwrap();
         let total_served: u64 = sum
             .sessions
             .iter()
@@ -1167,7 +1171,7 @@ mod tests {
         };
         let mut sched = SchedConfig::greedy();
         sched.max_sessions_per_unit = 1; // cap = 2 admitted
-        let sum = run_fleet_scheduled(units, &fleet, &sched);
+        let sum = run_fleet_scheduled(units, &fleet, &sched).unwrap();
         let admitted = sum
             .sessions
             .iter()
@@ -1200,7 +1204,7 @@ mod tests {
                 ..FleetConfig::default()
             };
             let base = run_fleet(units(), &fleet);
-            let got = run_fleet_scheduled(units(), &fleet, &SchedConfig::static_partition());
+            let got = run_fleet_scheduled(units(), &fleet, &SchedConfig::static_partition()).unwrap();
             for (a, b) in base.sessions.iter().zip(&got.sessions) {
                 proptest::prop_assert_eq!(a.up_frac.to_bits(), b.up_frac.to_bits());
                 proptest::prop_assert_eq!(

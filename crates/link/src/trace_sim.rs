@@ -12,13 +12,13 @@
 //!
 //! Since the engine refactor the slot loop lives in
 //! [`crate::engine::TraceSession`]; [`simulate_trace`] drives it under
-//! [`run_slots`], bit-identically to the
+//! [`run_slots`](crate::engine::run_slots), bit-identically to the
 //! pre-refactor loop.
 //!
 //! **Deprecation note.** The [`simulate_trace`]/[`simulate_corpus`] free
 //! functions are kept for the Fig-16 binaries and older tests; new code
 //! that needs per-slot control or telemetry should drive
-//! [`crate::engine::TraceSession`] through [`run_slots`] directly.
+//! [`crate::engine::TraceSession`] through [`run_slots`](crate::engine::run_slots) directly.
 
 use crate::engine::{FallbackPolicy, LinkPolicy, TraceSession};
 use crate::sfp_state::SfpLinkState;
